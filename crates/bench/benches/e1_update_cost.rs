@@ -1,0 +1,41 @@
+//! Criterion bench for E1: cost of the tracking policies themselves
+//! (the table-level comparison lives in the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use most_spatial::{Point, Trajectory, Velocity};
+use most_workload::update_process::update_schedule;
+use most_workload::{simulate_tracking, TrackingPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn truth(horizon: u64, mean_gap: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut traj = Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
+    for (t, v) in update_schedule(&mut rng, horizon, mean_gap, 0.5, 2.0) {
+        traj.update_velocity(t, v);
+    }
+    (0..=horizon).map(|t| traj.position_at_tick(t)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_tracking_policies");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let path = truth(5_000, 100.0, 1);
+    for (name, policy) in [
+        ("every_tick", TrackingPolicy::EveryTick),
+        ("every_20", TrackingPolicy::EveryK(20)),
+        ("dead_reckoning", TrackingPolicy::DeadReckoning { threshold: 1.0 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &p| {
+            b.iter(|| simulate_tracking(black_box(&path), p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for E2: instantaneous range query latency, index vs
+//! scan, across database sizes — the paper's "logarithmic access time"
+//! claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use most_index::{DynamicAttributeIndex, IndexKind, ScanIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn build(n: usize) -> (DynamicAttributeIndex, ScanIndex) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut idx =
+        DynamicAttributeIndex::new(IndexKind::QuadTree, 1_000, (-(n as f64), 2.0 * n as f64));
+    let mut scan = ScanIndex::new();
+    for i in 0..n as u64 {
+        let v0 = rng.random_range(0.0..n as f64);
+        let slope = rng.random_range(-0.5..0.5);
+        idx.insert(i, 0, v0, slope);
+        scan.upsert(i, 0, v0, slope);
+    }
+    (idx, scan)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_range_query");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [1_000usize, 10_000, 100_000] {
+        let (idx, scan) = build(n);
+        let window = n as f64 / 100.0;
+        let lo = n as f64 / 3.0;
+        g.bench_with_input(BenchmarkId::new("index", n), &idx, |b, idx| {
+            b.iter(|| idx.instantaneous(black_box(500), lo, lo + window))
+        });
+        g.bench_with_input(BenchmarkId::new("scan", n), &scan, |b, scan| {
+            b.iter(|| scan.instantaneous(black_box(500), lo, lo + window))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

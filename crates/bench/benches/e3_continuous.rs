@@ -1,0 +1,83 @@
+//! Criterion bench for E3: one materialized continuous-query evaluation vs
+//! a per-tick instantaneous re-evaluation of the same query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use most_core::{Database, RefreshMode};
+use most_ftl::Query;
+use most_spatial::Polygon;
+use most_workload::cars::CarScenario;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn build_db(n: usize) -> Database {
+    let scenario = CarScenario {
+        count: n,
+        area: 400.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: 1e18,
+        horizon: 500,
+        seed: 42,
+    };
+    let plans = scenario.generate();
+    let mut db = Database::new(1_000);
+    db.add_region("P", Polygon::rectangle(-100.0, -100.0, 100.0, 100.0));
+    scenario.populate(&mut db, &plans);
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_continuous_service");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let query = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").expect("parses");
+    let window = 100u64;
+    for n in [30usize, 100] {
+        g.bench_function(format!("materialized_once/n{n}"), |b| {
+            b.iter(|| {
+                let mut db = build_db(n);
+                let cq = db.register_continuous(query.clone()).expect("register");
+                let mut total = 0usize;
+                for t in 0..window {
+                    db.advance_clock(1);
+                    total += db.continuous_display(cq, t + 1).expect("display").len();
+                }
+                black_box(total)
+            })
+        });
+        g.bench_function(format!("materialized_incremental/n{n}"), |b| {
+            b.iter(|| {
+                let mut db = build_db(n);
+                db.set_refresh_mode(RefreshMode::Incremental);
+                let cq = db.register_continuous(query.clone()).expect("register");
+                let ids = db.object_ids();
+                let mut total = 0usize;
+                for t in 0..window {
+                    db.advance_clock(1);
+                    // One motion update per tick: the regime where refresh
+                    // strategy dominates.
+                    let id = ids[(t as usize) % ids.len()];
+                    let v = db.object(id).expect("exists").velocity_at(t + 1).expect("spatial");
+                    db.update_motion(id, v).expect("update");
+                    total += db.continuous_display(cq, t + 1).expect("display").len();
+                }
+                black_box(total)
+            })
+        });
+        g.bench_function(format!("reissue_per_tick/n{n}"), |b| {
+            b.iter(|| {
+                let mut db = build_db(n);
+                let mut total = 0usize;
+                for _ in 0..window {
+                    db.advance_clock(1);
+                    total += db.instantaneous_now(&query).expect("instantaneous").len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for E4: the appendix interval algorithm vs the per-tick
+//! oracle on the paper's example queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use most_bench::experiments::e4_ftl::paper_queries;
+use most_ftl::context::MemoryContext;
+use most_ftl::semantics::naive_answer;
+use most_ftl::{evaluate_query, Query};
+use most_spatial::Polygon;
+use most_workload::cars::CarScenario;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn context(n: usize, horizon: u64) -> MemoryContext {
+    let scenario = CarScenario {
+        count: n,
+        area: 300.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: 1e18,
+        horizon,
+        seed: 9,
+    };
+    let mut ctx = MemoryContext::new(horizon);
+    for (i, plan) in scenario.generate().iter().enumerate() {
+        ctx.add_object(i as u64 + 1, plan.trajectory());
+        ctx.set_attr(i as u64 + 1, "PRICE", plan.price);
+    }
+    ctx.add_region("P", Polygon::rectangle(-120.0, -120.0, 120.0, 120.0));
+    ctx.add_region("Q", Polygon::rectangle(150.0, -80.0, 280.0, 80.0));
+    ctx
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_ftl_eval");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let ctx = context(20, 300);
+    for (name, src) in paper_queries() {
+        let q = Query::parse(src).expect("parses");
+        g.bench_with_input(BenchmarkId::new("interval_algo", name), &q, |b, q| {
+            b.iter(|| black_box(evaluate_query(&ctx, q).expect("eval")))
+        });
+        g.bench_with_input(BenchmarkId::new("per_tick_oracle", name), &q, |b, q| {
+            b.iter(|| black_box(naive_answer(&ctx, q).expect("eval")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench for E5: the 2^k subquery expansion of the
+//! MOST-on-DBMS rewrite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use most_core::rewrite::{MostDbmsLayer, MovingTableDef};
+use most_dbms::expr::{CmpOp, Expr};
+use most_dbms::query::SelectQuery;
+use most_dbms::schema::ColumnType;
+use most_dbms::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn build_layer(n: usize, attrs: usize) -> MostDbmsLayer {
+    let mut layer = MostDbmsLayer::new();
+    layer
+        .create_table(MovingTableDef {
+            name: "cars".into(),
+            static_columns: vec![
+                ("id".into(), ColumnType::Id),
+                ("price".into(), ColumnType::Float),
+            ],
+            dynamic_attrs: (0..attrs).map(|i| format!("A{i}")).collect(),
+        })
+        .expect("create");
+    let mut rng = StdRng::seed_from_u64(3);
+    for i in 0..n as u64 {
+        let dynamics = (0..attrs)
+            .map(|_| (rng.random_range(0.0..1000.0), 0, rng.random_range(-2.0..2.0)))
+            .collect();
+        layer
+            .insert("cars", vec![Value::Id(i), rng.random_range(40.0..200.0).into()], dynamics)
+            .expect("insert");
+    }
+    layer
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_rewrite_blowup");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let layer = build_layer(500, 8);
+    for k in [1usize, 2, 4, 8] {
+        let mut clause = Expr::cmp(CmpOp::Le, Expr::col("price"), Expr::val(1e9));
+        for i in 0..k {
+            clause = clause.and(Expr::cmp(
+                CmpOp::Ge,
+                Expr::col(format!("A{i}")),
+                Expr::val(200.0),
+            ));
+        }
+        let q = SelectQuery::from_table("cars").column("id").filter(clause);
+        g.bench_with_input(BenchmarkId::new("k_atoms", k), &q, |b, q| {
+            b.iter(|| black_box(layer.query(q, 50).expect("query")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for E6: strategy execution cost (messages are counted in
+//! the `experiments` binary; here we measure the simulation work itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use most_bench::experiments::e6_distributed::continuous_message_ratio;
+use most_mobile::strategy::{
+    object_query_data_shipping, object_query_query_shipping, ObjectPredicate,
+};
+use most_mobile::{FleetSim, Network};
+use most_spatial::{Point, Velocity};
+use most_workload::cars::CarScenario;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fleet(n: usize) -> FleetSim {
+    let scenario = CarScenario {
+        count: n,
+        area: 400.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: 1e18,
+        horizon: 300,
+        seed: 1,
+    };
+    let mut sim = FleetSim::new();
+    sim.add_node(0, Point::origin(), Velocity::zero(), 0.0, vec![]);
+    for (i, p) in scenario.generate().into_iter().enumerate() {
+        sim.add_node(i as u64 + 1, p.start, p.velocity, p.price, p.updates);
+    }
+    sim
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_strategies");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let pred = ObjectPredicate::ReachesPointWithin {
+        target: Point::origin(),
+        radius: 50.0,
+        within: 300,
+    };
+    for n in [50usize, 200] {
+        let sim = fleet(n);
+        g.bench_with_input(BenchmarkId::new("data_shipping", n), &sim, |b, sim| {
+            b.iter(|| {
+                let mut net = Network::new(0);
+                black_box(object_query_data_shipping(sim, &mut net, 0, &pred))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("query_shipping", n), &sim, |b, sim| {
+            b.iter(|| {
+                let mut net = Network::new(0);
+                black_box(object_query_query_shipping(sim, &mut net, 0, &pred, "Q"))
+            })
+        });
+    }
+    g.bench_function("continuous_ratio/n50", |b| {
+        b.iter(|| black_box(continuous_message_ratio(50, 300)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench for E7: quadtree vs R-tree vs scan — build, point
+//! query and update costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use most_index::{DynamicAttributeIndex, IndexKind, ScanIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn objects(n: usize) -> Vec<(u64, f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n as u64)
+        .map(|i| (i, rng.random_range(0.0..n as f64), rng.random_range(-0.5..0.5)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_structures");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let n = 10_000usize;
+    let objs = objects(n);
+    let value_range = (-(n as f64), 2.0 * n as f64);
+    let window = n as f64 / 100.0;
+
+    for kind in [IndexKind::QuadTree, IndexKind::RTree] {
+        let name = format!("{kind:?}");
+        g.bench_with_input(BenchmarkId::new("build", &name), &kind, |b, &k| {
+            b.iter(|| {
+                let mut idx = DynamicAttributeIndex::new(k, 1_000, value_range);
+                for &(id, v, s) in &objs {
+                    idx.insert(id, 0, v, s);
+                }
+                black_box(idx.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bulk_build", &name), &kind, |b, &k| {
+            b.iter(|| {
+                let idx = DynamicAttributeIndex::bulk(
+                    k,
+                    1_000,
+                    value_range,
+                    objs.iter().copied(),
+                );
+                black_box(idx.len())
+            })
+        });
+        let mut idx = DynamicAttributeIndex::new(kind, 1_000, value_range);
+        for &(id, v, s) in &objs {
+            idx.insert(id, 0, v, s);
+        }
+        g.bench_with_input(BenchmarkId::new("query", &name), &idx, |b, idx| {
+            b.iter(|| black_box(idx.instantaneous(500, 1000.0, 1000.0 + window)))
+        });
+    }
+    let mut scan = ScanIndex::new();
+    for &(id, v, s) in &objs {
+        scan.upsert(id, 0, v, s);
+    }
+    g.bench_function("query/scan", |b| {
+        b.iter(|| black_box(scan.instantaneous(500, 1000.0, 1000.0 + window)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

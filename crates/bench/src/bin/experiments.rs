@@ -1,0 +1,40 @@
+//! The experiment runner: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments [all|fig1|e1|e2|e3|e4|e4b|e5|e6|e6b|e7|e8] [--quick]
+//! ```
+
+use most_bench::experiments::{run_all, run_one};
+use most_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let which: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    println!("# MOST / FTL reproduction — experiment run ({:?})\n", scale);
+    let tables = if which.is_empty() || which.iter().any(|w| w.as_str() == "all") {
+        run_all(scale)
+    } else {
+        let mut out = Vec::new();
+        for w in which {
+            match run_one(w, scale) {
+                Some(t) => out.push(t),
+                None => {
+                    eprintln!(
+                        "unknown experiment `{w}` (expected fig1, e1..e9, e4b, e6b, all)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+    for t in tables {
+        println!("{t}");
+    }
+}

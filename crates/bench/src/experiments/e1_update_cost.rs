@@ -1,0 +1,109 @@
+//! E1 — update cost: motion-vector representation vs position sampling.
+//!
+//! Claim (§1): representing positions by motion vectors avoids updating
+//! "very frequently (which would impose a serious performance and
+//! wireless-bandwidth overhead)" without the answers becoming outdated,
+//! because "the motion vector of an object can change, but in most cases
+//! it does so less frequently than the position".
+
+use crate::table::fmt_f64;
+use crate::{Scale, Table};
+use most_spatial::{Point, Trajectory, Velocity};
+use most_workload::update_process::update_schedule;
+use most_workload::{simulate_tracking, TrackingPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the tracking-policy comparison across motion-vector change rates.
+pub fn run(scale: Scale) -> Table {
+    let horizon = scale.pick(2_000u64, 10_000u64);
+    let fleet = scale.pick(20usize, 100usize);
+    let mut table = Table::new(
+        "E1",
+        "update cost per object: position sampling vs motion vector (dead reckoning)",
+        &[
+            "mean ticks between turns",
+            "policy",
+            "updates/object",
+            "updates/1000 ticks",
+            "max error",
+            "mean error",
+        ],
+    );
+    for mean_gap in [50.0, 100.0, 200.0, 400.0] {
+        let policies = [
+            ("position @ every tick", TrackingPolicy::EveryTick),
+            ("position @ every 20", TrackingPolicy::EveryK(20)),
+            ("motion vector (ε = 1.0)", TrackingPolicy::DeadReckoning { threshold: 1.0 }),
+        ];
+        for (name, policy) in policies {
+            let mut updates = 0.0;
+            let mut max_err = 0.0f64;
+            let mut mean_err = 0.0;
+            for i in 0..fleet {
+                let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
+                let mut traj =
+                    Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
+                for (t, v) in update_schedule(&mut rng, horizon, mean_gap, 0.5, 2.0) {
+                    traj.update_velocity(t, v);
+                }
+                let truth: Vec<Point> =
+                    (0..=horizon).map(|t| traj.position_at_tick(t)).collect();
+                let r = simulate_tracking(&truth, policy);
+                updates += r.updates as f64 / fleet as f64;
+                max_err = max_err.max(r.max_error);
+                mean_err += r.mean_error / fleet as f64;
+            }
+            table.row(vec![
+                format!("{mean_gap:.0}"),
+                name.to_owned(),
+                fmt_f64(updates),
+                fmt_f64(updates * 1000.0 / horizon as f64),
+                fmt_f64(max_err),
+                fmt_f64(mean_err),
+            ]);
+        }
+    }
+    table.note(
+        "Claimed shape: the motion-vector policy needs orders of magnitude fewer \
+         updates than per-tick position sampling at bounded error (ε), and its update \
+         rate tracks the motion-vector change rate, not the clock rate.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_representation_wins_by_an_order_of_magnitude() {
+        let t = run(Scale::Quick);
+        // Rows come in triples per gap setting.
+        for chunk in t.rows.chunks(3) {
+            let every_tick: f64 = chunk[0][2].parse().unwrap();
+            let dead_reckoning: f64 = chunk[2][2].parse().unwrap();
+            assert!(
+                every_tick > 10.0 * dead_reckoning,
+                "vector updates {dead_reckoning} vs per-tick {every_tick}"
+            );
+            // Dead-reckoning error stays near the threshold.
+            let max_err: f64 = chunk[2][4].parse().unwrap();
+            assert!(max_err <= 4.0, "max error {max_err}");
+        }
+    }
+
+    #[test]
+    fn slower_turning_means_fewer_vector_updates() {
+        let t = run(Scale::Quick);
+        let dr_updates: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[1].starts_with("motion vector"))
+            .map(|r| r[2].parse().unwrap())
+            .collect();
+        assert_eq!(dr_updates.len(), 4);
+        // Mean gap doubles each row: updates must decline overall.
+        assert!(dr_updates.first().unwrap() > dr_updates.last().unwrap());
+    }
+}

@@ -1,0 +1,179 @@
+//! E4 — FTL query processing: the appendix interval algorithm vs per-tick
+//! evaluation; E4b — cost of the negation/disjunction extensions.
+//!
+//! Claim (§6): without exposed dynamic attributes "the only way to answer a
+//! query such as 'retrieve the objects that will intersect a polygon P at
+//! some time between now and 5pm' is to evaluate the query at every point
+//! in time" — the black-box baseline implemented by
+//! `most_ftl::semantics::naive_answer`.
+
+use crate::table::{fmt_duration, fmt_f64};
+use crate::{Scale, Table};
+use most_ftl::context::MemoryContext;
+use most_ftl::semantics::naive_answer;
+use most_ftl::{evaluate_query, Query};
+use most_spatial::Polygon;
+use most_temporal::Tick;
+use most_workload::cars::CarScenario;
+use std::time::Instant;
+
+fn context(n: usize, horizon: Tick, seed: u64) -> MemoryContext {
+    let scenario = CarScenario {
+        count: n,
+        area: 300.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: 1e18, // single-leg (instantaneous-query setting)
+        horizon,
+        seed,
+    };
+    let mut ctx = MemoryContext::new(horizon);
+    for (i, plan) in scenario.generate().iter().enumerate() {
+        ctx.add_object(i as u64 + 1, plan.trajectory());
+        ctx.set_attr(i as u64 + 1, "PRICE", plan.price);
+    }
+    ctx.add_region("P", Polygon::rectangle(-120.0, -120.0, 120.0, 120.0));
+    ctx.add_region("Q", Polygon::rectangle(150.0, -80.0, 280.0, 80.0));
+    ctx
+}
+
+/// The paper's example queries (Section 3.4 I–III and the Until pair
+/// query of Section 3.2).
+pub fn paper_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "(I) enter P, price",
+            "RETRIEVE o WHERE o.PRICE <= 100 AND Eventually within 60 INSIDE(o, P)",
+        ),
+        (
+            "(II) enter & stay",
+            "RETRIEVE o WHERE Eventually within 60 (INSIDE(o, P) AND Always for 20 INSIDE(o, P))",
+        ),
+        (
+            "(III) P then Q",
+            "RETRIEVE o WHERE Eventually within 60 (INSIDE(o, P) AND Always for 10 INSIDE(o, P) AND Eventually after 30 INSIDE(o, Q))",
+        ),
+        (
+            "Until pair",
+            "RETRIEVE o, n WHERE o <> n AND (DIST(o, n) <= 150 Until (INSIDE(o, P) AND INSIDE(n, P)))",
+        ),
+    ]
+}
+
+/// Interval algorithm vs per-tick oracle across database sizes.
+pub fn run(scale: Scale) -> Table {
+    let horizon = scale.pick(150u64, 400u64);
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[10, 20],
+        Scale::Full => &[10, 30, 100],
+    };
+    let mut table = Table::new(
+        "E4",
+        "FTL evaluation: appendix interval algorithm vs per-tick baseline",
+        &[
+            "query",
+            "objects",
+            "horizon",
+            "interval algo",
+            "per-tick baseline",
+            "speedup",
+            "answers equal",
+        ],
+    );
+    for &n in sizes {
+        let ctx = context(n, horizon, 9);
+        for (name, src) in paper_queries() {
+            let q = Query::parse(src).expect("paper query parses");
+            let t0 = Instant::now();
+            let fast = evaluate_query(&ctx, &q).expect("interval evaluation");
+            let fast_time = t0.elapsed();
+            let t0 = Instant::now();
+            let slow = naive_answer(&ctx, &q).expect("oracle evaluation");
+            let slow_time = t0.elapsed();
+            table.row(vec![
+                name.to_owned(),
+                n.to_string(),
+                horizon.to_string(),
+                fmt_duration(fast_time),
+                fmt_duration(slow_time),
+                fmt_f64(slow_time.as_secs_f64() / fast_time.as_secs_f64().max(1e-9)),
+                (fast == slow).to_string(),
+            ]);
+        }
+    }
+    table.note(
+        "Claimed shape: the interval algorithm's cost scales with the number of \
+         satisfaction intervals (relation sizes), not with horizon × objects, so the \
+         speedup grows with the horizon; answers are asserted identical.",
+    );
+    table
+}
+
+/// E4b — ablation: conjunctive fragment vs the negation/disjunction
+/// extensions (DESIGN.md D3).
+pub fn run_ablation(scale: Scale) -> Table {
+    let horizon = scale.pick(150u64, 400u64);
+    let n = scale.pick(20usize, 60usize);
+    let ctx = context(n, horizon, 11);
+    let queries = [
+        ("conjunctive", "RETRIEVE o WHERE Eventually INSIDE(o, P) AND o.PRICE <= 120"),
+        ("with OR", "RETRIEVE o WHERE Eventually INSIDE(o, P) OR o.PRICE <= 120"),
+        ("with NOT", "RETRIEVE o WHERE NOT Eventually INSIDE(o, P)"),
+        (
+            "NOT over pairs",
+            "RETRIEVE o, n WHERE o <> n AND NOT Eventually (DIST(o, n) <= 20)",
+        ),
+    ];
+    let mut table = Table::new(
+        "E4b",
+        "extension ablation: conjunctive core vs negation/disjunction (active domain)",
+        &["query", "objects", "time", "answer rows"],
+    );
+    for (name, src) in queries {
+        let q = Query::parse(src).expect("query parses");
+        let t0 = Instant::now();
+        let a = evaluate_query(&ctx, &q).expect("evaluation");
+        let dt = t0.elapsed();
+        table.row(vec![
+            name.to_owned(),
+            n.to_string(),
+            fmt_duration(dt),
+            a.len().to_string(),
+        ]);
+    }
+    table.note(
+        "The paper restricts its algorithm to conjunctive formulas for safety; the \
+         extensions pay for active-domain expansion (NOT over k variables touches \
+         n^k instantiations).",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_algorithm_wins_and_matches() {
+        let t = run(Scale::Quick);
+        for r in 0..t.rows.len() {
+            assert_eq!(t.cell(r, "answers equal"), Some("true"));
+        }
+        // Median speedup comfortably above 1.
+        let mut speedups: Vec<f64> = (0..t.rows.len())
+            .map(|r| t.cell_f64(r, "speedup").unwrap())
+            .collect();
+        speedups.sort_by(f64::total_cmp);
+        assert!(
+            speedups[speedups.len() / 2] > 2.0,
+            "median speedup {speedups:?}"
+        );
+    }
+
+    #[test]
+    fn ablation_runs_all_variants() {
+        let t = run_ablation(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        // NOT over pairs yields n*(n-1) minus eventually-close pairs: some rows.
+        assert!(t.cell_f64(3, "answer rows").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! E6 — distributed query processing strategies (Section 5.3).
+//!
+//! Claims: query shipping "is more efficient since it processes the query
+//! in parallel" and, for continuous queries, avoids transmitting on every
+//! object change; relationship queries centralize all states at the
+//! issuer.
+
+use crate::{Scale, Table};
+use most_mobile::strategy::{
+    continuous_object_data_shipping, continuous_object_query_shipping,
+    object_query_data_shipping, object_query_query_shipping,
+    relationship_query_centralized, ObjectPredicate, RelPredicate,
+};
+use most_mobile::{FleetSim, Network};
+use most_spatial::Point;
+use most_workload::cars::CarScenario;
+
+fn fleet(n: usize, mean_gap: f64, horizon: u64, seed: u64) -> FleetSim {
+    let scenario = CarScenario {
+        count: n,
+        area: 400.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: mean_gap,
+        horizon,
+        seed,
+    };
+    let mut sim = FleetSim::new();
+    // Node 0 is the issuer, parked at the origin.
+    sim.add_node(0, Point::origin(), most_spatial::Velocity::zero(), 0.0, vec![]);
+    for (i, p) in scenario.generate().into_iter().enumerate() {
+        sim.add_node(i as u64 + 1, p.start, p.velocity, p.price, p.updates);
+    }
+    sim
+}
+
+/// Message/byte comparison across fleet sizes, for one-shot, continuous and
+/// relationship queries.
+pub fn run(scale: Scale) -> Table {
+    let sizes: &[usize] = scale.pick(&[20, 80][..], &[50, 200, 800][..]);
+    let window = scale.pick(300u64, 1_000u64);
+    let pred = ObjectPredicate::ReachesPointWithin {
+        target: Point::origin(),
+        radius: 50.0,
+        within: window,
+    };
+    let mut table = Table::new(
+        "E6",
+        "distributed strategies: messages / bytes (issuer = node 0)",
+        &["nodes", "query", "strategy", "messages", "bytes", "matches"],
+    );
+    for &n in sizes {
+        // One-shot object query.
+        let sim = fleet(n, 1e18, window, 1);
+        let mut net = Network::new(0);
+        let a = object_query_data_shipping(&sim, &mut net, 0, &pred);
+        table.row(vec![
+            n.to_string(),
+            "object (one-shot)".into(),
+            "data shipping".into(),
+            net.stats.messages.to_string(),
+            net.stats.bytes.to_string(),
+            a.len().to_string(),
+        ]);
+        let mut net = Network::new(0);
+        let b = object_query_query_shipping(&sim, &mut net, 0, &pred, "RETRIEVE o ...");
+        assert_eq!(a, b, "strategies must agree");
+        table.row(vec![
+            n.to_string(),
+            "object (one-shot)".into(),
+            "query shipping".into(),
+            net.stats.messages.to_string(),
+            net.stats.bytes.to_string(),
+            b.len().to_string(),
+        ]);
+
+        // Continuous object query with a busy update process.
+        let mut sim_a = fleet(n, 60.0, window, 2);
+        let mut net_a = Network::new(0);
+        let truth_a =
+            continuous_object_data_shipping(&mut sim_a, &mut net_a, 0, &pred, window);
+        table.row(vec![
+            n.to_string(),
+            "object (continuous)".into(),
+            "data shipping".into(),
+            net_a.stats.messages.to_string(),
+            net_a.stats.bytes.to_string(),
+            truth_a.len().to_string(),
+        ]);
+        let mut sim_b = fleet(n, 60.0, window, 2);
+        let mut net_b = Network::new(0);
+        let truth_b = continuous_object_query_shipping(
+            &mut sim_b, &mut net_b, 0, &pred, window, "RETRIEVE o ...",
+        );
+        assert_eq!(truth_a, truth_b, "continuous strategies must agree");
+        table.row(vec![
+            n.to_string(),
+            "object (continuous)".into(),
+            "query shipping".into(),
+            net_b.stats.messages.to_string(),
+            net_b.stats.bytes.to_string(),
+            truth_b.len().to_string(),
+        ]);
+
+        // Relationship query: centralized.
+        let sim = fleet(n, 1e18, window, 3);
+        let mut net = Network::new(0);
+        let pairs = relationship_query_centralized(
+            &sim,
+            &mut net,
+            0,
+            &RelPredicate::StayWithinFor { radius: 60.0, for_at_least: 100 },
+        );
+        table.row(vec![
+            n.to_string(),
+            "relationship".into(),
+            "centralize states".into(),
+            net.stats.messages.to_string(),
+            net.stats.bytes.to_string(),
+            pairs.len().to_string(),
+        ]);
+    }
+    table.note(
+        "Claimed shape: query shipping sends fewer bytes than data shipping for \
+         one-shot object queries (replies only from matches) and fewer messages for \
+         continuous ones (transitions instead of every update); relationship queries \
+         pay one state message per node.",
+    );
+    table
+}
+
+/// Helper for the criterion bench: ratio of continuous data-shipping to
+/// query-shipping messages at a given size.
+pub fn continuous_message_ratio(n: usize, window: u64) -> f64 {
+    let pred = ObjectPredicate::ReachesPointWithin {
+        target: Point::origin(),
+        radius: 50.0,
+        within: window,
+    };
+    let mut sim_a = fleet(n, 60.0, window, 2);
+    let mut net_a = Network::new(0);
+    continuous_object_data_shipping(&mut sim_a, &mut net_a, 0, &pred, window);
+    let mut sim_b = fleet(n, 60.0, window, 2);
+    let mut net_b = Network::new(0);
+    continuous_object_query_shipping(&mut sim_b, &mut net_b, 0, &pred, window, "Q");
+    net_a.stats.messages as f64 / net_b.stats.messages.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_shipping_wins_bytes_and_messages() {
+        let t = run(Scale::Quick);
+        // Rows per size: 5 (2 one-shot, 2 continuous, 1 relationship).
+        for chunk in t.rows.chunks(5) {
+            let os_data_bytes: f64 = chunk[0][4].parse().unwrap();
+            let os_query_bytes: f64 = chunk[1][4].parse().unwrap();
+            assert!(os_query_bytes < os_data_bytes, "one-shot bytes");
+            let c_data_msgs: f64 = chunk[2][3].parse().unwrap();
+            let c_query_msgs: f64 = chunk[3][3].parse().unwrap();
+            assert!(c_query_msgs < c_data_msgs, "continuous messages");
+        }
+
+    }
+
+    #[test]
+    fn continuous_ratio_exceeds_one() {
+        assert!(continuous_message_ratio(20, 300) > 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! The experiments, one module per DESIGN.md §3 row.
+
+pub mod e1_update_cost;
+pub mod e2_index_access;
+pub mod e3_continuous;
+pub mod e4_ftl;
+pub mod e5_rewrite;
+pub mod e6_distributed;
+pub mod e6b_transmission;
+pub mod e7_index_ablation;
+pub mod e8_rebuild_period;
+pub mod e9_index_pruning;
+pub mod fig1_query_types;
+
+use crate::{Scale, Table};
+
+/// Runs every experiment, in report order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    vec![
+        fig1_query_types::run(),
+        e1_update_cost::run(scale),
+        e2_index_access::run(scale),
+        e3_continuous::run(scale),
+        e4_ftl::run(scale),
+        e4_ftl::run_ablation(scale),
+        e5_rewrite::run(scale),
+        e6_distributed::run(scale),
+        e6b_transmission::run(scale),
+        e7_index_ablation::run(scale),
+        e8_rebuild_period::run(scale),
+        e9_index_pruning::run(scale),
+    ]
+}
+
+/// Runs one experiment by id (`fig1`, `e1` ... `e8`); `None` for an unknown
+/// id.
+pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
+    Some(match id.to_ascii_lowercase().as_str() {
+        "fig1" => fig1_query_types::run(),
+        "e1" => e1_update_cost::run(scale),
+        "e2" => e2_index_access::run(scale),
+        "e3" => e3_continuous::run(scale),
+        "e4" => e4_ftl::run(scale),
+        "e4b" => e4_ftl::run_ablation(scale),
+        "e5" => e5_rewrite::run(scale),
+        "e6" => e6_distributed::run(scale),
+        "e6b" => e6b_transmission::run(scale),
+        "e7" => e7_index_ablation::run(scale),
+        "e8" => e8_rebuild_period::run(scale),
+        "e9" => e9_index_pruning::run(scale),
+        _ => return None,
+    })
+}

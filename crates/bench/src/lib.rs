@@ -1,0 +1,41 @@
+//! Experiment harness regenerating every quantitative claim of the paper.
+//!
+//! The ICDE 1997 paper is analytical — it has **no result tables and a
+//! single figure** (Figure 1, an illustration of the three query types'
+//! semantics).  Per DESIGN.md §3, the harness therefore reproduces
+//! (i) Figure 1 / the Section 2.3 walk-through as an executable artifact
+//! and (ii) each quantitative claim as a measured table.  The
+//! `experiments` binary prints the tables; `EXPERIMENTS.md` records
+//! paper-claim vs measured shape.
+//!
+//! Every experiment is a pure function returning a [`table::Table`], so the
+//! integration tests can assert the claimed *shapes* (who wins, by roughly
+//! what factor) rather than scraping stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Scale knob: `quick` keeps every experiment under a few seconds for CI;
+/// `full` uses the sizes reported in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes (tests, smoke runs).
+    Quick,
+    /// Full sizes (EXPERIMENTS.md numbers).
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` under `Quick` and `f` under `Full`.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}

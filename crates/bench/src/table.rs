@@ -1,0 +1,139 @@
+//! Result tables: the harness's output format.
+
+use std::fmt;
+
+/// A result table (rendered as GitHub-flavoured markdown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Experiment id (e.g. "E2").
+    pub id: String,
+    /// Title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (the claim being tested, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// A cell by header name and row index (tests).
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// A numeric cell by header name and row index (tests).
+    pub fn cell_f64(&self, row: usize, header: &str) -> Option<f64> {
+        self.cell(row, header)?.parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}\n", self.id, self.title)?;
+        writeln!(f, "| {} |", self.headers.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "\n> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 significant-ish decimals.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a `std::time::Duration` in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_and_lookup() {
+        let mut t = Table::new("E0", "demo", &["n", "time"]);
+        t.row(vec!["10".into(), "1.5".into()]);
+        t.row(vec!["20".into(), "3.0".into()]);
+        t.note("a note");
+        assert_eq!(t.cell(1, "n"), Some("20"));
+        assert_eq!(t.cell_f64(0, "time"), Some(1.5));
+        assert_eq!(t.cell(0, "nope"), None);
+        let s = t.to_string();
+        assert!(s.contains("## E0 — demo"));
+        assert!(s.contains("| 10 | 1.5 |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5), "1234");
+        assert_eq!(fmt_f64(12.345), "12.35");
+        assert_eq!(fmt_f64(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,279 @@
+//! Continuous queries: the materialized `Answer(CQ)` and its maintenance.
+//!
+//! Section 2.3: a continuous query is evaluated **once**, producing tuples
+//! `(instantiation, begin, end)`; the display at each clock tick is served
+//! from the materialized answer.  "A continuous query CQ has to be
+//! reevaluated when an update occurs that may change the set of tuples
+//! Answer(CQ).  In this sense Answer(CQ) is a materialized view."
+//!
+//! [`merge_answers`] implements the view-refresh rule: ticks before the
+//! re-evaluation boundary were already served from the old answer and must
+//! not be rewritten (the paper's example: an update before time 5 may turn
+//! the tuple `(o, 5, 7)` into `(o, 6, 7)` — only the part of the answer
+//! from the update time onwards changes).
+
+use most_dbms::value::Value;
+use most_ftl::answer::{Answer, AnswerTuple};
+use most_ftl::Query;
+use most_temporal::{Horizon, Interval, IntervalSet, Tick};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A registered continuous query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CqEntry {
+    /// The query.
+    pub query: Query,
+    /// Global tick at which the query was entered.
+    pub entered_at: Tick,
+    /// Materialized answer, in **global** ticks.
+    pub answer: Answer,
+}
+
+/// Registry of live continuous queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContinuousRegistry {
+    next: u64,
+    entries: BTreeMap<u64, CqEntry>,
+    /// Total number of full evaluations performed (initial + refresh) —
+    /// the E3 cost metric.
+    pub evaluations: u64,
+    /// Incremental (per-object) refreshes performed.
+    pub incremental_refreshes: u64,
+}
+
+impl ContinuousRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ContinuousRegistry::default()
+    }
+
+    /// Registers an evaluated query; returns its id.
+    pub fn register(&mut self, query: Query, entered_at: Tick, answer: Answer) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        self.entries.insert(id, CqEntry { query, entered_at, answer });
+        self.evaluations += 1;
+        id
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, id: u64) -> Option<&CqEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Cancels a continuous query ("until cancelled (e.g. until a
+    /// satisfactory motel is found)").
+    pub fn cancel(&mut self, id: u64) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    /// Number of live queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &CqEntry)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Applies an incremental refresh for one changed object.
+    pub fn refresh_incremental(
+        &mut self,
+        id: u64,
+        boundary: Tick,
+        changed: &Value,
+        fresh: Answer,
+    ) {
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.answer = merge_incremental(&entry.answer, boundary, changed, &fresh);
+            self.incremental_refreshes += 1;
+        }
+    }
+
+    /// Replaces an entry's answer after a refresh evaluation.
+    pub fn refresh(&mut self, id: u64, boundary: Tick, new_answer: Answer) {
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.answer = merge_answers(&entry.answer, &new_answer, boundary);
+            self.evaluations += 1;
+        }
+    }
+
+    /// Ids of all live queries (snapshot, for iteration while mutating).
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+/// Incremental refresh (DESIGN.md extension): merges only the rows that
+/// involve the `changed` object.  Sound whenever an instantiation's
+/// satisfaction depends solely on the objects it binds — true for every FTL
+/// formula whose terms reference objects only through variables (atoms are
+/// evaluated per instantiation).  Callers must fall back to a full refresh
+/// when the formula mentions a fixed object id.
+///
+/// * old rows **not** containing `changed` are kept verbatim (the update
+///   cannot affect them);
+/// * old rows containing `changed` keep only their already-served past
+///   (`< boundary`);
+/// * `fresh` (the re-evaluation restricted to instantiations containing
+///   `changed`) contributes the future (`>= boundary`).
+pub fn merge_incremental(
+    old: &Answer,
+    boundary: Tick,
+    changed: &Value,
+    fresh: &Answer,
+) -> Answer {
+    debug_assert_eq!(old.vars, fresh.vars);
+    let mut rows: BTreeMap<Vec<Value>, IntervalSet> = BTreeMap::new();
+    let past = (boundary > 0)
+        .then(|| IntervalSet::singleton(Interval::new(0, boundary - 1)));
+    for tup in &old.tuples {
+        if tup.values.contains(changed) {
+            if let Some(past) = &past {
+                let clipped = tup.intervals.intersect(past);
+                if !clipped.is_empty() {
+                    rows.insert(tup.values.clone(), clipped);
+                }
+            }
+        } else {
+            rows.insert(tup.values.clone(), tup.intervals.clone());
+        }
+    }
+    let future = IntervalSet::singleton(Interval::new(boundary, Tick::MAX - 1));
+    for tup in &fresh.tuples {
+        debug_assert!(tup.values.contains(changed));
+        let clipped = tup.intervals.intersect(&future);
+        if clipped.is_empty() {
+            continue;
+        }
+        rows.entry(tup.values.clone())
+            .and_modify(|s| *s = s.union(&clipped))
+            .or_insert(clipped);
+    }
+    Answer::new(
+        old.vars.clone(),
+        rows.into_iter()
+            .map(|(values, intervals)| AnswerTuple { values, intervals })
+            .collect(),
+    )
+}
+
+/// Merges a materialized answer with a re-evaluation taken at `boundary`:
+/// ticks `< boundary` keep the old answer (already served), ticks
+/// `>= boundary` come from the new one.
+pub fn merge_answers(old: &Answer, new: &Answer, boundary: Tick) -> Answer {
+    debug_assert_eq!(old.vars, new.vars);
+    let mut rows: BTreeMap<Vec<Value>, IntervalSet> = BTreeMap::new();
+    if boundary > 0 {
+        let past = IntervalSet::singleton(Interval::new(0, boundary - 1));
+        for tup in &old.tuples {
+            let clipped = tup.intervals.intersect(&past);
+            if !clipped.is_empty() {
+                rows.insert(tup.values.clone(), clipped);
+            }
+        }
+    }
+    // The future part must not extend below the boundary.
+    let future = IntervalSet::singleton(Interval::new(boundary, Tick::MAX - 1))
+        .clamp(Horizon::new(Tick::MAX - 1));
+    for tup in &new.tuples {
+        let clipped = tup.intervals.intersect(&future);
+        if clipped.is_empty() {
+            continue;
+        }
+        rows.entry(tup.values.clone())
+            .and_modify(|s| *s = s.union(&clipped))
+            .or_insert(clipped);
+    }
+    Answer::new(
+        old.vars.clone(),
+        rows.into_iter()
+            .map(|(values, intervals)| AnswerTuple { values, intervals })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(rows: &[(u64, &[(Tick, Tick)])]) -> Answer {
+        Answer::new(
+            vec!["o".into()],
+            rows.iter()
+                .map(|(id, ivs)| AnswerTuple {
+                    values: vec![Value::Id(*id)],
+                    intervals: IntervalSet::from_intervals(
+                        ivs.iter().map(|&(a, b)| Interval::new(a, b)),
+                    ),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn merge_keeps_past_and_takes_future() {
+        // Old: object 1 in [5, 7]. Update at 6 says it's now [6, 9].
+        let old = answer(&[(1, &[(5, 7)])]);
+        let new = answer(&[(1, &[(6, 9)])]);
+        let merged = merge_answers(&old, &new, 6);
+        assert_eq!(
+            merged.intervals_for(&[Value::Id(1)]).unwrap(),
+            &IntervalSet::singleton(Interval::new(5, 9))
+        );
+    }
+
+    #[test]
+    fn merge_deletes_future_tuples_gone_from_new() {
+        // The paper: "the tuple may need to be deleted".
+        let old = answer(&[(1, &[(5, 7)]), (2, &[(1, 2)])]);
+        let new = answer(&[]);
+        let merged = merge_answers(&old, &new, 5);
+        // Object 1's [5,7] was entirely in the future: gone.
+        assert!(merged.intervals_for(&[Value::Id(1)]).is_none());
+        // Object 2's [1,2] was already served: kept.
+        assert!(merged.intervals_for(&[Value::Id(2)]).is_some());
+    }
+
+    #[test]
+    fn merge_adds_new_tuples() {
+        let old = answer(&[]);
+        let new = answer(&[(3, &[(10, 12)])]);
+        let merged = merge_answers(&old, &new, 8);
+        assert_eq!(merged.ids(), vec![3]);
+    }
+
+    #[test]
+    fn merge_at_zero_boundary_is_replacement() {
+        let old = answer(&[(1, &[(0, 5)])]);
+        let new = answer(&[(2, &[(0, 3)])]);
+        let merged = merge_answers(&old, &new, 0);
+        assert_eq!(merged.ids(), vec![2]);
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let mut reg = ContinuousRegistry::new();
+        let q = Query::parse("RETRIEVE o WHERE true").unwrap();
+        let id = reg.register(q.clone(), 0, answer(&[(1, &[(0, 10)])]));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.evaluations, 1);
+        assert!(reg.get(id).is_some());
+        reg.refresh(id, 5, answer(&[(1, &[(5, 20)])]));
+        assert_eq!(reg.evaluations, 2);
+        assert_eq!(
+            reg.get(id).unwrap().answer.intervals_for(&[Value::Id(1)]).unwrap(),
+            &IntervalSet::singleton(Interval::new(0, 20))
+        );
+        assert!(reg.cancel(id));
+        assert!(!reg.cancel(id));
+        assert!(reg.is_empty());
+    }
+}

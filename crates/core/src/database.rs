@@ -1,0 +1,914 @@
+//! The MOST database: object classes, moving objects, regions, the tick
+//! clock, and the three query types.
+
+use crate::class::{AttrKind, ClassDef};
+use crate::continuous::ContinuousRegistry;
+use crate::dynamic::AttrFunction;
+use crate::error::{CoreError, CoreResult};
+use crate::object::MovingObject;
+use crate::snapshot::{ContextMode, DbContext};
+use crate::trigger::{TriggerEvent, TriggerRegistry};
+use most_dbms::value::Value;
+use most_ftl::answer::{Answer, AnswerTuple};
+use most_ftl::{evaluate_query, Query};
+use most_index::MovingObjectIndex2D;
+use most_spatial::{Point, Polygon, Rect, Velocity};
+use most_temporal::{Duration, IntervalSet, Tick};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A position/velocity report from a sensor (e.g. GPS), applied as one
+/// explicit update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionUpdate {
+    /// New position.
+    pub position: Point,
+    /// New motion vector.
+    pub velocity: Velocity,
+}
+
+/// How continuous queries are kept fresh on explicit updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RefreshMode {
+    /// Re-evaluate every registered query in full (the paper's literal
+    /// "reevaluated when an update occurs").
+    #[default]
+    Full,
+    /// Re-evaluate only the instantiations involving the changed object —
+    /// sound because an instantiation's satisfaction depends solely on the
+    /// objects it binds; formulas that mention fixed object ids fall back
+    /// to a full refresh (see `continuous::merge_incremental`).
+    Incremental,
+}
+
+/// Cumulative database statistics (cost accounting for the experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbStats {
+    /// Explicit updates applied (motion + attribute).
+    pub updates: u64,
+    /// Instantaneous query evaluations.
+    pub instantaneous_queries: u64,
+}
+
+/// The MOST database.
+///
+/// Serializable for snapshot/restore (`mostql` SAVE/LOAD); the optional
+/// spatial index is skipped and must be re-enabled after loading.
+///
+/// ```
+/// use most_core::Database;
+/// use most_ftl::Query;
+/// use most_spatial::{Point, Polygon, Velocity};
+///
+/// let mut db = Database::new(1_000);
+/// let car = db.insert_moving_object("cars", Point::new(0.0, 0.0), Velocity::new(1.0, 0.0));
+/// db.add_region("P", Polygon::rectangle(90.0, -10.0, 110.0, 10.0));
+///
+/// // Continuous query: evaluated once, displayed from the materialized
+/// // Answer(CQ) as time passes.
+/// let cq = db.register_continuous(Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap()).unwrap();
+/// assert!(db.continuous_display(cq, 0).unwrap().is_empty());
+/// assert_eq!(
+///     db.continuous_display(cq, 100).unwrap(),
+///     vec![vec![most_dbms::value::Value::Id(car)]],
+/// );
+/// assert_eq!(db.continuous_evaluations(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    expiration: Duration,
+    clock: Tick,
+    next_id: u64,
+    classes: BTreeMap<String, ClassDef>,
+    objects: BTreeMap<u64, MovingObject>,
+    regions: BTreeMap<String, Polygon>,
+    continuous: ContinuousRegistry,
+    refresh_mode: RefreshMode,
+    triggers: TriggerRegistry,
+    #[serde(skip)]
+    spatial_index: Option<SpatialIndexState>,
+    /// Cost counters.
+    pub stats: DbStats,
+}
+
+#[derive(Debug, Clone)]
+struct SpatialIndexState {
+    index: MovingObjectIndex2D,
+    space: Rect,
+    epoch: Tick,
+}
+
+impl Database {
+    /// Creates a database whose queries expire `expiration` ticks after
+    /// entry (the finite stand-in for the infinite future history; see
+    /// Section 2.3).  The clock starts at tick 0.
+    pub fn new(expiration: Duration) -> Self {
+        Database {
+            expiration,
+            clock: 0,
+            next_id: 1,
+            classes: BTreeMap::new(),
+            objects: BTreeMap::new(),
+            regions: BTreeMap::new(),
+            continuous: ContinuousRegistry::new(),
+            refresh_mode: RefreshMode::default(),
+            triggers: TriggerRegistry::new(),
+            spatial_index: None,
+            stats: DbStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clock
+    // ------------------------------------------------------------------
+
+    /// The current clock tick (the paper's `time` object).
+    pub fn now(&self) -> Tick {
+        self.clock
+    }
+
+    /// Query expiration (horizon length).
+    pub fn expiration(&self) -> Duration {
+        self.expiration
+    }
+
+    /// Advances the clock.  No re-evaluation happens: the whole point of
+    /// the MOST model is that answers change with time *without* updates.
+    pub fn advance_clock(&mut self, ticks: Duration) {
+        self.clock += ticks;
+    }
+
+    /// Selects how continuous queries are refreshed on updates.
+    pub fn set_refresh_mode(&mut self, mode: RefreshMode) {
+        self.refresh_mode = mode;
+    }
+
+    /// The current refresh mode.
+    pub fn refresh_mode(&self) -> RefreshMode {
+        self.refresh_mode
+    }
+
+    // ------------------------------------------------------------------
+    // Schema & objects
+    // ------------------------------------------------------------------
+
+    /// Declares (or replaces) an object class.
+    pub fn define_class(&mut self, class: ClassDef) {
+        self.classes.insert(class.name.clone(), class);
+    }
+
+    /// Inserts a spatial object of `class` at the current tick.  An
+    /// undeclared class is auto-created as an open spatial class.
+    pub fn insert_moving_object(
+        &mut self,
+        class: impl Into<String>,
+        position: Point,
+        velocity: Velocity,
+    ) -> u64 {
+        let class = class.into();
+        self.classes
+            .entry(class.clone())
+            .or_insert_with(|| ClassDef::spatial(class.clone()));
+        let id = self.next_id;
+        self.next_id += 1;
+        let obj = MovingObject::spatial(id, class, self.clock, position, velocity);
+        if let Some(ix) = &mut self.spatial_index {
+            ix.index.insert(id, self.clock - ix.epoch, position, velocity);
+        }
+        self.objects.insert(id, obj);
+        if !self.continuous.is_empty() {
+            // An insertion is an explicit update: refresh materialized
+            // answers.  Evaluation cannot newly fail here — the queries
+            // evaluated successfully at registration and the domain only
+            // gained an object.
+            self.after_update(id).expect("continuous refresh after insert");
+            self.stats.updates -= 1; // inserts are not counted as updates
+        }
+        id
+    }
+
+    /// Inserts a non-spatial object of `class` (auto-created as open).
+    pub fn insert_plain_object(&mut self, class: impl Into<String>) -> u64 {
+        let class = class.into();
+        self.classes
+            .entry(class.clone())
+            .or_insert_with(|| ClassDef::plain(class.clone()));
+        let id = self.next_id;
+        self.next_id += 1;
+        self.objects.insert(id, MovingObject::plain(id, class));
+        if !self.continuous.is_empty() {
+            self.after_update(id).expect("continuous refresh after insert");
+            self.stats.updates -= 1; // inserts are not counted as updates
+        }
+        id
+    }
+
+    /// Immutable object access.
+    pub fn object(&self, id: u64) -> CoreResult<&MovingObject> {
+        self.objects.get(&id).ok_or(CoreError::UnknownObject(id))
+    }
+
+    /// All object ids, ascending.
+    pub fn object_ids(&self) -> Vec<u64> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the database holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Removes an object (e.g. a vehicle leaving the monitored fleet).
+    /// Continuous queries are refreshed, exactly as for any other explicit
+    /// update.
+    pub fn remove_object(&mut self, id: u64) -> CoreResult<()> {
+        if self.objects.remove(&id).is_none() {
+            return Err(CoreError::UnknownObject(id));
+        }
+        if let Some(ix) = &mut self.spatial_index {
+            ix.index.remove(id);
+        }
+        self.after_update(id)
+    }
+
+    /// Registers a named region (polygon) for `INSIDE` / `OUTSIDE`.
+    pub fn add_region(&mut self, name: impl Into<String>, poly: Polygon) {
+        self.regions.insert(name.into(), poly);
+    }
+
+    /// The paper's opening query — "How far is the car with license plate
+    /// RWW860 from the nearest hospital?": the nearest *other* object to
+    /// `from` at the current tick, optionally restricted to a class,
+    /// together with its distance.  `None` when no candidate exists.
+    pub fn nearest_object(
+        &self,
+        from: u64,
+        class: Option<&str>,
+    ) -> CoreResult<Option<(u64, f64)>> {
+        let now = self.clock;
+        let origin = self
+            .object(from)?
+            .position_at(now)
+            .ok_or_else(|| CoreError::AttributeKind {
+                attr: "POSITION".into(),
+                detail: "nearest_object from a non-spatial object".into(),
+            })?;
+        Ok(self
+            .objects
+            .values()
+            .filter(|o| o.id != from)
+            .filter(|o| class.is_none_or(|c| o.class == c))
+            .filter_map(|o| o.position_at(now).map(|p| (o.id, origin.dist(p))))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))))
+    }
+
+    /// Looks up a region.
+    pub fn region(&self, name: &str) -> Option<&Polygon> {
+        self.regions.get(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (all stamped with the current clock tick; the paper assumes
+    // valid-time == transaction-time)
+    // ------------------------------------------------------------------
+
+    /// Updates an object's motion vector; the position continues from the
+    /// current trajectory ("the computer can automatically update the
+    /// motion vector when it senses a change in speed or direction").
+    pub fn update_motion(&mut self, id: u64, velocity: Velocity) -> CoreResult<()> {
+        let now = self.clock;
+        let obj = self.objects.get_mut(&id).ok_or(CoreError::UnknownObject(id))?;
+        let position = obj
+            .position_at(now)
+            .ok_or_else(|| CoreError::AttributeKind {
+                attr: "POSITION".into(),
+                detail: "motion update on a non-spatial object".into(),
+            })?;
+        obj.update_velocity(now, velocity);
+        if let Some(ix) = &mut self.spatial_index {
+            ix.index.update(id, now - ix.epoch, position, velocity);
+        }
+        self.after_update(id)
+    }
+
+    /// Explicitly sets both position and motion vector (a full sensor
+    /// report).
+    pub fn update_position(&mut self, id: u64, update: MotionUpdate) -> CoreResult<()> {
+        let now = self.clock;
+        let obj = self.objects.get_mut(&id).ok_or(CoreError::UnknownObject(id))?;
+        if obj.trajectory().is_none() {
+            return Err(CoreError::AttributeKind {
+                attr: "POSITION".into(),
+                detail: "position update on a non-spatial object".into(),
+            });
+        }
+        obj.update_position(now, update.position, update.velocity);
+        if let Some(ix) = &mut self.spatial_index {
+            ix.index
+                .update(id, now - ix.epoch, update.position, update.velocity);
+        }
+        self.after_update(id)
+    }
+
+    /// Sets a static attribute.
+    pub fn set_static(&mut self, id: u64, name: &str, value: Value) -> CoreResult<()> {
+        let now = self.clock;
+        let obj = self.objects.get_mut(&id).ok_or(CoreError::UnknownObject(id))?;
+        let class = self
+            .classes
+            .get(&obj.class)
+            .ok_or_else(|| CoreError::UnknownClass(obj.class.clone()))?;
+        if !class.admits(name, AttrKind::Static) {
+            return Err(CoreError::UndeclaredAttribute {
+                class: class.name.clone(),
+                attr: name.to_owned(),
+            });
+        }
+        obj.set_static(now, name, value);
+        self.after_update(id)
+    }
+
+    /// Sets / updates a scalar dynamic attribute (e.g. FUEL): either
+    /// sub-attribute may be changed, per Section 2.1.
+    pub fn set_dynamic_scalar(
+        &mut self,
+        id: u64,
+        name: &str,
+        value: Option<f64>,
+        function: Option<AttrFunction>,
+    ) -> CoreResult<()> {
+        let now = self.clock;
+        let obj = self.objects.get_mut(&id).ok_or(CoreError::UnknownObject(id))?;
+        let class = self
+            .classes
+            .get(&obj.class)
+            .ok_or_else(|| CoreError::UnknownClass(obj.class.clone()))?;
+        if !class.admits(name, AttrKind::Dynamic) {
+            return Err(CoreError::UndeclaredAttribute {
+                class: class.name.clone(),
+                attr: name.to_owned(),
+            });
+        }
+        obj.set_dynamic(now, name, value, function);
+        self.after_update(id)
+    }
+
+    /// Refresh hook run after every explicit update: continuous queries are
+    /// the materialized views that may now be stale (Section 2.3).
+    /// `changed` names the updated/inserted/removed object so the
+    /// incremental mode can restrict re-evaluation to it.
+    fn after_update(&mut self, changed: u64) -> CoreResult<()> {
+        self.stats.updates += 1;
+        let boundary = self.clock;
+        for id in self.continuous.ids() {
+            let query = self
+                .continuous
+                .get(id)
+                .expect("id from ids() snapshot")
+                .query
+                .clone();
+            let incremental = self.refresh_mode == RefreshMode::Incremental
+                && !formula_mentions_fixed_objects(&query.formula);
+            if incremental {
+                let fresh = self.evaluate_pinned(&query, changed)?;
+                self.continuous
+                    .refresh_incremental(id, boundary, &Value::Id(changed), fresh);
+            } else {
+                let fresh = self.evaluate_global(&query)?;
+                self.continuous.refresh(id, boundary, fresh);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates `q` restricted to instantiations that bind `id` in at
+    /// least one target variable.  For each target `v`, the variable is
+    /// *substituted* by the constant object (`Formula::pin`), so every atom
+    /// mentioning `v` evaluates once for that object instead of being
+    /// enumerated over the whole domain — this is what makes the
+    /// incremental refresh cheaper than a full one.
+    fn evaluate_pinned(&self, q: &Query, id: u64) -> CoreResult<Answer> {
+        let mut merged: std::collections::BTreeMap<Vec<Value>, IntervalSet> =
+            std::collections::BTreeMap::new();
+        let pin_value = Value::Id(id);
+        for (pos, var) in q.targets.iter().enumerate() {
+            let pinned_formula = q.formula.pin(var, &pin_value);
+            let other_targets: Vec<String> = q
+                .targets
+                .iter()
+                .filter(|t| *t != var)
+                .cloned()
+                .collect();
+            let pinned = Query { targets: other_targets.clone(), formula: pinned_formula };
+            let answer = self.evaluate_global(&pinned)?;
+            for tup in answer.tuples {
+                // Re-insert the pinned value at every position held by
+                // `var` (duplicate target names share one column value).
+                let mut values = Vec::with_capacity(q.targets.len());
+                let mut it = tup.values.into_iter();
+                for (i, t) in q.targets.iter().enumerate() {
+                    if i == pos || t == var {
+                        values.push(pin_value.clone());
+                    } else {
+                        values.push(it.next().expect("arity matches other_targets"));
+                    }
+                }
+                merged
+                    .entry(values)
+                    .and_modify(|s| *s = s.union(&tup.intervals))
+                    .or_insert(tup.intervals);
+            }
+        }
+        Ok(Answer::new(
+            q.targets.clone(),
+            merged
+                .into_iter()
+                .map(|(values, intervals)| AnswerTuple { values, intervals })
+                .collect(),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The FTL evaluation context for the current state ("the database
+    /// implicitly represents future states of the system being modeled").
+    pub fn current_context(&self) -> DbContext<'_> {
+        DbContext::new(self, self.clock, ContextMode::Current)
+    }
+
+    /// The recorded-history context from `origin` (persistent queries).
+    pub fn recorded_context(&self, origin: Tick) -> DbContext<'_> {
+        DbContext::new(self, origin, ContextMode::Recorded)
+    }
+
+    /// Evaluates a query on the implicit future history starting now and
+    /// returns the answer in **global** clock ticks.
+    fn evaluate_global(&self, q: &Query) -> CoreResult<Answer> {
+        let ctx = self.current_context();
+        let local = evaluate_query(&ctx, q)?;
+        Ok(shift_answer(local, self.clock))
+    }
+
+    /// Evaluates an instantaneous query without mutating statistics —
+    /// the read-path used by [`crate::shared::SharedDatabase`] so that
+    /// concurrent readers need no write lock.
+    pub fn instantaneous_readonly(&self, q: &Query) -> CoreResult<Answer> {
+        self.evaluate_global(q)
+    }
+
+    /// An **instantaneous query** (Section 2.3): one evaluation on the
+    /// history starting at the current tick.  The returned [`Answer`] is in
+    /// global ticks; the set the user sees immediately is
+    /// [`Answer::at_tick`] of the current tick.
+    pub fn instantaneous(&mut self, q: &Query) -> CoreResult<Answer> {
+        self.stats.instantaneous_queries += 1;
+        self.evaluate_global(q)
+    }
+
+    /// The instantiations satisfied *right now* by an instantaneous query.
+    pub fn instantaneous_now(&mut self, q: &Query) -> CoreResult<Vec<Vec<Value>>> {
+        let now = self.clock;
+        let answer = self.instantaneous(q)?;
+        Ok(answer
+            .at_tick(now)
+            .into_iter()
+            .map(|t| t.values.clone())
+            .collect())
+    }
+
+    /// Registers a **continuous query**: evaluated once, materialized, and
+    /// refreshed only on explicit updates.  Returns the query id.
+    pub fn register_continuous(&mut self, q: Query) -> CoreResult<u64> {
+        let answer = self.evaluate_global(&q)?;
+        Ok(self.continuous.register(q, self.clock, answer))
+    }
+
+    /// The materialized `Answer(CQ)` (global ticks).
+    pub fn continuous_answer(&self, id: u64) -> CoreResult<&Answer> {
+        self.continuous
+            .get(id)
+            .map(|e| &e.answer)
+            .ok_or(CoreError::UnknownContinuousQuery(id))
+    }
+
+    /// The display of a continuous query at a clock tick.
+    pub fn continuous_display(&self, id: u64, at: Tick) -> CoreResult<Vec<Vec<Value>>> {
+        Ok(self
+            .continuous_answer(id)?
+            .at_tick(at)
+            .into_iter()
+            .map(|t| t.values.clone())
+            .collect())
+    }
+
+    /// Cancels a continuous query.
+    pub fn cancel_continuous(&mut self, id: u64) -> CoreResult<()> {
+        if self.continuous.cancel(id) {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownContinuousQuery(id))
+        }
+    }
+
+    /// Total continuous-query evaluations performed so far (E3 metric).
+    pub fn continuous_evaluations(&self) -> u64 {
+        self.continuous.evaluations
+    }
+
+    /// Incremental (per-object) refreshes performed so far.
+    pub fn incremental_refreshes(&self) -> u64 {
+        self.continuous.incremental_refreshes
+    }
+
+    // ------------------------------------------------------------------
+    // Triggers
+    // ------------------------------------------------------------------
+
+    /// Creates a temporal trigger from a continuous query (Section 2.3:
+    /// "such a trigger is simply one of these two types of queries, coupled
+    /// with an action").  Fired events are collected via
+    /// [`Database::take_trigger_events`].
+    pub fn create_trigger(&mut self, name: impl Into<String>, q: Query) -> CoreResult<u64> {
+        let cq = self.register_continuous(q)?;
+        Ok(self.triggers.create(name, cq, self.clock))
+    }
+
+    /// Collects trigger firings whose satisfaction began in
+    /// `(last poll, now]`.
+    pub fn take_trigger_events(&mut self) -> Vec<TriggerEvent> {
+        let now = self.clock;
+        let mut events = Vec::new();
+        for trig in self.triggers.iter_mut() {
+            let Some(entry) = self.continuous.get(trig.continuous_id) else {
+                continue;
+            };
+            for tup in &entry.answer.tuples {
+                for iv in tup.intervals.intervals() {
+                    if iv.begin() > trig.last_polled && iv.begin() <= now {
+                        events.push(TriggerEvent {
+                            trigger: trig.id,
+                            name: trig.name.clone(),
+                            values: tup.values.clone(),
+                            at: iv.begin(),
+                        });
+                    }
+                }
+            }
+            trig.last_polled = now;
+        }
+        events.sort_by_key(|a| (a.at, a.trigger));
+        events
+    }
+
+    // ------------------------------------------------------------------
+    // Spatial index (Section 4 integration)
+    // ------------------------------------------------------------------
+
+    /// Enables maintenance of the Section 4 position index over the given
+    /// spatial extent.  Existing objects are bulk-inserted.
+    pub fn enable_spatial_index(&mut self, space: Rect) {
+        // Lifetime 2× the query horizon so a query window [now, now + H]
+        // always fits inside the current epoch (the epoch rolls once the
+        // clock is more than H past its start).
+        let mut index = MovingObjectIndex2D::new(self.expiration * 2, space);
+        let now = self.clock;
+        for (id, obj) in &self.objects {
+            if let (Some(p), Some(v)) = (obj.position_at(now), obj.velocity_at(now)) {
+                index.insert(*id, 0, p, v);
+            }
+        }
+        self.spatial_index = Some(SpatialIndexState { index, space, epoch: now });
+    }
+
+    /// Whether the position index is maintained.
+    pub fn has_spatial_index(&self) -> bool {
+        self.spatial_index.is_some()
+    }
+
+    /// Index-assisted candidate lookup: ids of objects whose indexed motion
+    /// intersects `bbox` during the *global* tick window `[from, to]`.
+    /// `None` when no index is enabled or the window leaves the current
+    /// epoch.
+    pub(crate) fn index_window_candidates(
+        &self,
+        from: Tick,
+        to: Tick,
+        bbox: &Rect,
+    ) -> Option<Vec<u64>> {
+        let ix = self.spatial_index.as_ref()?;
+        if from < ix.epoch || to - ix.epoch > ix.index.lifetime() {
+            return None;
+        }
+        let (rows, _) = ix.index.query_window(from - ix.epoch, to - ix.epoch, bbox);
+        Some(rows.into_iter().map(|(id, _)| id).collect())
+    }
+
+    /// Objects currently inside the rectangle, answered from the index when
+    /// enabled (O(log n) access), otherwise by scanning all objects.
+    /// Returns the ids and whether the index was used.
+    pub fn objects_in_rect(&mut self, rect: &Rect) -> (Vec<u64>, bool) {
+        let now = self.clock;
+        // Reconstruct the index when the clock outruns the epoch
+        // ("the index needs to be reconstructed every T time units").
+        if let Some(ix) = &self.spatial_index {
+            if now - ix.epoch > self.expiration {
+                let space = ix.space;
+                self.enable_spatial_index(space);
+            }
+        }
+        match &self.spatial_index {
+            Some(ix) => {
+                let (ids, _) = ix.index.query_at(now - ix.epoch, rect);
+                (ids, true)
+            }
+            None => {
+                let ids = self
+                    .objects
+                    .iter()
+                    .filter(|(_, o)| {
+                        o.position_at(now).is_some_and(|p| rect.contains(p))
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                (ids, false)
+            }
+        }
+    }
+}
+
+/// Whether a formula references a fixed object id through a constant term
+/// (only constructible programmatically; the FTL grammar has no id
+/// literals).  Such formulas make rows independent of their own bindings
+/// impossible to guarantee, so incremental refresh must not be used.
+fn formula_mentions_fixed_objects(f: &most_ftl::Formula) -> bool {
+    use most_ftl::ast::{Formula, Term};
+    fn term_has_id(t: &Term) -> bool {
+        match t {
+            Term::Const(Value::Id(_)) => true,
+            Term::Var(_) | Term::Const(_) | Term::Time | Term::Point(..) => false,
+            Term::Attr(b, _) => term_has_id(b),
+            Term::Dist(a, b) | Term::Arith(_, a, b) => term_has_id(a) || term_has_id(b),
+        }
+    }
+    match f {
+        Formula::Bool(_) => false,
+        Formula::Cmp(_, a, b) => term_has_id(a) || term_has_id(b),
+        Formula::Inside(t, _) | Formula::Outside(t, _) => term_has_id(t),
+        Formula::InsideMoving(t, _, a) | Formula::OutsideMoving(t, _, a) => {
+            term_has_id(t) || term_has_id(a)
+        }
+        Formula::WithinSphere(_, ts) => ts.iter().any(term_has_id),
+        Formula::And(a, b)
+        | Formula::Or(a, b)
+        | Formula::Until(a, b)
+        | Formula::UntilWithin(_, a, b) => {
+            formula_mentions_fixed_objects(a) || formula_mentions_fixed_objects(b)
+        }
+        Formula::Not(a)
+        | Formula::Nexttime(a)
+        | Formula::Eventually(a)
+        | Formula::Always(a)
+        | Formula::EventuallyWithin(_, a)
+        | Formula::EventuallyAfter(_, a)
+        | Formula::AlwaysFor(_, a) => formula_mentions_fixed_objects(a),
+        Formula::Assign(_, term, body) => {
+            term_has_id(term) || formula_mentions_fixed_objects(body)
+        }
+    }
+}
+
+/// Shifts a local-tick answer (tick 0 = evaluation time) to global ticks.
+pub fn shift_answer(answer: Answer, origin: Tick) -> Answer {
+    let tuples = answer
+        .tuples
+        .into_iter()
+        .map(|t| AnswerTuple {
+            values: t.values,
+            intervals: IntervalSet::from_intervals(
+                t.intervals.intervals().iter().map(|iv| iv.shift_up(origin)),
+            ),
+        })
+        .collect();
+    Answer::new(answer.vars, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn highway_db() -> Database {
+        let mut db = Database::new(500);
+        let a = db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+        let b = db.insert_moving_object("cars", Point::new(200.0, 0.0), Velocity::new(-1.0, 0.0));
+        db.set_static(a, "PRICE", Value::from(80.0)).unwrap();
+        db.set_static(b, "PRICE", Value::from(150.0)).unwrap();
+        db.add_region("P", Polygon::rectangle(90.0, -10.0, 110.0, 10.0));
+        db
+    }
+
+    #[test]
+    fn instantaneous_answers_in_global_ticks() {
+        let mut db = highway_db();
+        db.advance_clock(50); // car 1 at x=50
+        let q = Query::parse("RETRIEVE o WHERE Eventually within 100 INSIDE(o, P)").unwrap();
+        let a = db.instantaneous(&q).unwrap();
+        // Car 1 enters P (x=90) at global tick 90; car 2 (x=150 now)
+        // reaches x=110 at global tick 90 too.
+        assert_eq!(a.ids(), vec![1, 2]);
+        let s1 = a.intervals_for(&[Value::Id(1)]).unwrap();
+        assert!(s1.contains(50), "satisfied at entry: {s1}");
+        assert_eq!(db.stats.instantaneous_queries, 1);
+    }
+
+    #[test]
+    fn answer_depends_on_entry_time_without_updates() {
+        // The hallmark of MOST: same query, different times, different
+        // answers, zero updates.
+        let mut db = highway_db();
+        let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+        assert!(db.instantaneous_now(&q).unwrap().is_empty());
+        db.advance_clock(100); // car 1 at 100, car 2 at 100: both inside
+        let now = db.instantaneous_now(&q).unwrap();
+        assert_eq!(now.len(), 2);
+    }
+
+    #[test]
+    fn continuous_query_single_evaluation_until_update() {
+        let mut db = highway_db();
+        let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+        let cq = db.register_continuous(q).unwrap();
+        assert_eq!(db.continuous_evaluations(), 1);
+        // Display changes over time with no re-evaluation.
+        assert!(db.continuous_display(cq, 0).unwrap().is_empty());
+        assert_eq!(db.continuous_display(cq, 95).unwrap().len(), 2);
+        assert_eq!(db.continuous_evaluations(), 1);
+        // An update triggers exactly one refresh per query.
+        db.advance_clock(10);
+        db.update_motion(1, Velocity::new(0.0, 1.0)).unwrap();
+        assert_eq!(db.continuous_evaluations(), 2);
+        // Car 1 now turns north at x=10 and never reaches P.
+        let display = db.continuous_display(cq, 95).unwrap();
+        assert_eq!(display, vec![vec![Value::Id(2)]]);
+        db.cancel_continuous(cq).unwrap();
+        assert!(db.continuous_display(cq, 95).is_err());
+    }
+
+    #[test]
+    fn continuous_merge_preserves_served_past() {
+        let mut db = highway_db();
+        let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+        let cq = db.register_continuous(q).unwrap();
+        // Serve some ticks, then update *after* car 2 passed through P.
+        db.advance_clock(130);
+        db.update_motion(2, Velocity::new(0.0, 1.0)).unwrap();
+        // Car 2 was displayed during [90, 110]; that history must remain.
+        let ans = db.continuous_answer(cq).unwrap();
+        let s2 = ans.intervals_for(&[Value::Id(2)]).unwrap();
+        assert!(s2.contains(95));
+    }
+
+    #[test]
+    fn trigger_fires_on_entry() {
+        let mut db = highway_db();
+        let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+        db.create_trigger("entered_P", q).unwrap();
+        assert!(db.take_trigger_events().is_empty());
+        db.advance_clock(95); // both cars inside by now
+        let events = db.take_trigger_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, 90);
+        assert_eq!(events[0].name, "entered_P");
+        // No repeat firing.
+        assert!(db.take_trigger_events().is_empty());
+    }
+
+    #[test]
+    fn class_validation() {
+        let mut db = Database::new(100);
+        db.define_class(ClassDef::plain("motels").with_static("PRICE"));
+        let m = db.insert_plain_object("motels");
+        assert!(db.set_static(m, "PRICE", Value::from(60.0)).is_ok());
+        assert!(matches!(
+            db.set_static(m, "NOPE", Value::from(1.0)),
+            Err(CoreError::UndeclaredAttribute { .. })
+        ));
+        assert!(matches!(
+            db.set_dynamic_scalar(m, "PRICE", Some(0.0), None),
+            Err(CoreError::UndeclaredAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn motion_updates_on_plain_objects_fail() {
+        let mut db = Database::new(100);
+        let m = db.insert_plain_object("motels");
+        assert!(db.update_motion(m, Velocity::zero()).is_err());
+        assert!(db
+            .update_position(m, MotionUpdate { position: Point::origin(), velocity: Velocity::zero() })
+            .is_err());
+        assert!(db.update_motion(99, Velocity::zero()).is_err());
+    }
+
+    #[test]
+    fn spatial_index_agrees_with_scan() {
+        let mut db = Database::new(1000);
+        for i in 0..50 {
+            db.insert_moving_object(
+                "cars",
+                Point::new(i as f64 * 10.0, 0.0),
+                Velocity::new(0.5, 0.0),
+            );
+        }
+        db.advance_clock(20);
+        let rect = Rect::new(100.0, -5.0, 200.0, 5.0);
+        let (scan_ids, used) = db.objects_in_rect(&rect);
+        assert!(!used);
+        db.enable_spatial_index(Rect::new(-100.0, -100.0, 2000.0, 100.0));
+        let (idx_ids, used) = db.objects_in_rect(&rect);
+        assert!(used);
+        assert_eq!(scan_ids, idx_ids);
+        // Updates keep the index in sync.
+        db.update_motion(1, Velocity::new(5.0, 0.0)).unwrap();
+        db.advance_clock(30);
+        let (idx_ids, _) = db.objects_in_rect(&rect);
+        let expected: Vec<u64> = db
+            .object_ids()
+            .into_iter()
+            .filter(|&id| {
+                db.object(id)
+                    .unwrap()
+                    .position_at(50)
+                    .is_some_and(|p| rect.contains(p))
+            })
+            .collect();
+        assert_eq!(idx_ids, expected);
+    }
+
+    #[test]
+    fn spatial_index_reconstructs_after_lifetime() {
+        let mut db = Database::new(100);
+        db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+        db.enable_spatial_index(Rect::new(-10.0, -10.0, 10_000.0, 10.0));
+        db.advance_clock(250); // well past the lifetime
+        let (ids, used) = db.objects_in_rect(&Rect::new(240.0, -5.0, 260.0, 5.0));
+        assert!(used);
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn remove_object_refreshes_queries() {
+        let mut db = highway_db();
+        let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+        let cq = db.register_continuous(q).unwrap();
+        assert_eq!(db.continuous_answer(cq).unwrap().len(), 2);
+        db.remove_object(2).unwrap();
+        assert_eq!(db.continuous_answer(cq).unwrap().ids(), vec![1]);
+        assert!(db.object(2).is_err());
+        assert!(db.remove_object(2).is_err());
+        // With a spatial index enabled, removal keeps it consistent.
+        let mut db = highway_db();
+        db.enable_spatial_index(Rect::new(-500.0, -500.0, 500.0, 500.0));
+        db.remove_object(1).unwrap();
+        db.advance_clock(95);
+        let (ids, used) = db.objects_in_rect(&Rect::new(90.0, -10.0, 110.0, 10.0));
+        assert!(used);
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn nearest_object_answers_the_opening_query() {
+        let mut db = Database::new(100);
+        let car = db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+        let h1 = db.insert_moving_object("hospitals", Point::new(50.0, 0.0), Velocity::zero());
+        let h2 = db.insert_moving_object("hospitals", Point::new(10.0, 10.0), Velocity::zero());
+        let other = db.insert_moving_object("cars", Point::new(1.0, 0.0), Velocity::zero());
+        // Nearest of any class is the other car.
+        assert_eq!(db.nearest_object(car, None).unwrap(), Some((other, 1.0)));
+        // Nearest hospital right now is h2 (sqrt(200) < 50).
+        let (id, d) = db.nearest_object(car, Some("hospitals")).unwrap().unwrap();
+        assert_eq!(id, h2);
+        assert!((d - 200f64.sqrt()).abs() < 1e-9);
+        // The answer changes as the car moves — no updates needed.
+        db.advance_clock(49);
+        let (id, d) = db.nearest_object(car, Some("hospitals")).unwrap().unwrap();
+        assert_eq!(id, h1);
+        assert!((d - 1.0).abs() < 1e-9);
+        assert_eq!(db.nearest_object(car, Some("nope")).unwrap(), None);
+        let _ = h1;
+    }
+
+    #[test]
+    fn update_counters() {
+        let mut db = highway_db();
+        assert_eq!(db.stats.updates, 2); // the two PRICE sets
+        db.update_motion(1, Velocity::zero()).unwrap();
+        assert_eq!(db.stats.updates, 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Errors of the MOST core layer.
+
+use most_dbms::DbError;
+use most_ftl::FtlError;
+use std::fmt;
+
+/// Result alias for MOST operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised by the MOST data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An object id does not exist.
+    UnknownObject(u64),
+    /// An object class does not exist.
+    UnknownClass(String),
+    /// An attribute is not declared by the object's class.
+    UndeclaredAttribute {
+        /// Class name.
+        class: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// A continuous-query id does not exist.
+    UnknownContinuousQuery(u64),
+    /// A trigger id does not exist.
+    UnknownTrigger(u64),
+    /// The FTL layer rejected or failed the query.
+    Ftl(FtlError),
+    /// The substrate DBMS failed.
+    Db(DbError),
+    /// A dynamic attribute was addressed as static or vice versa.
+    AttributeKind {
+        /// Attribute name.
+        attr: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownObject(id) => write!(f, "unknown object #{id}"),
+            CoreError::UnknownClass(c) => write!(f, "unknown object class `{c}`"),
+            CoreError::UndeclaredAttribute { class, attr } => {
+                write!(f, "class `{class}` does not declare attribute `{attr}`")
+            }
+            CoreError::UnknownContinuousQuery(id) => {
+                write!(f, "unknown continuous query #{id}")
+            }
+            CoreError::UnknownTrigger(id) => write!(f, "unknown trigger #{id}"),
+            CoreError::Ftl(e) => write!(f, "FTL error: {e}"),
+            CoreError::Db(e) => write!(f, "DBMS error: {e}"),
+            CoreError::AttributeKind { attr, detail } => {
+                write!(f, "attribute `{attr}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<FtlError> for CoreError {
+    fn from(e: FtlError) -> Self {
+        CoreError::Ftl(e)
+    }
+}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert_eq!(CoreError::UnknownObject(3).to_string(), "unknown object #3");
+        let e: CoreError = FtlError::UnknownRegion("P".into()).into();
+        assert!(e.to_string().contains("unknown region"));
+        let e: CoreError = DbError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+    }
+}

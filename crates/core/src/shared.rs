@@ -1,0 +1,155 @@
+//! A thread-safe facade over [`Database`].
+//!
+//! The paper's deployment picture (Section 5) has many clients — moving
+//! vehicles, an air-traffic console — querying one database while sensor
+//! feeds apply motion-vector updates.  [`SharedDatabase`] supports that
+//! shape: queries evaluate under a read lock (many concurrent readers),
+//! updates take the write lock.  The lock is `parking_lot::RwLock`.
+//!
+//! Instantaneous queries through this facade use
+//! [`Database::instantaneous_readonly`], which does not bump the stats
+//! counter — so readers never contend with each other.
+
+use crate::database::Database;
+use crate::error::CoreResult;
+use most_dbms::value::Value;
+use most_ftl::answer::Answer;
+use most_ftl::Query;
+use most_spatial::Velocity;
+use most_temporal::{Duration, Tick};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a MOST database.
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wraps a database.
+    pub fn new(db: Database) -> Self {
+        SharedDatabase { inner: Arc::new(RwLock::new(db)) }
+    }
+
+    /// Runs a closure under the read lock.
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs a closure under the write lock.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Evaluates an instantaneous query under the read lock.
+    pub fn instantaneous(&self, q: &Query) -> CoreResult<Answer> {
+        self.inner.read().instantaneous_readonly(q)
+    }
+
+    /// The instantiations satisfied right now, under the read lock.
+    pub fn instantaneous_now(&self, q: &Query) -> CoreResult<Vec<Vec<Value>>> {
+        let guard = self.inner.read();
+        let now = guard.now();
+        let answer = guard.instantaneous_readonly(q)?;
+        Ok(answer
+            .at_tick(now)
+            .into_iter()
+            .map(|t| t.values.clone())
+            .collect())
+    }
+
+    /// Current clock tick.
+    pub fn now(&self) -> Tick {
+        self.inner.read().now()
+    }
+
+    /// Advances the clock (write lock).
+    pub fn advance_clock(&self, ticks: Duration) {
+        self.inner.write().advance_clock(ticks);
+    }
+
+    /// Applies a motion-vector update (write lock; refreshes continuous
+    /// queries as usual).
+    pub fn update_motion(&self, id: u64, velocity: Velocity) -> CoreResult<()> {
+        self.inner.write().update_motion(id, velocity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use most_spatial::{Point, Polygon};
+    use std::thread;
+
+    fn shared() -> (SharedDatabase, u64) {
+        let mut db = Database::new(10_000);
+        let car = db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+        db.add_region("P", Polygon::rectangle(100.0, -50.0, 300.0, 50.0));
+        (SharedDatabase::new(db), car)
+    }
+
+    #[test]
+    fn concurrent_readers_and_one_writer() {
+        let (db, car) = shared();
+        let q = Query::parse("RETRIEVE o WHERE Eventually within 500 INSIDE(o, P)").unwrap();
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let db = db.clone();
+            let q = q.clone();
+            readers.push(thread::spawn(move || {
+                let mut non_empty = 0usize;
+                for _ in 0..50 {
+                    let a = db.instantaneous(&q).expect("query evaluates");
+                    if !a.is_empty() {
+                        non_empty += 1;
+                    }
+                }
+                non_empty
+            }));
+        }
+        let writer = {
+            let db = db.clone();
+            thread::spawn(move || {
+                for i in 0..50 {
+                    db.advance_clock(1);
+                    if i % 10 == 0 {
+                        db.update_motion(car, Velocity::new(1.0, 0.1 * (i % 3) as f64))
+                            .expect("update applies");
+                    }
+                }
+            })
+        };
+        writer.join().expect("writer thread");
+        for r in readers {
+            // The car heads towards P throughout: every evaluation finds it.
+            assert_eq!(r.join().expect("reader thread"), 50);
+        }
+        assert_eq!(db.now(), 50);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let (db, car) = shared();
+        let other = db.clone();
+        other.advance_clock(10);
+        assert_eq!(db.now(), 10);
+        db.update_motion(car, Velocity::zero()).unwrap();
+        other.read(|d| {
+            assert_eq!(d.object(car).unwrap().velocity_at(10), Some(Velocity::zero()));
+        });
+        db.write(|d| {
+            d.add_region("Q", Polygon::rectangle(0.0, 0.0, 1.0, 1.0));
+        });
+        assert!(other.read(|d| d.region("Q").is_some()));
+    }
+
+    #[test]
+    fn readonly_queries_do_not_bump_stats() {
+        let (db, _) = shared();
+        let q = Query::parse("RETRIEVE o WHERE true").unwrap();
+        let _ = db.instantaneous(&q).unwrap();
+        let _ = db.instantaneous_now(&q).unwrap();
+        assert_eq!(db.read(|d| d.stats.instantaneous_queries), 0);
+    }
+}

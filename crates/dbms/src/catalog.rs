@@ -1,0 +1,85 @@
+//! The table catalog: the "database" of the substrate engine.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    /// Fails when the name is taken.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> DbResult<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Immutable access to a table.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::new("a", ColumnType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert!(c.table("t").is_ok());
+        assert!(c.table_mut("t").is_ok());
+        assert!(matches!(
+            c.create_table("t", schema()),
+            Err(DbError::TableExists(_))
+        ));
+        assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["t"]);
+        c.drop_table("t").unwrap();
+        assert!(matches!(c.table("t"), Err(DbError::UnknownTable(_))));
+        assert!(c.drop_table("t").is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the relational engine.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Result alias for DBMS operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Two columns in one schema share a name.
+    DuplicateColumn(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A table with the same name already exists.
+    TableExists(String),
+    /// Row arity differs from the schema.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A value does not inhabit its column's type.
+    TypeMismatch {
+        /// Offending column.
+        column: String,
+        /// Offending value.
+        value: Value,
+    },
+    /// A primary-key value is already present.
+    DuplicateKey(Value),
+    /// A primary-key value was not found.
+    KeyNotFound(Value),
+    /// An expression applied an operation to incompatible values.
+    EvalType {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A column reference in a query was ambiguous across FROM tables.
+    AmbiguousColumn(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} values, got {got}")
+            }
+            DbError::TypeMismatch { column, value } => {
+                write!(f, "value {value} does not fit column `{column}`")
+            }
+            DbError::DuplicateKey(v) => write!(f, "duplicate key {v}"),
+            DbError::KeyNotFound(v) => write!(f, "key {v} not found"),
+            DbError::EvalType { detail } => write!(f, "type error in expression: {detail}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DbError::UnknownTable("cars".into()).to_string(),
+            "unknown table `cars`"
+        );
+        assert_eq!(
+            DbError::ArityMismatch { expected: 3, got: 2 }.to_string(),
+            "arity mismatch: expected 3 values, got 2"
+        );
+        assert!(DbError::DuplicateKey(Value::Id(1)).to_string().contains("#1"));
+    }
+}

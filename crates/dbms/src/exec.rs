@@ -1,0 +1,290 @@
+//! Nested-loop executor for [`SelectQuery`].
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::expr::Expr;
+use crate::query::SelectQuery;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A query result: named columns and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Tuple>,
+}
+
+impl ResultSet {
+    /// Index of an output column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Execution counters (used by the benchmark harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples of the (cartesian) input enumerated.
+    pub rows_scanned: u64,
+    /// Tuples surviving the WHERE clause.
+    pub rows_output: u64,
+}
+
+/// Column-name resolution for a FROM clause: maps both `alias.column` and
+/// unambiguous bare `column` names to slot indices in the concatenated row.
+struct Resolver {
+    slots: HashMap<String, usize>,
+    ambiguous: Vec<String>,
+}
+
+impl Resolver {
+    fn build(catalog: &Catalog, q: &SelectQuery) -> DbResult<Self> {
+        let mut slots = HashMap::new();
+        let mut ambiguous = Vec::new();
+        let mut offset = 0usize;
+        for tref in &q.from {
+            let table = catalog.table(&tref.table)?;
+            for (i, col) in table.schema().columns().iter().enumerate() {
+                slots.insert(format!("{}.{}", tref.alias, col.name), offset + i);
+                match slots.entry(col.name.clone()) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(offset + i);
+                    }
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        ambiguous.push(col.name.clone());
+                    }
+                }
+            }
+            offset += table.schema().arity();
+        }
+        Ok(Resolver { slots, ambiguous })
+    }
+
+    fn resolve(&self, row: &Tuple, name: &str) -> DbResult<Value> {
+        if self.ambiguous.iter().any(|a| a == name) {
+            return Err(DbError::AmbiguousColumn(name.to_owned()));
+        }
+        let idx = self
+            .slots
+            .get(name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_owned()))?;
+        Ok(row.values()[*idx].clone())
+    }
+}
+
+/// Executes a query, returning rows and execution counters.
+pub fn execute_with_stats(catalog: &Catalog, q: &SelectQuery) -> DbResult<(ResultSet, ExecStats)> {
+    let resolver = Resolver::build(catalog, q)?;
+    let mut stats = ExecStats::default();
+
+    // Short-circuit a constant-false WHERE clause (the Section 5.1 rewrite
+    // produces such branches for `F'' AND NOT p` when F has one atom).
+    if let Expr::Const(Value::Bool(false)) = q.where_clause {
+        return Ok((
+            ResultSet {
+                columns: q.select.iter().map(|(n, _)| n.clone()).collect(),
+                rows: Vec::new(),
+            },
+            stats,
+        ));
+    }
+
+    let tables: Vec<&[Tuple]> = q
+        .from
+        .iter()
+        .map(|tref| catalog.table(&tref.table).map(|t| t.rows()))
+        .collect::<DbResult<_>>()?;
+
+    let mut rows = Vec::new();
+    let mut indices = vec![0usize; tables.len()];
+    if tables.iter().all(|t| !t.is_empty()) {
+        'outer: loop {
+            let mut combined = Tuple::new(Vec::new());
+            for (ti, &rows_of) in tables.iter().enumerate() {
+                combined = combined.concat(&rows_of[indices[ti]]);
+            }
+            stats.rows_scanned += 1;
+            let resolve = |name: &str| resolver.resolve(&combined, name);
+            if q.where_clause.eval_bool(&resolve)? {
+                stats.rows_output += 1;
+                let mut out = Vec::with_capacity(q.select.len());
+                for (_, e) in &q.select {
+                    out.push(e.eval(&resolve)?);
+                }
+                rows.push(Tuple::new(out));
+            }
+            // Odometer increment over the cartesian product.
+            for ti in (0..tables.len()).rev() {
+                indices[ti] += 1;
+                if indices[ti] < tables[ti].len() {
+                    continue 'outer;
+                }
+                indices[ti] = 0;
+                if ti == 0 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    Ok((
+        ResultSet {
+            columns: q.select.iter().map(|(n, _)| n.clone()).collect(),
+            rows,
+        },
+        stats,
+    ))
+}
+
+/// Executes a query.
+pub fn execute(catalog: &Catalog, q: &SelectQuery) -> DbResult<ResultSet> {
+    execute_with_stats(catalog, q).map(|(rs, _)| rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::query::TableRef;
+    use crate::schema::{ColumnDef, ColumnType, Schema};
+
+    fn setup() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "motels",
+            Schema::with_key(
+                vec![
+                    ColumnDef::new("id", ColumnType::Id),
+                    ColumnDef::new("name", ColumnType::Str),
+                    ColumnDef::new("price", ColumnType::Float),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let t = c.table_mut("motels").unwrap();
+        t.insert(vec![Value::Id(1), "Rest Inn".into(), 79.0.into()]).unwrap();
+        t.insert(vec![Value::Id(2), "Highway 6".into(), 55.0.into()]).unwrap();
+        t.insert(vec![Value::Id(3), "Grand".into(), 180.0.into()]).unwrap();
+        c
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let c = setup();
+        let q = SelectQuery::from_table("motels")
+            .column("name")
+            .filter(Expr::cmp(CmpOp::Le, Expr::col("price"), Expr::val(100.0)));
+        let (rs, stats) = execute_with_stats(&c, &q).unwrap();
+        assert_eq!(rs.columns, vec!["name"]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(stats.rows_scanned, 3);
+        assert_eq!(stats.rows_output, 2);
+    }
+
+    #[test]
+    fn projection_expressions() {
+        let c = setup();
+        let q = SelectQuery::from_table("motels")
+            .column("id")
+            .expr(
+                "discounted",
+                Expr::arith(crate::expr::ArithOp::Mul, Expr::col("price"), Expr::val(0.9)),
+            )
+            .filter(Expr::cmp(CmpOp::Eq, Expr::col("id"), Expr::Const(Value::Id(2))));
+        let rs = execute(&c, &q).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].get(1), Some(&Value::from(55.0 * 0.9)));
+        assert_eq!(rs.column_index("discounted"), Some(1));
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let c = setup();
+        // Pairs of distinct motels where the first is cheaper.
+        let q = SelectQuery {
+            select: vec![
+                ("a".into(), Expr::col("m1.id")),
+                ("b".into(), Expr::col("m2.id")),
+            ],
+            from: vec![
+                TableRef::aliased("motels", "m1"),
+                TableRef::aliased("motels", "m2"),
+            ],
+            where_clause: Expr::cmp(
+                CmpOp::Lt,
+                Expr::col("m1.price"),
+                Expr::col("m2.price"),
+            ),
+        };
+        let (rs, stats) = execute_with_stats(&c, &q).unwrap();
+        assert_eq!(stats.rows_scanned, 9);
+        assert_eq!(rs.len(), 3); // 55<79, 55<180, 79<180
+    }
+
+    #[test]
+    fn ambiguous_bare_column_is_error() {
+        let c = setup();
+        let q = SelectQuery {
+            select: vec![("p".into(), Expr::col("price"))],
+            from: vec![
+                TableRef::aliased("motels", "m1"),
+                TableRef::aliased("motels", "m2"),
+            ],
+            where_clause: Expr::truth(),
+        };
+        assert!(matches!(
+            execute(&c, &q),
+            Err(DbError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn constant_false_short_circuits() {
+        let c = setup();
+        let q = SelectQuery::from_table("motels")
+            .column("id")
+            .filter(Expr::val(false));
+        let (rs, stats) = execute_with_stats(&c, &q).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn empty_table_yields_empty_product() {
+        let mut c = setup();
+        c.create_table(
+            "empty",
+            Schema::new(vec![ColumnDef::new("x", ColumnType::Int)]).unwrap(),
+        )
+        .unwrap();
+        let q = SelectQuery::from_table("motels")
+            .join_table(TableRef::new("empty"))
+            .column("name");
+        let rs = execute(&c, &q).unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let c = setup();
+        let q = SelectQuery::from_table("nope").column("id");
+        assert!(matches!(execute(&c, &q), Err(DbError::UnknownTable(_))));
+        let q = SelectQuery::from_table("motels").column("nope");
+        assert!(matches!(execute(&c, &q), Err(DbError::UnknownColumn(_))));
+    }
+}

@@ -1,0 +1,362 @@
+//! Scalar expressions: the WHERE-clause language of the substrate engine.
+//!
+//! Besides evaluation, this module provides the structural tools the
+//! Section 5.1 rewrite needs: enumerating the *atoms* of a boolean
+//! combination and substituting an atom by a constant (`F'` is `F` with `p`
+//! replaced by `true`, `F''` is `F` with `p` replaced by `false`).
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison under query semantics (numeric coercion).
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        let ord = a.query_cmp(b);
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => !ord.is_eq(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression over named columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant value.
+    Const(Value),
+    /// A column reference, optionally qualified (`table.column`).
+    Column(String),
+    /// Comparison of two scalar expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic on two numeric expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `Const(Bool(true))`.
+    pub fn truth() -> Expr {
+        Expr::Const(Value::Bool(true))
+    }
+
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Constant.
+    pub fn val(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    pub fn negate(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Comparison helper.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Arithmetic helper.
+    pub fn arith(op: ArithOp, a: Expr, b: Expr) -> Expr {
+        Expr::Arith(op, Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates against a row-resolution function mapping column names to
+    /// values.
+    pub fn eval<F>(&self, resolve: &F) -> DbResult<Value>
+    where
+        F: Fn(&str) -> DbResult<Value>,
+    {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Column(name) => resolve(name),
+            Expr::Cmp(op, a, b) => {
+                let (a, b) = (a.eval(resolve)?, b.eval(resolve)?);
+                Ok(Value::Bool(op.apply(&a, &b)))
+            }
+            Expr::Arith(op, a, b) => {
+                let (av, bv) = (a.eval(resolve)?, b.eval(resolve)?);
+                let (x, y) = match (av.as_f64(), bv.as_f64()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(DbError::EvalType {
+                            detail: format!("arithmetic on non-numeric values {av} and {bv}"),
+                        })
+                    }
+                };
+                let r = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                };
+                Ok(Value::from(r))
+            }
+            Expr::And(a, b) => {
+                Ok(Value::Bool(a.eval_bool(resolve)? && b.eval_bool(resolve)?))
+            }
+            Expr::Or(a, b) => {
+                Ok(Value::Bool(a.eval_bool(resolve)? || b.eval_bool(resolve)?))
+            }
+            Expr::Not(a) => Ok(Value::Bool(!a.eval_bool(resolve)?)),
+        }
+    }
+
+    /// Evaluates and demands a boolean.
+    pub fn eval_bool<F>(&self, resolve: &F) -> DbResult<bool>
+    where
+        F: Fn(&str) -> DbResult<Value>,
+    {
+        match self.eval(resolve)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(DbError::EvalType {
+                detail: format!("expected boolean, got {other}"),
+            }),
+        }
+    }
+
+    /// Whether this node is an *atom*: a leaf predicate of the boolean
+    /// structure (a comparison, or a bare boolean constant/column).
+    pub fn is_atom(&self) -> bool {
+        !matches!(self, Expr::And(..) | Expr::Or(..) | Expr::Not(..))
+    }
+
+    /// Collects references to the atoms of the boolean structure, left to
+    /// right (Section 5.1's "F is a boolean combination of atoms").
+    pub fn atoms(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+            Expr::Not(a) => a.collect_atoms(out),
+            atom => out.push(atom),
+        }
+    }
+
+    /// Returns `self` with every occurrence of `atom` (structural equality)
+    /// replaced by the boolean constant `value` — the Section 5.1
+    /// substitution producing `F'` (`value = true`) and `F''`
+    /// (`value = false`).
+    pub fn substitute_atom(&self, atom: &Expr, value: bool) -> Expr {
+        if self == atom {
+            return Expr::Const(Value::Bool(value));
+        }
+        match self {
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.substitute_atom(atom, value)),
+                Box::new(b.substitute_atom(atom, value)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.substitute_atom(atom, value)),
+                Box::new(b.substitute_atom(atom, value)),
+            ),
+            Expr::Not(a) => Expr::Not(Box::new(a.substitute_atom(atom, value))),
+            other => other.clone(),
+        }
+    }
+
+    /// All column names referenced anywhere in the expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Column(c) => out.push(c),
+            Expr::Const(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) => a.collect_columns(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Cmp(op, a, b) => {
+                let s = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::Arith(op, a, b) => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "(NOT {a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolver<'a>(pairs: &'a [(&'a str, Value)]) -> impl Fn(&str) -> DbResult<Value> + 'a {
+        move |name: &str| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| DbError::UnknownColumn(name.to_owned()))
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let cols = [("price", 80.0.into()), ("tax", 5.0.into())];
+        let r = resolver(&cols);
+        // price + tax <= 100
+        let e = Expr::cmp(
+            CmpOp::Le,
+            Expr::arith(ArithOp::Add, Expr::col("price"), Expr::col("tax")),
+            Expr::val(100.0),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
+        let e2 = Expr::cmp(CmpOp::Gt, Expr::col("price"), Expr::val(100i64));
+        assert_eq!(e2.eval(&r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let cols: [(&str, Value); 0] = [];
+        let r = resolver(&cols);
+        let t = Expr::truth();
+        let f = Expr::val(false);
+        assert!(t.clone().and(t.clone()).eval_bool(&r).unwrap());
+        assert!(!t.clone().and(f.clone()).eval_bool(&r).unwrap());
+        assert!(t.clone().or(f.clone()).eval_bool(&r).unwrap());
+        assert!(!f.clone().or(f.clone()).eval_bool(&r).unwrap());
+        assert!(f.negate().eval_bool(&r).unwrap());
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let cols = [("s", "abc".into())];
+        let r = resolver(&cols);
+        let e = Expr::arith(ArithOp::Add, Expr::col("s"), Expr::val(1i64));
+        assert!(matches!(e.eval(&r), Err(DbError::EvalType { .. })));
+        assert!(Expr::col("s").eval_bool(&r).is_err());
+        assert!(Expr::col("missing").eval(&r).is_err());
+    }
+
+    #[test]
+    fn atoms_enumeration() {
+        // (a > 1 AND b < 2) OR NOT (c = 3)
+        let a1 = Expr::cmp(CmpOp::Gt, Expr::col("a"), Expr::val(1i64));
+        let a2 = Expr::cmp(CmpOp::Lt, Expr::col("b"), Expr::val(2i64));
+        let a3 = Expr::cmp(CmpOp::Eq, Expr::col("c"), Expr::val(3i64));
+        let f = a1.clone().and(a2.clone()).or(a3.clone().negate());
+        let atoms = f.atoms();
+        assert_eq!(atoms, vec![&a1, &a2, &a3]);
+    }
+
+    #[test]
+    fn substitution_produces_f_prime() {
+        let p = Expr::cmp(CmpOp::Gt, Expr::col("x"), Expr::val(5i64));
+        let q = Expr::cmp(CmpOp::Lt, Expr::col("y"), Expr::val(2i64));
+        let f = p.clone().and(q.clone());
+        let f_prime = f.substitute_atom(&p, true);
+        let f_dblprime = f.substitute_atom(&p, false);
+        assert_eq!(f_prime, Expr::truth().and(q.clone()));
+        assert_eq!(f_dblprime, Expr::val(false).and(q.clone()));
+        // q remains untouched.
+        assert_eq!(f_prime.atoms().len(), 2);
+    }
+
+    #[test]
+    fn columns_collection() {
+        let f = Expr::cmp(
+            CmpOp::Le,
+            Expr::arith(ArithOp::Mul, Expr::col("a"), Expr::col("b")),
+            Expr::col("c"),
+        );
+        assert_eq!(f.columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_round_trippable_shape() {
+        let f = Expr::cmp(CmpOp::Ge, Expr::col("p"), Expr::val(1.5)).negate();
+        assert_eq!(f.to_string(), "(NOT (p >= 1.5))");
+    }
+}

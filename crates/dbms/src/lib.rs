@@ -1,0 +1,44 @@
+//! In-memory relational DBMS substrate.
+//!
+//! Section 5.1 of the paper builds MOST "on top of an existing DBMS": the
+//! MOST layer rewrites queries, hands nontemporal subqueries to the
+//! underlying engine, and post-processes the results.  The paper names
+//! Sybase as the intended host; this crate is the from-scratch substitute —
+//! a small but complete relational engine with:
+//!
+//! * typed [`value::Value`]s with a total order (so they can key hash maps
+//!   and sort deterministically, including floats);
+//! * [`schema::Schema`] / [`table::Table`] storage with primary keys;
+//! * a scalar [`expr::Expr`] language (columns, constants, arithmetic,
+//!   comparisons, boolean connectives) with the substitution hooks the
+//!   Section 5.1 atom-elimination rewrite needs;
+//! * a [`query::SelectQuery`] AST (select–from–where over one or more
+//!   tables) and a nested-loop [`exec`]utor.
+//!
+//! The engine is deliberately *nontemporal*: it knows nothing about dynamic
+//! attributes.  The MOST layer (crate `most-core`) stores each dynamic
+//! attribute `A` as the three physical columns `A.value`, `A.updatetime`
+//! and `A.function` — exactly the decomposition Section 5.1 prescribes —
+//! and compensates in rewriting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{DbError, DbResult};
+pub use expr::Expr;
+pub use query::SelectQuery;
+pub use schema::{ColumnDef, ColumnType, Schema};
+pub use table::Table;
+pub use tuple::Tuple;
+pub use value::{F64, Value};

@@ -1,0 +1,143 @@
+//! The select–from–where query AST.
+
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A table reference in a FROM clause, with an optional alias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Alias used to qualify columns (defaults to the table name).
+    pub alias: String,
+}
+
+impl TableRef {
+    /// Reference without alias.
+    pub fn new(table: impl Into<String>) -> Self {
+        let table = table.into();
+        TableRef { alias: table.clone(), table }
+    }
+
+    /// Reference with an explicit alias.
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef { table: table.into(), alias: alias.into() }
+    }
+}
+
+/// A `SELECT <exprs> FROM <tables> WHERE <predicate>` query.
+///
+/// Multi-table FROM clauses are evaluated as a filtered cartesian product
+/// (the substrate performs no join optimization; the paper's rewriting layer
+/// only needs correct answers from the host DBMS, and the benchmark
+/// experiments measure the MOST layer, not the host's planner).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectQuery {
+    /// Projected expressions, each with an output column name.
+    pub select: Vec<(String, Expr)>,
+    /// FROM tables.
+    pub from: Vec<TableRef>,
+    /// WHERE predicate (use [`Expr::truth`] for none).
+    pub where_clause: Expr,
+}
+
+impl SelectQuery {
+    /// Starts building a query over one table.
+    pub fn from_table(table: impl Into<String>) -> Self {
+        SelectQuery {
+            select: Vec::new(),
+            from: vec![TableRef::new(table)],
+            where_clause: Expr::truth(),
+        }
+    }
+
+    /// Adds a projected column (name doubles as the output name).
+    pub fn column(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        self.select.push((name.clone(), Expr::Column(name)));
+        self
+    }
+
+    /// Adds a projected expression under an output name.
+    pub fn expr(mut self, name: impl Into<String>, e: Expr) -> Self {
+        self.select.push((name.into(), e));
+        self
+    }
+
+    /// Sets the WHERE clause.
+    pub fn filter(mut self, e: Expr) -> Self {
+        self.where_clause = e;
+        self
+    }
+
+    /// Adds a FROM table.
+    pub fn join_table(mut self, r: TableRef) -> Self {
+        self.from.push(r);
+        self
+    }
+
+    /// Output column names, in order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.select.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, (name, e)) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e} AS {name}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if t.alias == t.table {
+                write!(f, "{}", t.table)?;
+            } else {
+                write!(f, "{} AS {}", t.table, t.alias)?;
+            }
+        }
+        write!(f, " WHERE {}", self.where_clause)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn builder_accumulates() {
+        let q = SelectQuery::from_table("motels")
+            .column("name")
+            .expr("cheap", Expr::cmp(CmpOp::Le, Expr::col("price"), Expr::val(60.0)))
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col("rooms"), Expr::val(0i64)));
+        assert_eq!(q.output_names(), vec!["name", "cheap"]);
+        assert_eq!(q.from.len(), 1);
+    }
+
+    #[test]
+    fn display_is_sql_like() {
+        let q = SelectQuery::from_table("motels")
+            .column("name")
+            .filter(Expr::cmp(CmpOp::Le, Expr::col("price"), Expr::val(60.0)));
+        assert_eq!(
+            q.to_string(),
+            "SELECT name AS name FROM motels WHERE (price <= 60)"
+        );
+    }
+
+    #[test]
+    fn aliased_tables() {
+        let q = SelectQuery::from_table("objects")
+            .join_table(TableRef::aliased("objects", "o2"))
+            .column("objects.id");
+        assert!(q.to_string().contains("objects AS o2"));
+    }
+}

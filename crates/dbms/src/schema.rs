@@ -1,0 +1,187 @@
+//! Table schemas: named, typed columns with an optional primary key.
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Clock tick.
+    Time,
+    /// Object identifier.
+    Id,
+}
+
+impl ColumnType {
+    /// Whether `v` inhabits this type (`Null` inhabits every type).
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Time, Value::Time(_))
+                | (ColumnType::Id, Value::Id(_))
+        )
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within the schema).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns with an optional primary-key column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    key: Option<usize>,
+}
+
+impl Schema {
+    /// Creates a schema without a primary key.
+    ///
+    /// # Errors
+    /// Fails when two columns share a name.
+    pub fn new(columns: Vec<ColumnDef>) -> DbResult<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(DbError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns, key: None })
+    }
+
+    /// Creates a schema whose `key` column is a primary key.
+    ///
+    /// # Errors
+    /// Fails on duplicate column names or an unknown key column.
+    pub fn with_key(columns: Vec<ColumnDef>, key: &str) -> DbResult<Self> {
+        let mut s = Schema::new(columns)?;
+        let idx = s
+            .index_of(key)
+            .ok_or_else(|| DbError::UnknownColumn(key.to_owned()))?;
+        s.key = Some(idx);
+        Ok(s)
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The primary-key column index, if declared.
+    pub fn key_index(&self) -> Option<usize> {
+        self.key
+    }
+
+    /// Validates that `values` matches the schema's arity and types.
+    pub fn check_row(&self, values: &[Value]) -> DbResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(DbError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (c, v) in self.columns.iter().zip(values) {
+            if !c.ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    column: c.name.clone(),
+                    value: v.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::with_key(
+            vec![
+                ColumnDef::new("id", ColumnType::Id),
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Float),
+            ],
+            "id",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_arity() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("price"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.key_index(), Some(0));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = Schema::new(vec![
+            ColumnDef::new("a", ColumnType::Int),
+            ColumnDef::new("a", ColumnType::Str),
+        ]);
+        assert!(matches!(r, Err(DbError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let r = Schema::with_key(vec![ColumnDef::new("a", ColumnType::Int)], "b");
+        assert!(matches!(r, Err(DbError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = sample();
+        assert!(s
+            .check_row(&[Value::Id(1), "m".into(), 9.5.into()])
+            .is_ok());
+        assert!(matches!(
+            s.check_row(&[Value::Id(1), "m".into()]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::Id(1), Value::Int(2), 9.5.into()]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        // Null inhabits any column.
+        assert!(s.check_row(&[Value::Id(1), Value::Null, Value::Null]).is_ok());
+    }
+}

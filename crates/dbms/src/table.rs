@@ -1,0 +1,200 @@
+//! Heap tables with optional primary-key hash index.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A table: a schema plus a vector of rows, with a hash index on the
+/// primary key when the schema declares one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Tuple>,
+    /// key value -> row index; maintained only when the schema has a key.
+    #[serde(skip)]
+    key_index: HashMap<Value, usize>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new(), key_index: HashMap::new() }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, in insertion order (minus deletions).
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Inserts a row after validating it against the schema and the primary
+    /// key.
+    pub fn insert(&mut self, values: Vec<Value>) -> DbResult<()> {
+        self.schema.check_row(&values)?;
+        if let Some(k) = self.schema.key_index() {
+            let key = values[k].clone();
+            if self.key_index.contains_key(&key) {
+                return Err(DbError::DuplicateKey(key));
+            }
+            self.key_index.insert(key, self.rows.len());
+        }
+        self.rows.push(Tuple::new(values));
+        Ok(())
+    }
+
+    /// Looks up a row by primary key.
+    pub fn get_by_key(&self, key: &Value) -> Option<&Tuple> {
+        self.key_index.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// Updates one column of the row with the given primary key.
+    pub fn update_by_key(&mut self, key: &Value, column: &str, value: Value) -> DbResult<()> {
+        let col = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_owned()))?;
+        if !self.schema.columns()[col].ty.admits(&value) {
+            return Err(DbError::TypeMismatch { column: column.to_owned(), value });
+        }
+        if Some(col) == self.schema.key_index() {
+            return Err(DbError::EvalType {
+                detail: "primary-key column cannot be updated in place".to_owned(),
+            });
+        }
+        let row = *self
+            .key_index
+            .get(key)
+            .ok_or_else(|| DbError::KeyNotFound(key.clone()))?;
+        *self.rows[row]
+            .get_mut(col)
+            .expect("column index validated against schema") = value;
+        Ok(())
+    }
+
+    /// Deletes the row with the given primary key (swap-remove; O(1)).
+    pub fn delete_by_key(&mut self, key: &Value) -> DbResult<()> {
+        let row = self
+            .key_index
+            .remove(key)
+            .ok_or_else(|| DbError::KeyNotFound(key.clone()))?;
+        self.rows.swap_remove(row);
+        // The swapped-in row (previously last) changed position.
+        if row < self.rows.len() {
+            if let Some(k) = self.schema.key_index() {
+                let moved_key = self.rows[row].values()[k].clone();
+                self.key_index.insert(moved_key, row);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the key index (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.key_index.clear();
+        if let Some(k) = self.schema.key_index() {
+            for (i, row) in self.rows.iter().enumerate() {
+                self.key_index.insert(row.values()[k].clone(), i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn motels() -> Table {
+        let schema = Schema::with_key(
+            vec![
+                ColumnDef::new("id", ColumnType::Id),
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Float),
+            ],
+            "id",
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = motels();
+        t.insert(vec![Value::Id(1), "Rest Inn".into(), 79.0.into()]).unwrap();
+        t.insert(vec![Value::Id(2), "Highway 6".into(), 55.0.into()]).unwrap();
+        assert_eq!(t.len(), 2);
+        let row = t.get_by_key(&Value::Id(2)).unwrap();
+        assert_eq!(row.get(1), Some(&"Highway 6".into()));
+        assert!(t.get_by_key(&Value::Id(9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = motels();
+        t.insert(vec![Value::Id(1), "a".into(), 1.0.into()]).unwrap();
+        let e = t.insert(vec![Value::Id(1), "b".into(), 2.0.into()]);
+        assert!(matches!(e, Err(DbError::DuplicateKey(_))));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_column() {
+        let mut t = motels();
+        t.insert(vec![Value::Id(1), "a".into(), 1.0.into()]).unwrap();
+        t.update_by_key(&Value::Id(1), "price", 99.0.into()).unwrap();
+        assert_eq!(
+            t.get_by_key(&Value::Id(1)).unwrap().get(2),
+            Some(&99.0.into())
+        );
+        assert!(t.update_by_key(&Value::Id(1), "nope", 0.0.into()).is_err());
+        assert!(t.update_by_key(&Value::Id(7), "price", 0.0.into()).is_err());
+        assert!(t.update_by_key(&Value::Id(1), "id", Value::Id(2)).is_err());
+        assert!(t
+            .update_by_key(&Value::Id(1), "price", Value::Str("x".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn delete_maintains_index() {
+        let mut t = motels();
+        for i in 0..5 {
+            t.insert(vec![Value::Id(i), format!("m{i}").into(), (i as f64).into()])
+                .unwrap();
+        }
+        t.delete_by_key(&Value::Id(1)).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.get_by_key(&Value::Id(1)).is_none());
+        // The swapped row (id 4) must still be findable.
+        assert_eq!(
+            t.get_by_key(&Value::Id(4)).unwrap().get(1),
+            Some(&"m4".into())
+        );
+        assert!(t.delete_by_key(&Value::Id(1)).is_err());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = motels();
+        t.insert(vec![Value::Id(1), "a".into(), 1.0.into()]).unwrap();
+        t.insert(vec![Value::Id(2), "b".into(), 2.0.into()]).unwrap();
+        t.rebuild_index();
+        assert_eq!(t.get_by_key(&Value::Id(2)).unwrap().get(1), Some(&"b".into()));
+    }
+}

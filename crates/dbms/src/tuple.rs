@@ -1,0 +1,101 @@
+//! Row values.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row: an ordered list of values matching some [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at column index `i`.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Mutable value at column index `i`.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut Value> {
+        self.0.get_mut(i)
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Concatenation of two tuples (used by the cartesian product).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Projection onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Consumes the tuple, returning the values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(vec![Value::Id(1), "a".into(), 2.0.into()]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), Some(&"a".into()));
+        assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Tuple::new(vec![Value::Int(3)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]).values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::Id(1), "m".into()]);
+        assert_eq!(t.to_string(), "(#1, 'm')");
+    }
+}

@@ -1,0 +1,243 @@
+//! Typed runtime values with a total order.
+
+use most_temporal::Tick;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` wrapper with total order, equality and hashing.
+///
+/// Relational processing needs values that can key hash maps (the FTL
+/// evaluation algorithm groups tuples by instantiation) and sort
+/// deterministically; raw `f64` provides neither.  Ordering follows
+/// `f64::total_cmp`; equality and hashing use the bit pattern with `-0.0`
+/// normalized to `0.0` so that `0.0 == -0.0` as values.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps a float.
+    pub fn new(v: f64) -> Self {
+        F64(if v == 0.0 { 0.0 } else { v })
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL-style missing value; compares lowest.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float (total-ordered).
+    Float(F64),
+    /// UTF-8 string.
+    Str(String),
+    /// A clock tick (the paper's `time` domain).
+    Time(Tick),
+    /// An object identifier (FTL variables range over these).
+    Id(u64),
+}
+
+impl Value {
+    /// Numeric view: `Int` and `Float` (and `Time`) as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(f.get()),
+            Value::Time(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object-id view.
+    pub fn as_id(&self) -> Option<u64> {
+        match self {
+            Value::Id(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Tick view.
+    pub fn as_time(&self) -> Option<Tick> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is numeric (`Int`, `Float` or `Time`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Time(_))
+    }
+
+    /// Numeric comparison when both sides are numeric, falling back to the
+    /// structural total order otherwise (so `Int(1)` equals `Float(1.0)` in
+    /// query-level comparisons).
+    pub fn query_cmp(&self, other: &Value) -> Ordering {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.total_cmp(&b),
+            _ => self.cmp(other),
+        }
+    }
+
+    /// Query-level equality (numeric coercion as in [`Value::query_cmp`]).
+    pub fn query_eq(&self, other: &Value) -> bool {
+        self.query_cmp(other) == Ordering::Equal
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(F64::new(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Time(t) => write!(f, "t{t}"),
+            Value::Id(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn f64_total_order_and_hash() {
+        assert_eq!(F64::new(0.0), F64::new(-0.0));
+        assert!(F64::new(1.0) < F64::new(2.0));
+        assert!(F64::new(-1.0) < F64::new(0.0));
+        let mut m = HashMap::new();
+        m.insert(F64::new(-0.0), 1);
+        assert_eq!(m.get(&F64::new(0.0)), Some(&1));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Time(7).as_f64(), Some(7.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Id(9).as_id(), Some(9));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn query_comparison_coerces_numerics() {
+        assert!(Value::Int(1).query_eq(&Value::from(1.0)));
+        assert_eq!(
+            Value::Int(2).query_cmp(&Value::from(10.0)),
+            Ordering::Less
+        );
+        // Strings keep structural comparison.
+        assert!(!Value::from("1").query_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn values_usable_as_hash_keys() {
+        let mut m = HashMap::new();
+        m.insert(Value::from(1.5), "a");
+        m.insert(Value::Id(3), "b");
+        assert_eq!(m.get(&Value::from(1.5)), Some(&"a"));
+        assert_eq!(m.get(&Value::Id(3)), Some(&"b"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+        assert_eq!(Value::Time(4).to_string(), "t4");
+        assert_eq!(Value::Id(4).to_string(), "#4");
+    }
+}

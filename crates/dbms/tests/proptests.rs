@@ -1,0 +1,185 @@
+//! Property tests for the substrate engine: the executor must agree with an
+//! independent reference evaluator written here from scratch.
+
+use most_dbms::exec::execute_with_stats;
+use most_dbms::expr::{ArithOp, CmpOp, Expr};
+use most_dbms::query::SelectQuery;
+use most_dbms::schema::{ColumnDef, ColumnType, Schema};
+use most_dbms::value::Value;
+use most_dbms::Catalog;
+use proptest::prelude::*;
+
+/// Rows of (id, a, b) with float columns.
+fn build_catalog(rows: &[(u64, f64, f64)]) -> Catalog {
+    let mut c = Catalog::new();
+    c.create_table(
+        "t",
+        Schema::with_key(
+            vec![
+                ColumnDef::new("id", ColumnType::Id),
+                ColumnDef::new("a", ColumnType::Float),
+                ColumnDef::new("b", ColumnType::Float),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let table = c.table_mut("t").unwrap();
+    for &(id, a, b) in rows {
+        table
+            .insert(vec![Value::Id(id), a.into(), b.into()])
+            .unwrap();
+    }
+    c
+}
+
+/// A random predicate over columns `a` and `b`.
+#[derive(Debug, Clone)]
+enum Pred {
+    Cmp(CmpOp, Atom, Atom),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Atom {
+    ColA,
+    ColB,
+    Const(i32),
+    Sum, // a + b
+}
+
+impl Atom {
+    fn to_expr(self) -> Expr {
+        match self {
+            Atom::ColA => Expr::col("a"),
+            Atom::ColB => Expr::col("b"),
+            Atom::Const(c) => Expr::val(c as f64),
+            Atom::Sum => Expr::arith(ArithOp::Add, Expr::col("a"), Expr::col("b")),
+        }
+    }
+
+    fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            Atom::ColA => a,
+            Atom::ColB => b,
+            Atom::Const(c) => c as f64,
+            Atom::Sum => a + b,
+        }
+    }
+}
+
+impl Pred {
+    fn to_expr(&self) -> Expr {
+        match self {
+            Pred::Cmp(op, x, y) => Expr::cmp(*op, x.to_expr(), y.to_expr()),
+            Pred::And(l, r) => l.to_expr().and(r.to_expr()),
+            Pred::Or(l, r) => l.to_expr().or(r.to_expr()),
+            Pred::Not(p) => p.to_expr().negate(),
+        }
+    }
+
+    /// Independent reference evaluation.
+    fn holds(&self, a: f64, b: f64) -> bool {
+        match self {
+            Pred::Cmp(op, x, y) => {
+                let (x, y) = (x.eval(a, b), y.eval(a, b));
+                match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                }
+            }
+            Pred::And(l, r) => l.holds(a, b) && r.holds(a, b),
+            Pred::Or(l, r) => l.holds(a, b) || r.holds(a, b),
+            Pred::Not(p) => !p.holds(a, b),
+        }
+    }
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        Just(Atom::ColA),
+        Just(Atom::ColB),
+        (-20i32..20).prop_map(Atom::Const),
+        Just(Atom::Sum),
+    ]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let leaf = (arb_cmp_op(), arb_atom(), arb_atom())
+        .prop_map(|(op, x, y)| Pred::Cmp(op, x, y));
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Pred::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Pred::Or(Box::new(l), Box::new(r))),
+            inner.prop_map(|p| Pred::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(u64, f64, f64)>> {
+    prop::collection::vec((-15i32..15, -15i32..15), 0..40).prop_map(|cells| {
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| (i as u64, a as f64, b as f64))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn executor_matches_reference(rows in arb_rows(), pred in arb_pred()) {
+        let catalog = build_catalog(&rows);
+        let q = SelectQuery::from_table("t").column("id").filter(pred.to_expr());
+        let (rs, stats) = execute_with_stats(&catalog, &q).expect("executes");
+        let got: Vec<u64> = rs
+            .rows
+            .iter()
+            .map(|r| r.get(0).unwrap().as_id().unwrap())
+            .collect();
+        let want: Vec<u64> = rows
+            .iter()
+            .filter(|&&(_, a, b)| pred.holds(a, b))
+            .map(|&(id, _, _)| id)
+            .collect();
+        prop_assert_eq!(stats.rows_scanned, rows.len() as u64);
+        prop_assert_eq!(stats.rows_output, want.len() as u64);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn projection_expressions_match_reference(rows in arb_rows(), x in arb_atom(), y in arb_atom()) {
+        let catalog = build_catalog(&rows);
+        let q = SelectQuery::from_table("t")
+            .column("id")
+            .expr("v", Expr::arith(ArithOp::Mul, x.to_expr(), y.to_expr()));
+        let (rs, _) = execute_with_stats(&catalog, &q).expect("executes");
+        for (row, &(_, a, b)) in rs.rows.iter().zip(&rows) {
+            let got = row.get(1).unwrap().as_f64().unwrap();
+            let want = x.eval(a, b) * y.eval(a, b);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

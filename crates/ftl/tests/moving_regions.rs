@@ -1,0 +1,81 @@
+//! Moving regions (Section 1): "the driver may draw around [the car's
+//! position] a circle ... and indicate that C moves as a rigid body having
+//! the motion vector of the car" — `INSIDE(m, R, car)`.
+
+use most_ftl::context::MemoryContext;
+use most_ftl::semantics::naive_answer;
+use most_ftl::{evaluate_query, Query};
+use most_dbms::value::Value;
+use most_spatial::{Point, Polygon, Trajectory, Velocity};
+
+/// A car driving east with a 10×10 box region around its start, and two
+/// stationary motels: one on the road ahead, one far off.
+fn ctx() -> MemoryContext {
+    let mut c = MemoryContext::new(200);
+    c.add_object(
+        1, // the car
+        Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0)),
+    );
+    c.add_object(2, Trajectory::starting_at(Point::new(80.0, 2.0), Velocity::zero()));
+    c.add_object(3, Trajectory::starting_at(Point::new(80.0, 90.0), Velocity::zero()));
+    // Region defined in world coordinates at evaluation time, centred on
+    // the car's start.
+    c.add_region("C", Polygon::rectangle(-5.0, -5.0, 5.0, 5.0));
+    c
+}
+
+#[test]
+fn region_rides_with_the_anchor() {
+    let c = ctx();
+    let q = Query::parse("RETRIEVE m WHERE m <> o AND o.SPEED >= 1 AND INSIDE(m, C, o)")
+        .unwrap();
+    // Make o unambiguous: only the car has speed >= 1.
+    let a = evaluate_query(&c, &q).unwrap();
+    // Motel 2 is inside the moving box while the car is near x=80 (offset
+    // ±5, y=2 within ±5); motel 3 never is.
+    assert_eq!(a.ids(), vec![2]);
+    let set = a.intervals_for(&[Value::Id(2)]).unwrap();
+    assert_eq!(set.first_tick(), Some(75));
+    assert_eq!(set.last_tick(), Some(85));
+}
+
+#[test]
+fn matches_oracle_on_piecewise_anchors() {
+    let mut c = ctx();
+    // Give the car a turn mid-way; the region follows.
+    let mut traj = Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
+    traj.update_velocity(60, Velocity::new(0.0, 1.0));
+    c.add_object(1, traj);
+    for src in [
+        "RETRIEVE m, o WHERE m <> o AND Eventually INSIDE(m, C, o)",
+        "RETRIEVE m, o WHERE m <> o AND Always OUTSIDE(m, C, o)",
+        "RETRIEVE m, o WHERE m <> o AND (OUTSIDE(m, C, o) Until INSIDE(m, C, o))",
+    ] {
+        let q = Query::parse(src).unwrap();
+        let fast = evaluate_query(&c, &q).unwrap();
+        let slow = naive_answer(&c, &q).unwrap();
+        assert_eq!(fast, slow, "{src}");
+    }
+}
+
+#[test]
+fn stationary_anchor_equals_static_region() {
+    let mut c = ctx();
+    c.add_object(4, Trajectory::starting_at(Point::new(0.0, 0.0), Velocity::zero()));
+    // Anchored to a parked object, the moving form degenerates to the
+    // static one.
+    let moving = Query::parse("RETRIEVE m WHERE Eventually INSIDE(m, C, POINT(0, 0))");
+    // POINT anchors are allowed too (a degenerate stationary anchor).
+    let q_static = Query::parse("RETRIEVE m WHERE Eventually INSIDE(m, C)").unwrap();
+    let q_moving = moving.unwrap();
+    let a = evaluate_query(&c, &q_moving).unwrap();
+    let b = evaluate_query(&c, &q_static).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn display_round_trips() {
+    let src = "RETRIEVE m, o WHERE Eventually INSIDE(m, C, o)";
+    let q = Query::parse(src).unwrap();
+    assert_eq!(Query::parse(&q.to_string()).unwrap(), q);
+}

@@ -1,0 +1,55 @@
+//! Parser robustness: arbitrary input must produce `Ok` or a structured
+//! parse error — never a panic — and everything that parses must
+//! pretty-print back to an equivalent AST.
+
+use most_ftl::{FtlError, Query};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC*") {
+        match Query::parse(&s) {
+            Ok(_) => {}
+            Err(FtlError::Parse { .. }) => {}
+            Err(other) => prop_assert!(false, "non-parse error from parser: {other}"),
+        }
+    }
+
+    #[test]
+    fn token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("RETRIEVE"), Just("WHERE"), Just("o"), Just("n"), Just("x"),
+                Just("AND"), Just("OR"), Just("NOT"), Just("Until"), Just("Nexttime"),
+                Just("Eventually"), Just("Always"), Just("within"), Just("after"),
+                Just("for"), Just("INSIDE"), Just("OUTSIDE"), Just("DIST"),
+                Just("WITHIN_SPHERE"), Just("POINT"), Just("time"), Just("true"),
+                Just("false"), Just("("), Just(")"), Just("["), Just("]"),
+                Just(","), Just("."), Just("<="), Just(">="), Just("<"), Just(">"),
+                Just("="), Just("<>"), Just("<-"), Just("+"), Just("-"), Just("*"),
+                Just("/"), Just("3"), Just("2.5"), Just("'s'"), Just("until_within"),
+            ],
+            0..25
+        )
+    ) {
+        let src = tokens.join(" ");
+        match Query::parse(&src) {
+            Ok(q) => {
+                // Whatever parses must round-trip through Display.
+                let again = Query::parse(&q.to_string());
+                prop_assert_eq!(again.expect("display reparses"), q);
+            }
+            Err(FtlError::Parse { .. }) => {}
+            Err(other) => prop_assert!(false, "non-parse error: {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_point_into_the_source(s in "RETRIEVE [a-z]{1,5} WHERE [a-z<>=. ()0-9]{0,30}") {
+        if let Err(FtlError::Parse { offset, .. }) = Query::parse(&s) {
+            prop_assert!(offset <= s.len(), "offset {} beyond input {}", offset, s.len());
+        }
+    }
+}

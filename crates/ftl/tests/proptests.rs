@@ -1,0 +1,134 @@
+//! Property tests: the appendix interval algorithm must agree with the
+//! naive per-tick Section 3.3 oracle on random scenarios and random
+//! formulas.
+
+use most_ftl::context::MemoryContext;
+use most_ftl::semantics::naive_answer;
+use most_ftl::{evaluate_query, Query};
+use most_spatial::{Point, Polygon, Trajectory, Velocity};
+use proptest::prelude::*;
+
+const H_END: u64 = 60;
+
+#[derive(Debug, Clone)]
+#[allow(clippy::type_complexity)]
+struct Scenario {
+    objects: Vec<(Point, Velocity, Option<(u64, Velocity)>, f64)>, // pos, vel, update, price
+    region_p: (f64, f64, f64, f64),
+    region_q: (f64, f64, f64, f64),
+}
+
+fn arb_coord() -> impl Strategy<Value = f64> {
+    (-60i32..=60).prop_map(|v| v as f64)
+}
+
+fn arb_vel() -> impl Strategy<Value = Velocity> {
+    ((-8i32..=8), (-8i32..=8)).prop_map(|(x, y)| Velocity::new(x as f64 * 0.25, y as f64 * 0.25))
+}
+
+fn arb_object() -> impl Strategy<Value = (Point, Velocity, Option<(u64, Velocity)>, f64)> {
+    (
+        (arb_coord(), arb_coord()).prop_map(|(x, y)| Point::new(x, y)),
+        arb_vel(),
+        prop::option::of((1..H_END, arb_vel())),
+        (0u32..200).prop_map(|p| p as f64),
+    )
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec(arb_object(), 1..5),
+        (arb_coord(), arb_coord(), 5u32..40, 5u32..40),
+        (arb_coord(), arb_coord(), 5u32..40, 5u32..40),
+    )
+        .prop_map(|(objects, p, q)| Scenario {
+            objects,
+            region_p: (p.0, p.1, p.0 + p.2 as f64, p.1 + p.3 as f64),
+            region_q: (q.0, q.1, q.0 + q.2 as f64, q.1 + q.3 as f64),
+        })
+}
+
+fn build_context(s: &Scenario) -> MemoryContext {
+    let mut ctx = MemoryContext::new(H_END);
+    for (i, (pos, vel, update, price)) in s.objects.iter().enumerate() {
+        let mut traj = Trajectory::starting_at(*pos, *vel);
+        if let Some((t, v2)) = update {
+            traj.update_velocity(*t, *v2);
+        }
+        ctx.add_object(i as u64 + 1, traj);
+        ctx.set_attr(i as u64 + 1, "PRICE", *price);
+    }
+    let (x0, y0, x1, y1) = s.region_p;
+    ctx.add_region("P", Polygon::rectangle(x0, y0, x1, y1));
+    let (x0, y0, x1, y1) = s.region_q;
+    ctx.add_region("Q", Polygon::rectangle(x0, y0, x1, y1));
+    ctx
+}
+
+/// Query templates exercising every operator; `{c}` is replaced by a small
+/// duration.
+const TEMPLATES: &[&str] = &[
+    "RETRIEVE o WHERE Eventually INSIDE(o, P)",
+    "RETRIEVE o WHERE Always OUTSIDE(o, Q)",
+    "RETRIEVE o WHERE Eventually within {c} INSIDE(o, P)",
+    "RETRIEVE o WHERE Eventually after {c} INSIDE(o, P)",
+    "RETRIEVE o WHERE Eventually (INSIDE(o, P) AND Always for {c} INSIDE(o, P))",
+    "RETRIEVE o WHERE Nexttime Nexttime INSIDE(o, P)",
+    "RETRIEVE o WHERE OUTSIDE(o, P) Until INSIDE(o, P)",
+    "RETRIEVE o WHERE OUTSIDE(o, P) until_within {c} INSIDE(o, P)",
+    "RETRIEVE o WHERE o.PRICE <= 100 AND Eventually INSIDE(o, P)",
+    "RETRIEVE o WHERE INSIDE(o, P) OR INSIDE(o, Q)",
+    "RETRIEVE o WHERE NOT Eventually INSIDE(o, P)",
+    "RETRIEVE o, n WHERE Eventually (DIST(o, n) <= {c})",
+    "RETRIEVE o, n WHERE DIST(o, n) <= 40 Until (INSIDE(o, P) AND INSIDE(n, P))",
+    "RETRIEVE o, n WHERE Eventually WITHIN_SPHERE(8, o, n)",
+    "RETRIEVE o WHERE Eventually (o.X >= 10 AND o.Y <= 20)",
+    "RETRIEVE o WHERE [x <- o.SPEED] Eventually (o.SPEED >= 2 * x)",
+    "RETRIEVE o WHERE Always (time <= {c} OR OUTSIDE(o, P))",
+    "RETRIEVE o WHERE Eventually (DIST(o, POINT(10, 10)) <= {c})",
+    "RETRIEVE o, n WHERE o <> n AND Eventually (DIST(o, n) <= 5)",
+    "RETRIEVE o WHERE Eventually (o.VX >= 1 AND INSIDE(o, P))",
+    "RETRIEVE o WHERE [x <- o.SPEED] [y <- o.PRICE] Eventually (o.SPEED >= x AND o.PRICE <= y)",
+    "RETRIEVE o WHERE (INSIDE(o, P) OR INSIDE(o, Q)) Until OUTSIDE(o, P)",
+    "RETRIEVE o WHERE Always Eventually INSIDE(o, P)",
+    "RETRIEVE o WHERE Eventually Always INSIDE(o, P)",
+    "RETRIEVE o WHERE Eventually within {c} Nexttime INSIDE(o, P)",
+    "RETRIEVE o, n WHERE o <> n AND Eventually INSIDE(o, P, n)",
+    "RETRIEVE o, n WHERE o <> n AND (DIST(o, n) <= 40 Until INSIDE(o, P))",
+    "RETRIEVE o, n WHERE o <> n AND Always OUTSIDE(o, Q, n)",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interval_algorithm_matches_oracle(
+        s in arb_scenario(),
+        template_idx in 0..TEMPLATES.len(),
+        c in 1u64..30
+    ) {
+        let ctx = build_context(&s);
+        let src = TEMPLATES[template_idx].replace("{c}", &c.to_string());
+        let q = Query::parse(&src).expect("template parses");
+        let fast = evaluate_query(&ctx, &q).expect("interval evaluation succeeds");
+        let slow = naive_answer(&ctx, &q).expect("oracle evaluation succeeds");
+        prop_assert_eq!(fast, slow, "query: {}", src);
+    }
+
+    #[test]
+    fn answers_are_normalized(
+        s in arb_scenario(),
+        template_idx in 0..TEMPLATES.len(),
+        c in 1u64..30
+    ) {
+        let ctx = build_context(&s);
+        let src = TEMPLATES[template_idx].replace("{c}", &c.to_string());
+        let q = Query::parse(&src).expect("template parses");
+        let a = evaluate_query(&ctx, &q).expect("evaluation succeeds");
+        for tup in &a.tuples {
+            prop_assert!(tup.intervals.is_normalized());
+            prop_assert!(!tup.intervals.is_empty());
+            prop_assert_eq!(tup.values.len(), q.targets.len());
+        }
+    }
+}

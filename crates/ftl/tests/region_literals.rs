@@ -1,0 +1,86 @@
+//! Inline region literals: `INSIDE(o, RECT(...))` and `INSIDE(o, CIRCLE(...))`
+//! desugar to core atoms and must agree with the equivalent registered
+//! region / DIST formulations.
+
+use most_ftl::context::MemoryContext;
+use most_ftl::{evaluate_query, Query};
+use most_spatial::{Point, Polygon, Trajectory, Velocity};
+
+fn ctx() -> MemoryContext {
+    let mut c = MemoryContext::new(200);
+    c.add_object(
+        1,
+        Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.25)),
+    );
+    c.add_object(
+        2,
+        Trajectory::starting_at(Point::new(150.0, 40.0), Velocity::new(-1.0, 0.0)),
+    );
+    c.add_region("P", Polygon::rectangle(50.0, 0.0, 90.0, 30.0));
+    c
+}
+
+#[test]
+fn rect_literal_matches_registered_region() {
+    let c = ctx();
+    let via_name = Query::parse("RETRIEVE o WHERE Eventually INSIDE(o, P)").unwrap();
+    let via_lit =
+        Query::parse("RETRIEVE o WHERE Eventually INSIDE(o, RECT(50, 0, 90, 30))").unwrap();
+    assert_eq!(
+        evaluate_query(&c, &via_name).unwrap(),
+        evaluate_query(&c, &via_lit).unwrap()
+    );
+}
+
+#[test]
+fn rect_literal_normalizes_corner_order() {
+    let c = ctx();
+    let a = Query::parse("RETRIEVE o WHERE INSIDE(o, RECT(50, 0, 90, 30))").unwrap();
+    let b = Query::parse("RETRIEVE o WHERE INSIDE(o, RECT(90, 30, 50, 0))").unwrap();
+    assert_eq!(evaluate_query(&c, &a).unwrap(), evaluate_query(&c, &b).unwrap());
+}
+
+#[test]
+fn circle_literal_matches_dist_formulation() {
+    let c = ctx();
+    let via_lit =
+        Query::parse("RETRIEVE o WHERE Eventually INSIDE(o, CIRCLE(70, 15, 25))").unwrap();
+    let via_dist =
+        Query::parse("RETRIEVE o WHERE Eventually (DIST(o, POINT(70, 15)) <= 25)").unwrap();
+    assert_eq!(
+        evaluate_query(&c, &via_lit).unwrap(),
+        evaluate_query(&c, &via_dist).unwrap()
+    );
+}
+
+#[test]
+fn outside_literals_are_complements() {
+    let c = ctx();
+    let inside = Query::parse("RETRIEVE o WHERE INSIDE(o, RECT(50, 0, 90, 30))").unwrap();
+    let outside = Query::parse("RETRIEVE o WHERE OUTSIDE(o, RECT(50, 0, 90, 30))").unwrap();
+    let a = evaluate_query(&c, &inside).unwrap();
+    let b = evaluate_query(&c, &outside).unwrap();
+    use most_dbms::value::Value;
+    for id in [1u64, 2] {
+        let sa = a.intervals_for(&[Value::Id(id)]).cloned().unwrap_or_default();
+        let sb = b.intervals_for(&[Value::Id(id)]).cloned().unwrap_or_default();
+        assert!(sa.intersect(&sb).is_empty(), "object {id}");
+        assert_eq!(
+            sa.union(&sb).tick_count(),
+            201,
+            "object {id} covers the horizon"
+        );
+    }
+}
+
+#[test]
+fn named_regions_still_work_and_errors_survive() {
+    let c = ctx();
+    // A region actually named RECT (no parenthesis follows): treated as a
+    // name lookup and fails as unknown.
+    let q = Query::parse("RETRIEVE o WHERE INSIDE(o, RECT)").unwrap();
+    assert!(evaluate_query(&c, &q).is_err());
+    // Malformed literal is a parse error.
+    assert!(Query::parse("RETRIEVE o WHERE INSIDE(o, RECT(1, 2, 3))").is_err());
+    assert!(Query::parse("RETRIEVE o WHERE INSIDE(o, CIRCLE(1, 2))").is_err());
+}

@@ -1,0 +1,450 @@
+//! Indexing objects moving in the plane: the paper's 3-D variant.
+//!
+//! "For an object moving in 2-dimensional space, the above scheme can be
+//! mimicked using an index of 3-dimensional space, with the third dimension
+//! being, obviously, time."  The structure here is an octree over
+//! (time × x × y); each object's motion is a 3-D line segment (piecewise,
+//! across motion-vector updates) inserted into every cell it crosses.
+
+use most_spatial::predicates::inside_rect;
+use most_spatial::{MovingPoint, Point, Rect, Velocity};
+use most_temporal::{Horizon, Interval, IntervalSet, Tick};
+use std::collections::HashMap;
+
+use crate::dynidx::QueryStats;
+
+const LEAF_CAPACITY: usize = 8;
+const MAX_DEPTH: u32 = 10;
+
+/// An axis-aligned box in (time, x, y).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Box3 {
+    min: [f64; 3],
+    max: [f64; 3],
+}
+
+impl Box3 {
+    fn intersects(&self, other: &Box3) -> bool {
+        (0..3).all(|i| self.min[i] <= other.max[i] && other.min[i] <= self.max[i])
+    }
+
+    fn octants(&self) -> [Box3; 8] {
+        let mid = [
+            (self.min[0] + self.max[0]) / 2.0,
+            (self.min[1] + self.max[1]) / 2.0,
+            (self.min[2] + self.max[2]) / 2.0,
+        ];
+        let mut out = [*self; 8];
+        for (i, b) in out.iter_mut().enumerate() {
+            for (axis, &m) in mid.iter().enumerate() {
+                if i & (1 << axis) == 0 {
+                    b.max[axis] = m;
+                } else {
+                    b.min[axis] = m;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A 3-D line segment (the space-time trace of one motion leg).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Seg3 {
+    p0: [f64; 3],
+    p1: [f64; 3],
+}
+
+impl Seg3 {
+    /// Liang–Barsky clipping in three dimensions.
+    fn intersects(&self, b: &Box3) -> bool {
+        let mut t_min = 0.0f64;
+        let mut t_max = 1.0f64;
+        for axis in 0..3 {
+            let d = self.p1[axis] - self.p0[axis];
+            if d == 0.0 {
+                if self.p0[axis] < b.min[axis] || self.p0[axis] > b.max[axis] {
+                    return false;
+                }
+            } else {
+                let t1 = (b.min[axis] - self.p0[axis]) / d;
+                let t2 = (b.max[axis] - self.p0[axis]) / d;
+                let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+                t_min = t_min.max(lo);
+                t_max = t_max.min(hi);
+                if t_min > t_max {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<(u64, Seg3)>),
+    Internal(Box<[Node; 8]>),
+}
+
+/// One motion leg of an indexed object.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    from: Tick,
+    until: Tick,
+    motion: MovingPoint,
+}
+
+impl Leg {
+    fn seg(&self) -> Seg3 {
+        let a = self.motion.position_at(self.from as f64);
+        let b = self.motion.position_at(self.until as f64);
+        Seg3 {
+            p0: [self.from as f64, a.x, a.y],
+            p1: [self.until as f64, b.x, b.y],
+        }
+    }
+}
+
+/// Octree index over moving points in the plane.
+#[derive(Debug, Clone)]
+pub struct MovingObjectIndex2D {
+    bounds: Box3,
+    root: Node,
+    objects: HashMap<u64, Vec<Leg>>,
+    lifetime: Tick,
+}
+
+impl MovingObjectIndex2D {
+    /// Creates an index over `[0, lifetime]` ticks and the given spatial
+    /// extent.
+    pub fn new(lifetime: Tick, space: Rect) -> Self {
+        MovingObjectIndex2D {
+            bounds: Box3 {
+                min: [0.0, space.min_x, space.min_y],
+                max: [lifetime as f64, space.max_x, space.max_y],
+            },
+            root: Node::Leaf(Vec::new()),
+            objects: HashMap::new(),
+            lifetime,
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The index lifetime `T`.
+    pub fn lifetime(&self) -> Tick {
+        self.lifetime
+    }
+
+    /// Inserts an object at tick `at` with position `p` and motion vector
+    /// `v`.
+    ///
+    /// # Panics
+    /// Panics when the id is already present.
+    pub fn insert(&mut self, id: u64, at: Tick, p: Point, v: Velocity) {
+        assert!(!self.objects.contains_key(&id), "object #{id} already indexed");
+        let leg = Leg {
+            from: at,
+            until: self.lifetime,
+            motion: MovingPoint::new(p, at, v),
+        };
+        self.insert_seg(id, leg.seg());
+        self.objects.insert(id, vec![leg]);
+    }
+
+    /// Motion-vector update at tick `t` (position explicitly supplied, as
+    /// sensors report both).
+    pub fn update(&mut self, id: u64, t: Tick, p: Point, v: Velocity) {
+        let legs = self.objects.get_mut(&id).expect("object must be indexed");
+        let last = legs.last_mut().expect("non-empty legs");
+        assert!(t >= last.from, "updates must move forward in time");
+        let old_seg = last.seg();
+        remove_rec(&mut self.root, self.bounds, id, old_seg);
+        if t > last.from {
+            last.until = t - 1;
+            let prefix = last.seg();
+            let new_leg = Leg { from: t, until: self.lifetime, motion: MovingPoint::new(p, t, v) };
+            let new_seg = new_leg.seg();
+            legs.push(new_leg);
+            insert_rec(&mut self.root, self.bounds, id, prefix, 0);
+            insert_rec(&mut self.root, self.bounds, id, new_seg, 0);
+        } else {
+            *last = Leg { from: t, until: self.lifetime, motion: MovingPoint::new(p, t, v) };
+            let seg = last.seg();
+            insert_rec(&mut self.root, self.bounds, id, seg, 0);
+        }
+    }
+
+    fn insert_seg(&mut self, id: u64, seg: Seg3) {
+        insert_rec(&mut self.root, self.bounds, id, seg, 0);
+    }
+
+    /// Removes an object and every segment of its motion history; returns
+    /// whether it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(legs) = self.objects.remove(&id) else {
+            return false;
+        };
+        for leg in legs {
+            remove_rec(&mut self.root, self.bounds, id, leg.seg());
+        }
+        true
+    }
+
+    /// Objects inside `region` at tick `t` ("Retrieve the objects that are
+    /// currently in the polygon P", with rectangles standing in for
+    /// regions), plus access stats.
+    pub fn query_at(&self, t: Tick, region: &Rect) -> (Vec<u64>, QueryStats) {
+        let probe = Box3 {
+            min: [t as f64 - 0.5, region.min_x, region.min_y],
+            max: [t as f64 + 0.5, region.max_x, region.max_y],
+        };
+        let (candidates, nodes_visited) = self.query_box(&probe);
+        let mut stats = QueryStats {
+            nodes_visited,
+            candidates: candidates.len() as u64,
+            results: 0,
+        };
+        let out: Vec<u64> = candidates
+            .into_iter()
+            .filter(|&id| {
+                self.position_of(id, t)
+                    .is_some_and(|p| region.contains(p))
+            })
+            .collect();
+        stats.results = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Continuous variant: objects entering `region` during `[from, to]`,
+    /// with the tick intervals they spend inside.
+    pub fn query_window(
+        &self,
+        from: Tick,
+        to: Tick,
+        region: &Rect,
+    ) -> (Vec<(u64, IntervalSet)>, QueryStats) {
+        let probe = Box3 {
+            min: [from as f64, region.min_x, region.min_y],
+            max: [to as f64, region.max_x, region.max_y],
+        };
+        let (candidates, nodes_visited) = self.query_box(&probe);
+        let mut stats = QueryStats {
+            nodes_visited,
+            candidates: candidates.len() as u64,
+            results: 0,
+        };
+        let h = Horizon::new(self.lifetime);
+        let window = IntervalSet::singleton(Interval::new(from, to.min(self.lifetime)));
+        let mut out = Vec::new();
+        for id in candidates {
+            let Some(legs) = self.objects.get(&id) else { continue };
+            let mut acc = IntervalSet::empty();
+            for leg in legs {
+                let span = IntervalSet::singleton(Interval::new(leg.from, leg.until));
+                acc = acc.union(
+                    &inside_rect(leg.motion, *region, h)
+                        .intersect(&span)
+                        .intersect(&window),
+                );
+            }
+            if !acc.is_empty() {
+                out.push((id, acc));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        stats.results = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Exact recorded position of an object at tick `t`.
+    pub fn position_of(&self, id: u64, t: Tick) -> Option<Point> {
+        let legs = self.objects.get(&id)?;
+        let leg = legs
+            .iter()
+            .rev()
+            .find(|l| l.from <= t)
+            .or_else(|| legs.first())?;
+        Some(leg.motion.position_at_tick(t))
+    }
+
+    fn query_box(&self, probe: &Box3) -> (Vec<u64>, u64) {
+        let mut out = Vec::new();
+        let mut visited = 0u64;
+        query_rec(&self.root, self.bounds, probe, &mut out, &mut visited);
+        out.sort_unstable();
+        out.dedup();
+        (out, visited)
+    }
+}
+
+fn insert_rec(node: &mut Node, bounds: Box3, id: u64, seg: Seg3, depth: u32) {
+    match node {
+        Node::Leaf(items) => {
+            items.push((id, seg));
+            if items.len() > LEAF_CAPACITY && depth < MAX_DEPTH {
+                let moved = std::mem::take(items);
+                let mut kids: Box<[Node; 8]> = Box::new([
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                ]);
+                let octs = bounds.octants();
+                for (mid, mseg) in moved {
+                    for (o, kid) in octs.iter().zip(kids.iter_mut()) {
+                        if mseg.intersects(o) {
+                            insert_rec(kid, *o, mid, mseg, depth + 1);
+                        }
+                    }
+                }
+                *node = Node::Internal(kids);
+            }
+        }
+        Node::Internal(kids) => {
+            for (o, kid) in bounds.octants().iter().zip(kids.iter_mut()) {
+                if seg.intersects(o) {
+                    insert_rec(kid, *o, id, seg, depth + 1);
+                }
+            }
+        }
+    }
+}
+
+fn remove_rec(node: &mut Node, bounds: Box3, id: u64, seg: Seg3) -> bool {
+    match node {
+        Node::Leaf(items) => {
+            let before = items.len();
+            items.retain(|(i, s)| !(*i == id && *s == seg));
+            items.len() != before
+        }
+        Node::Internal(kids) => {
+            let mut removed = false;
+            for (o, kid) in bounds.octants().iter().zip(kids.iter_mut()) {
+                if seg.intersects(o) {
+                    removed |= remove_rec(kid, *o, id, seg);
+                }
+            }
+            removed
+        }
+    }
+}
+
+fn query_rec(node: &Node, bounds: Box3, probe: &Box3, out: &mut Vec<u64>, visited: &mut u64) {
+    *visited += 1;
+    match node {
+        Node::Leaf(items) => {
+            for (id, seg) in items {
+                if seg.intersects(probe) {
+                    out.push(*id);
+                }
+            }
+        }
+        Node::Internal(kids) => {
+            for (o, kid) in bounds.octants().iter().zip(kids.iter()) {
+                if o.intersects(probe) {
+                    query_rec(kid, *o, probe, out, visited);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Rect {
+        Rect::new(-500.0, -500.0, 500.0, 500.0)
+    }
+
+    #[test]
+    fn query_at_finds_moving_objects() {
+        let mut idx = MovingObjectIndex2D::new(1000, space());
+        idx.insert(1, 0, Point::new(0.0, 0.0), Velocity::new(1.0, 0.0));
+        idx.insert(2, 0, Point::new(0.0, 100.0), Velocity::zero());
+        let region = Rect::new(40.0, -10.0, 60.0, 10.0);
+        let (ids, _) = idx.query_at(50, &region);
+        assert_eq!(ids, vec![1]);
+        let (ids, _) = idx.query_at(0, &region);
+        assert!(ids.is_empty());
+        let (ids, _) = idx.query_at(50, &Rect::new(-10.0, 90.0, 10.0, 110.0));
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn query_window_returns_intervals() {
+        let mut idx = MovingObjectIndex2D::new(1000, space());
+        idx.insert(1, 0, Point::new(0.0, 0.0), Velocity::new(1.0, 0.0));
+        let region = Rect::new(40.0, -10.0, 60.0, 10.0);
+        let (rows, _) = idx.query_window(0, 1000, &region);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.first_tick(), Some(40));
+        assert_eq!(rows[0].1.last_tick(), Some(60));
+        // A window that misses the crossing.
+        let (rows, _) = idx.query_window(70, 100, &region);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn update_changes_course() {
+        let mut idx = MovingObjectIndex2D::new(1000, space());
+        idx.insert(1, 0, Point::new(0.0, 0.0), Velocity::new(1.0, 0.0));
+        // At t=30 turn north.
+        idx.update(1, 30, Point::new(30.0, 0.0), Velocity::new(0.0, 1.0));
+        let east = Rect::new(45.0, -5.0, 55.0, 5.0);
+        let (ids, _) = idx.query_at(50, &east);
+        assert!(ids.is_empty(), "old course should be un-indexed");
+        let north = Rect::new(25.0, 15.0, 35.0, 25.0);
+        let (ids, _) = idx.query_at(50, &north);
+        assert_eq!(ids, vec![1]);
+        // The historical prefix is still queryable.
+        let (ids, _) = idx.query_at(10, &Rect::new(5.0, -5.0, 15.0, 5.0));
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn index_matches_brute_force_on_many_objects() {
+        let mut idx = MovingObjectIndex2D::new(500, space());
+        let mut objs = Vec::new();
+        for i in 0..200u64 {
+            let p = Point::new((i % 20) as f64 * 40.0 - 400.0, (i / 20) as f64 * 40.0 - 200.0);
+            let v = Velocity::new(((i % 5) as f64 - 2.0) * 0.3, ((i % 3) as f64 - 1.0) * 0.3);
+            idx.insert(i, 0, p, v);
+            objs.push(MovingPoint::from_origin(p, v));
+        }
+        let region = Rect::new(-50.0, -50.0, 50.0, 50.0);
+        for t in [0u64, 100, 250, 499] {
+            let (got, stats) = idx.query_at(t, &region);
+            let want: Vec<u64> = objs
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| region.contains(m.position_at_tick(t)))
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(got, want, "t = {t}");
+            assert!(stats.nodes_visited > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_insert_panics() {
+        let mut idx = MovingObjectIndex2D::new(100, space());
+        idx.insert(1, 0, Point::origin(), Velocity::zero());
+        idx.insert(1, 0, Point::origin(), Velocity::zero());
+    }
+}

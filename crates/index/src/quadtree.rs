@@ -1,0 +1,243 @@
+//! A region quadtree over (time × value) space storing function-line
+//! segments.
+//!
+//! "Spatial indexes use a hierarchical recursive decomposition of space,
+//! usually into rectangles; the id of each object o is stored in the
+//! records of \[sic\] representing the rectangles crossed by the A.function
+//! of o" — a leaf node here is such a record: it stores the ids of all
+//! segments crossing its rectangle.
+
+use crate::segment::Segment;
+use most_spatial::Rect;
+
+/// Leaf capacity before splitting.
+const LEAF_CAPACITY: usize = 16;
+/// Maximum tree depth (bounds worst-case degradation when many segments
+/// cross one region).
+const MAX_DEPTH: u32 = 8;
+
+/// A region quadtree mapping rectangle queries to segment ids.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    bounds: Rect,
+    root: Node,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<(u64, Segment)>),
+    Internal(Box<[Node; 4]>),
+}
+
+impl QuadTree {
+    /// Creates an empty tree over the given bounds.
+    pub fn new(bounds: Rect) -> Self {
+        QuadTree { bounds, root: Node::Leaf(Vec::new()), len: 0 }
+    }
+
+    /// The indexed space.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Number of stored segments (an object may contribute several).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree stores no segments.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a segment under an id.  Segments outside the bounds are
+    /// clipped implicitly (they are stored in the cells they cross; a
+    /// segment entirely outside is still counted but lands nowhere).
+    pub fn insert(&mut self, id: u64, seg: Segment) {
+        insert_rec(&mut self.root, self.bounds, id, seg, 0);
+        self.len += 1;
+    }
+
+    /// Removes a segment by exact (id, segment) match; returns whether
+    /// anything was removed.
+    pub fn remove(&mut self, id: u64, seg: Segment) -> bool {
+        let removed = remove_rec(&mut self.root, self.bounds, id, seg);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Candidate ids whose segments cross the query rectangle, deduplicated
+    /// and exact (each candidate's segment is re-tested against the query
+    /// rectangle), plus the number of tree nodes visited.
+    pub fn query(&self, rect: &Rect) -> (Vec<u64>, u64) {
+        let mut out: Vec<u64> = Vec::new();
+        let mut visited = 0u64;
+        query_rec(&self.root, self.bounds, rect, &mut out, &mut visited);
+        out.sort_unstable();
+        out.dedup();
+        (out, visited)
+    }
+
+    /// Maximum depth actually reached (diagnostics).
+    pub fn depth(&self) -> u32 {
+        fn rec(n: &Node) -> u32 {
+            match n {
+                Node::Leaf(_) => 0,
+                Node::Internal(kids) => 1 + kids.iter().map(rec).max().unwrap_or(0),
+            }
+        }
+        rec(&self.root)
+    }
+}
+
+fn insert_rec(node: &mut Node, bounds: Rect, id: u64, seg: Segment, depth: u32) {
+    match node {
+        Node::Leaf(items) => {
+            items.push((id, seg));
+            if items.len() > LEAF_CAPACITY && depth < MAX_DEPTH {
+                let moved = std::mem::take(items);
+                let mut kids = Box::new([
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                ]);
+                let quads = bounds.quadrants();
+                for (mid, mseg) in moved {
+                    for (q, kid) in quads.iter().zip(kids.iter_mut()) {
+                        if mseg.intersects_rect(q) {
+                            insert_rec(kid, *q, mid, mseg, depth + 1);
+                        }
+                    }
+                }
+                *node = Node::Internal(kids);
+            }
+        }
+        Node::Internal(kids) => {
+            for (q, kid) in bounds.quadrants().iter().zip(kids.iter_mut()) {
+                if seg.intersects_rect(q) {
+                    insert_rec(kid, *q, id, seg, depth + 1);
+                }
+            }
+        }
+    }
+}
+
+fn remove_rec(node: &mut Node, bounds: Rect, id: u64, seg: Segment) -> bool {
+    match node {
+        Node::Leaf(items) => {
+            let before = items.len();
+            items.retain(|(i, s)| !(*i == id && *s == seg));
+            items.len() != before
+        }
+        Node::Internal(kids) => {
+            let mut removed = false;
+            for (q, kid) in bounds.quadrants().iter().zip(kids.iter_mut()) {
+                if seg.intersects_rect(q) {
+                    removed |= remove_rec(kid, *q, id, seg);
+                }
+            }
+            removed
+        }
+    }
+}
+
+fn query_rec(node: &Node, bounds: Rect, rect: &Rect, out: &mut Vec<u64>, visited: &mut u64) {
+    *visited += 1;
+    match node {
+        Node::Leaf(items) => {
+            for (id, seg) in items {
+                if seg.intersects_rect(rect) {
+                    out.push(*id);
+                }
+            }
+        }
+        Node::Internal(kids) => {
+            for (q, kid) in bounds.quadrants().iter().zip(kids.iter()) {
+                if q.intersects(rect) {
+                    query_rec(kid, *q, rect, out, visited);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Rect {
+        Rect::new(0.0, -100.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut t = QuadTree::new(space());
+        // Object 1 rises from 0; object 2 stays flat at 50.
+        t.insert(1, Segment::from_function(0.0, 0.0, 1.0, 100.0));
+        t.insert(2, Segment::from_function(0.0, 50.0, 0.0, 100.0));
+        assert_eq!(t.len(), 2);
+        // Around t=10, values 5..15: only object 1 (value 10).
+        let (ids, _) = t.query(&Rect::new(9.0, 5.0, 11.0, 15.0));
+        assert_eq!(ids, vec![1]);
+        // Around t=10, values 45..55: only object 2.
+        let (ids, _) = t.query(&Rect::new(9.0, 45.0, 11.0, 55.0));
+        assert_eq!(ids, vec![2]);
+        // Around t=50 both lines pass through 45..55.
+        let (ids, _) = t.query(&Rect::new(49.0, 45.0, 51.0, 55.0));
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn split_and_dedup() {
+        let mut t = QuadTree::new(space());
+        for i in 0..50 {
+            t.insert(i, Segment::from_function(0.0, i as f64, 0.5, 100.0));
+        }
+        assert!(t.depth() > 0, "tree should have split");
+        // A tall query touching all lines returns each id once.
+        let (ids, visited) = t.query(&Rect::new(0.0, -100.0, 100.0, 100.0));
+        assert_eq!(ids.len(), 50);
+        assert!(visited > 1);
+    }
+
+    #[test]
+    fn remove_segments() {
+        let mut t = QuadTree::new(space());
+        let s = Segment::from_function(0.0, 10.0, 0.0, 100.0);
+        t.insert(7, s);
+        assert!(t.remove(7, s));
+        assert!(!t.remove(7, s));
+        assert_eq!(t.len(), 0);
+        let (ids, _) = t.query(&Rect::new(0.0, 0.0, 100.0, 20.0));
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn query_misses_far_regions() {
+        let mut t = QuadTree::new(space());
+        t.insert(1, Segment::from_function(0.0, -90.0, 0.0, 100.0));
+        let (ids, _) = t.query(&Rect::new(0.0, 80.0, 100.0, 100.0));
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn deep_duplication_does_not_duplicate_results() {
+        let mut t = QuadTree::new(space());
+        // Many overlapping steep lines force deep splits and multi-cell
+        // storage.
+        for i in 0..30 {
+            t.insert(
+                i,
+                Segment::from_function(0.0, -50.0 + i as f64 * 0.1, 1.5, 100.0),
+            );
+        }
+        let (ids, _) = t.query(&Rect::new(20.0, -40.0, 40.0, 40.0));
+        let mut sorted = ids.clone();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,184 @@
+//! Periodic reconstruction of the dynamic-attribute index.
+//!
+//! "Observe that spatial indexing is limited to finite space.  Thus, in
+//! order to use this scheme we have to consider the time dimension starting
+//! at 0 and ending at some time-point T.  Consequently, the index needs to
+//! be reconstructed every T time units.  Choosing an appropriate value for
+//! T is an important future-research question."  Experiment E8 sweeps `T`;
+//! this wrapper provides the mechanism and the cost counters.
+
+use crate::dynidx::{DynamicAttributeIndex, IndexKind, QueryStats};
+use most_temporal::{IntervalSet, Tick};
+
+/// A [`DynamicAttributeIndex`] that transparently reconstructs itself every
+/// `period` ticks, rebasing global ticks onto the current epoch.
+#[derive(Debug, Clone)]
+pub struct RebuildingIndex {
+    inner: DynamicAttributeIndex,
+    kind: IndexKind,
+    period: Tick,
+    epoch: Tick,
+    value_range: (f64, f64),
+    /// Number of reconstructions performed.
+    pub rebuilds: u64,
+    /// Objects re-inserted across all reconstructions (rebuild work).
+    pub reinserted: u64,
+}
+
+impl RebuildingIndex {
+    /// Creates an index with reconstruction period `period`.
+    pub fn new(kind: IndexKind, period: Tick, value_range: (f64, f64)) -> Self {
+        RebuildingIndex {
+            inner: DynamicAttributeIndex::new(kind, period, value_range),
+            kind,
+            period,
+            epoch: 0,
+            value_range,
+            rebuilds: 0,
+            reinserted: 0,
+        }
+    }
+
+    /// The reconstruction period `T`.
+    pub fn period(&self) -> Tick {
+        self.period
+    }
+
+    /// The current epoch start (global tick of local time 0).
+    pub fn epoch(&self) -> Tick {
+        self.epoch
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn local(&self, t: Tick) -> Tick {
+        debug_assert!(t >= self.epoch);
+        t - self.epoch
+    }
+
+    /// Rolls the epoch forward until `t` falls inside the current lifetime.
+    fn advance_to(&mut self, t: Tick) {
+        while self.local(t) > self.period {
+            let new_epoch = self.epoch + self.period;
+            let states = self.inner.current_states(self.period);
+            let mut fresh =
+                DynamicAttributeIndex::new(self.kind, self.period, self.value_range);
+            for (id, value, slope) in states {
+                fresh.insert(id, 0, value, slope);
+                self.reinserted += 1;
+            }
+            self.inner = fresh;
+            self.epoch = new_epoch;
+            self.rebuilds += 1;
+        }
+    }
+
+    /// Inserts an object at global tick `t`.
+    pub fn insert(&mut self, id: u64, t: Tick, value: f64, slope: f64) {
+        self.advance_to(t);
+        self.inner.insert(id, self.local(t), value, slope);
+    }
+
+    /// Updates an object at global tick `t`.
+    pub fn update(&mut self, id: u64, t: Tick, value: f64, slope: f64) {
+        self.advance_to(t);
+        self.inner.update(id, self.local(t), value, slope);
+    }
+
+    /// Instantaneous range query at global tick `t`.
+    pub fn instantaneous(&mut self, t: Tick, lo: f64, hi: f64) -> (Vec<u64>, QueryStats) {
+        self.advance_to(t);
+        self.inner.instantaneous(self.local(t), lo, hi)
+    }
+
+    /// Continuous range query from global tick `t`; returned intervals are
+    /// in global ticks and extend at most to the end of the current epoch
+    /// (the index cannot see past its own lifetime — re-running after the
+    /// next reconstruction extends the answer, which is exactly the T
+    /// trade-off E8 measures).
+    pub fn continuous(
+        &mut self,
+        t: Tick,
+        lo: f64,
+        hi: f64,
+    ) -> (Vec<(u64, IntervalSet)>, QueryStats) {
+        self.advance_to(t);
+        let epoch = self.epoch;
+        let (rows, stats) = self.inner.continuous(self.local(t), lo, hi);
+        let shifted = rows
+            .into_iter()
+            .map(|(id, set)| {
+                let global = IntervalSet::from_intervals(
+                    set.intervals()
+                        .iter()
+                        .map(|iv| iv.shift_up(epoch)),
+                );
+                (id, global)
+            })
+            .collect();
+        (shifted, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_work_across_epochs() {
+        let mut idx = RebuildingIndex::new(IndexKind::QuadTree, 100, (-10_000.0, 10_000.0));
+        idx.insert(1, 0, 0.0, 1.0); // value = global t
+        // Inside the first epoch.
+        let (ids, _) = idx.instantaneous(50, 45.0, 55.0);
+        assert_eq!(ids, vec![1]);
+        assert_eq!(idx.rebuilds, 0);
+        // Far into the future: epochs roll, state carries over.
+        let (ids, _) = idx.instantaneous(350, 345.0, 355.0);
+        assert_eq!(ids, vec![1]);
+        assert!(idx.rebuilds >= 2, "rebuilds = {}", idx.rebuilds);
+        assert!(idx.reinserted >= 2);
+    }
+
+    #[test]
+    fn update_after_rollover() {
+        let mut idx = RebuildingIndex::new(IndexKind::QuadTree, 100, (-10_000.0, 10_000.0));
+        idx.insert(1, 0, 0.0, 1.0);
+        idx.update(1, 250, 0.0, -1.0); // rolls epochs, then redirects
+        let (ids, _) = idx.instantaneous(260, -15.0, -5.0);
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn continuous_clipped_to_epoch() {
+        let mut idx = RebuildingIndex::new(IndexKind::QuadTree, 100, (-10_000.0, 10_000.0));
+        idx.insert(1, 0, 0.0, 1.0);
+        let (rows, _) = idx.continuous(150, 0.0, 10_000.0);
+        assert_eq!(rows.len(), 1);
+        let set = &rows[0].1;
+        // Global ticks within the second epoch [100, 200].
+        assert_eq!(set.first_tick(), Some(150));
+        assert_eq!(set.last_tick(), Some(200));
+    }
+
+    #[test]
+    fn smaller_period_means_more_rebuilds() {
+        let mut small = RebuildingIndex::new(IndexKind::QuadTree, 50, (-1e6, 1e6));
+        let mut large = RebuildingIndex::new(IndexKind::QuadTree, 500, (-1e6, 1e6));
+        for idx in [&mut small, &mut large] {
+            for i in 0..20 {
+                idx.insert(i, 0, i as f64, 0.5);
+            }
+            idx.instantaneous(1000, 0.0, 100.0);
+        }
+        assert!(small.rebuilds > large.rebuilds);
+        assert!(small.reinserted > large.reinserted);
+    }
+}

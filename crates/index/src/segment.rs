@@ -1,0 +1,138 @@
+//! Function-lines as 2-D segments in (time × value) space.
+
+use most_spatial::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A line segment from `(x0, y0)` to `(x1, y1)` with `x0 <= x1`
+/// (time flows left to right).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start abscissa (time).
+    pub x0: f64,
+    /// Start ordinate (attribute value).
+    pub y0: f64,
+    /// End abscissa.
+    pub x1: f64,
+    /// End ordinate.
+    pub y1: f64,
+}
+
+impl Segment {
+    /// Creates a segment; panics if `x0 > x1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 <= x1, "segment must run forward in time ({x0} > {x1})");
+        Segment { x0, y0, x1, y1 }
+    }
+
+    /// The function-line of a linear dynamic attribute: value `v0` at time
+    /// `t0`, slope `slope`, over `[t0, t1]`.
+    pub fn from_function(t0: f64, v0: f64, slope: f64, t1: f64) -> Self {
+        Segment::new(t0, v0, t1, v0 + slope * (t1 - t0))
+    }
+
+    /// The attribute value at time `x` (extrapolates outside the range).
+    pub fn value_at(&self, x: f64) -> f64 {
+        if self.x1 == self.x0 {
+            return self.y0;
+        }
+        self.y0 + (self.y1 - self.y0) * (x - self.x0) / (self.x1 - self.x0)
+    }
+
+    /// Slope of the segment.
+    pub fn slope(&self) -> f64 {
+        if self.x1 == self.x0 {
+            0.0
+        } else {
+            (self.y1 - self.y0) / (self.x1 - self.x0)
+        }
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bounding_box(&self) -> Rect {
+        Rect::new(self.x0, self.y0.min(self.y1), self.x1, self.y0.max(self.y1))
+    }
+
+    /// Whether the segment intersects (touches) the rectangle —
+    /// Liang–Barsky parametric clipping.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        let dx = self.x1 - self.x0;
+        let dy = self.y1 - self.y0;
+        let mut t_min = 0.0f64;
+        let mut t_max = 1.0f64;
+        for (p, q) in [
+            (-dx, self.x0 - r.min_x),
+            (dx, r.max_x - self.x0),
+            (-dy, self.y0 - r.min_y),
+            (dy, r.max_y - self.y0),
+        ] {
+            if p == 0.0 {
+                if q < 0.0 {
+                    return false;
+                }
+            } else {
+                let t = q / p;
+                if p < 0.0 {
+                    t_min = t_min.max(t);
+                } else {
+                    t_max = t_max.min(t);
+                }
+                if t_min > t_max {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_function_endpoints() {
+        let s = Segment::from_function(0.0, 10.0, 2.0, 5.0);
+        assert_eq!(s.y0, 10.0);
+        assert_eq!(s.y1, 20.0);
+        assert_eq!(s.value_at(2.5), 15.0);
+        assert_eq!(s.slope(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backwards_segment_panics() {
+        let _ = Segment::new(5.0, 0.0, 3.0, 0.0);
+    }
+
+    #[test]
+    fn bounding_box_handles_descending() {
+        let s = Segment::new(0.0, 10.0, 4.0, 2.0);
+        let bb = s.bounding_box();
+        assert_eq!((bb.min_x, bb.min_y, bb.max_x, bb.max_y), (0.0, 2.0, 4.0, 10.0));
+    }
+
+    #[test]
+    fn rect_intersection_cases() {
+        let s = Segment::new(0.0, 0.0, 10.0, 10.0); // diagonal
+        assert!(s.intersects_rect(&Rect::new(4.0, 4.0, 6.0, 6.0))); // crosses
+        assert!(s.intersects_rect(&Rect::new(0.0, 0.0, 1.0, 1.0))); // endpoint
+        assert!(!s.intersects_rect(&Rect::new(0.0, 5.0, 2.0, 9.0))); // above line
+        assert!(!s.intersects_rect(&Rect::new(6.0, 0.0, 9.0, 3.0))); // below line
+        assert!(s.intersects_rect(&Rect::new(5.0, 5.0, 20.0, 20.0))); // partial
+        // Horizontal segment through a tall rectangle.
+        let flat = Segment::new(0.0, 3.0, 10.0, 3.0);
+        assert!(flat.intersects_rect(&Rect::new(4.0, 0.0, 5.0, 10.0)));
+        assert!(!flat.intersects_rect(&Rect::new(4.0, 4.0, 5.0, 10.0)));
+        // Touching the boundary counts.
+        assert!(flat.intersects_rect(&Rect::new(4.0, 3.0, 5.0, 10.0)));
+    }
+
+    #[test]
+    fn vertical_value_segment() {
+        // Zero-duration segments arise for updates at the horizon edge.
+        let s = Segment::new(5.0, 1.0, 5.0, 1.0);
+        assert_eq!(s.value_at(5.0), 1.0);
+        assert_eq!(s.slope(), 0.0);
+        assert!(s.intersects_rect(&Rect::new(4.0, 0.0, 6.0, 2.0)));
+    }
+}

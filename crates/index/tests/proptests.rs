@@ -1,0 +1,191 @@
+//! Property tests: both index structures must agree with the linear-scan
+//! ground truth under random insert/update/query workloads.
+
+use most_index::{DynamicAttributeIndex, IndexKind, MovingObjectIndex2D};
+use most_spatial::{MovingPoint, Point, Rect, Trajectory, Velocity};
+use most_temporal::{Horizon, IntervalSet, Tick};
+use proptest::prelude::*;
+
+const LIFETIME: Tick = 200;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: u64, value: f64, slope: f64 },
+    Update { id: u64, t: Tick, value: f64, slope: f64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    // Ids from a small pool; updates target previously inserted ids (we
+    // filter at replay time).
+    prop::collection::vec(
+        prop_oneof![
+            (0..40u64, -100i32..100, -8i32..8).prop_map(|(id, v, s)| Op::Insert {
+                id,
+                value: v as f64,
+                slope: s as f64 * 0.25,
+            }),
+            (0..40u64, 1..LIFETIME, -100i32..100, -8i32..8).prop_map(|(id, t, v, s)| {
+                Op::Update { id, t, value: v as f64, slope: s as f64 * 0.25 }
+            }),
+        ],
+        1..30,
+    )
+}
+
+/// Ground-truth model: per object, the list of (from, value, slope) pieces.
+#[derive(Default)]
+struct Model {
+    objects: std::collections::BTreeMap<u64, Vec<(Tick, f64, f64)>>,
+}
+
+impl Model {
+    fn value_of(&self, id: u64, t: Tick) -> Option<f64> {
+        let pieces = self.objects.get(&id)?;
+        let &(from, v, s) = pieces.iter().rev().find(|(f, _, _)| *f <= t).unwrap_or(&pieces[0]);
+        Some(v + s * (t as f64 - from as f64))
+    }
+
+    fn in_range_at(&self, t: Tick, lo: f64, hi: f64) -> Vec<u64> {
+        self.objects
+            .keys()
+            .filter(|&&id| {
+                self.value_of(id, t).is_some_and(|v| lo <= v && v <= hi)
+            })
+            .copied()
+            .collect()
+    }
+
+    fn in_range_intervals(&self, id: u64, from: Tick, lo: f64, hi: f64) -> IntervalSet {
+        IntervalSet::from_predicate(Horizon::new(LIFETIME), |t| {
+            t >= from && self.value_of(id, t).is_some_and(|v| lo <= v && v <= hi)
+        })
+    }
+}
+
+fn replay(ops: &[Op], kind: IndexKind) -> (DynamicAttributeIndex, Model) {
+    let mut idx = DynamicAttributeIndex::new(kind, LIFETIME, (-5000.0, 5000.0));
+    let mut model = Model::default();
+    let mut last_update: std::collections::BTreeMap<u64, Tick> = Default::default();
+    for op in ops {
+        match *op {
+            Op::Insert { id, value, slope } => {
+                if model.objects.contains_key(&id) {
+                    continue;
+                }
+                idx.insert(id, 0, value, slope);
+                model.objects.insert(id, vec![(0, value, slope)]);
+                last_update.insert(id, 0);
+            }
+            Op::Update { id, t, value, slope } => {
+                let Some(prev) = last_update.get(&id).copied() else { continue };
+                if t < prev {
+                    continue;
+                }
+                idx.update(id, t, value, slope);
+                let pieces = model.objects.get_mut(&id).expect("inserted");
+                if t == prev {
+                    *pieces.last_mut().expect("non-empty") = (t, value, slope);
+                } else {
+                    pieces.push((t, value, slope));
+                }
+                last_update.insert(id, t);
+            }
+        }
+    }
+    (idx, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn instantaneous_matches_model(
+        ops in arb_ops(),
+        kind_r in any::<bool>(),
+        now in 0..LIFETIME,
+        lo in -120i32..100,
+        width in 1u32..80
+    ) {
+        let kind = if kind_r { IndexKind::RTree } else { IndexKind::QuadTree };
+        let (idx, model) = replay(&ops, kind);
+        let (lo, hi) = (lo as f64, lo as f64 + width as f64);
+        let (got, stats) = idx.instantaneous(now, lo, hi);
+        let want = model.in_range_at(now, lo, hi);
+        prop_assert_eq!(&got, &want, "kind {:?} now {}", kind, now);
+        prop_assert_eq!(stats.results, got.len() as u64);
+    }
+
+    #[test]
+    fn continuous_matches_model(
+        ops in arb_ops(),
+        kind_r in any::<bool>(),
+        now in 0..LIFETIME,
+        lo in -120i32..100,
+        width in 1u32..80
+    ) {
+        let kind = if kind_r { IndexKind::RTree } else { IndexKind::QuadTree };
+        let (idx, model) = replay(&ops, kind);
+        let (lo, hi) = (lo as f64, lo as f64 + width as f64);
+        let (rows, _) = idx.continuous(now, lo, hi);
+        for (&id, _) in model.objects.iter() {
+            let want = model.in_range_intervals(id, now, lo, hi);
+            let got = rows
+                .iter()
+                .find(|(rid, _)| *rid == id)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_default();
+            prop_assert_eq!(got, want, "object {} kind {:?}", id, kind);
+        }
+    }
+
+    #[test]
+    fn quadtree_and_rtree_agree(
+        ops in arb_ops(),
+        now in 0..LIFETIME,
+        lo in -120i32..100,
+        width in 1u32..80
+    ) {
+        let (qi, _) = replay(&ops, IndexKind::QuadTree);
+        let (ri, _) = replay(&ops, IndexKind::RTree);
+        let (lo, hi) = (lo as f64, lo as f64 + width as f64);
+        prop_assert_eq!(
+            qi.instantaneous(now, lo, hi).0,
+            ri.instantaneous(now, lo, hi).0
+        );
+    }
+
+    #[test]
+    fn index2d_matches_trajectory_model(
+        objs in prop::collection::vec(
+            ((-200i32..200), (-200i32..200), (-4i32..4), (-4i32..4), prop::option::of((1..LIFETIME, -4i32..4, -4i32..4))),
+            1..25
+        ),
+        t in 0..LIFETIME,
+        rx in -200i32..150,
+        ry in -200i32..150
+    ) {
+        let mut idx = MovingObjectIndex2D::new(LIFETIME, Rect::new(-1500.0, -1500.0, 1500.0, 1500.0));
+        let mut trajs: Vec<Trajectory> = Vec::new();
+        for (i, (x, y, vx, vy, upd)) in objs.iter().enumerate() {
+            let p = Point::new(*x as f64, *y as f64);
+            let v = Velocity::new(*vx as f64 * 0.5, *vy as f64 * 0.5);
+            idx.insert(i as u64, 0, p, v);
+            let mut traj = Trajectory::new(MovingPoint::from_origin(p, v));
+            if let Some((ut, uvx, uvy)) = upd {
+                let nv = Velocity::new(*uvx as f64 * 0.5, *uvy as f64 * 0.5);
+                idx.update(i as u64, *ut, traj.position_at_tick(*ut), nv);
+                traj.update_velocity(*ut, nv);
+            }
+            trajs.push(traj);
+        }
+        let region = Rect::new(rx as f64, ry as f64, rx as f64 + 60.0, ry as f64 + 60.0);
+        let (got, _) = idx.query_at(t, &region);
+        let want: Vec<u64> = trajs
+            .iter()
+            .enumerate()
+            .filter(|(_, traj)| region.contains(traj.position_at_tick(t)))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated mobile distributed environment (Sections 5.2–5.3).
+//!
+//! The paper's architecture sections argue about *message costs*: which
+//! strategy ships fewer/lighter messages when the database is distributed
+//! over the moving objects themselves, and how to deliver `Answer(CQ)` to a
+//! moving client that may disconnect.  This crate builds the simulated
+//! substrate those arguments need — there is no real wireless network in a
+//! reproduction, but the paper's claims are about counts, which a
+//! simulator measures exactly (see DESIGN.md, substitutions):
+//!
+//! * [`message`] / [`network`] — a discrete-tick message-passing network
+//!   with per-message byte accounting, fixed latency and per-node
+//!   disconnection windows;
+//! * [`sim`] — a fleet of mobile nodes, each holding exactly its own
+//!   object ("each object resides in the computer on the moving vehicle it
+//!   represents, but nowhere else") with scheduled motion-vector updates;
+//! * [`strategy`] — the three query types of Section 5.3
+//!   (self-referencing / object / relationship) and the competing
+//!   processing strategies (data shipping vs query shipping, one-shot and
+//!   continuous);
+//! * [`transmission`] — the immediate / delayed / block-wise delivery of
+//!   `Answer(CQ)` to a moving client with memory limit `B` (Section 5.2),
+//!   with display-error accounting under disconnection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod network;
+pub mod sim;
+pub mod strategy;
+pub mod transmission;
+
+pub use message::{Message, Payload};
+pub use network::{NetStats, Network};
+pub use sim::{FleetSim, NodeInfo};
+pub use strategy::{ObjectPredicate, QueryClass, RelPredicate};

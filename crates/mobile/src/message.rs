@@ -1,0 +1,88 @@
+//! Messages exchanged between mobile computers.
+
+use most_spatial::{Point, Velocity};
+use most_temporal::Tick;
+
+/// A message payload; sizes approximate a compact wire encoding and drive
+/// the byte accounting of experiments E6/E6b.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A query shipped to a remote computer (query shipping).
+    Query {
+        /// Query text.
+        text: String,
+    },
+    /// A full object state (data shipping / relationship centralization).
+    State {
+        /// Object id.
+        id: u64,
+        /// Position at the send tick.
+        position: Point,
+        /// Motion vector.
+        velocity: Velocity,
+    },
+    /// A predicate-match notification (query shipping reply): the sender's
+    /// object satisfies / stopped satisfying the predicate.
+    MatchStatus {
+        /// Object id.
+        id: u64,
+        /// Whether the predicate now holds.
+        matches: bool,
+    },
+    /// A block of `Answer(CQ)` tuples `(instantiation id, begin, end)`.
+    AnswerBlock {
+        /// The tuples.
+        tuples: Vec<(u64, Tick, Tick)>,
+    },
+    /// Cancels a continuous query.
+    Cancel,
+}
+
+impl Payload {
+    /// Approximate encoded size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Payload::Query { text } => 16 + text.len() as u64,
+            Payload::State { .. } => 48,
+            Payload::MatchStatus { .. } => 17,
+            Payload::AnswerBlock { tuples } => 16 + 24 * tuples.len() as u64,
+            Payload::Cancel => 8,
+        }
+    }
+}
+
+/// An addressed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sender node id.
+    pub from: u64,
+    /// Recipient node id.
+    pub to: u64,
+    /// Tick at which the message was sent.
+    pub sent_at: Tick,
+    /// Payload.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes_scale() {
+        assert_eq!(Payload::Cancel.size_bytes(), 8);
+        assert_eq!(Payload::Query { text: "RETRIEVE o".into() }.size_bytes(), 26);
+        assert_eq!(
+            Payload::State {
+                id: 1,
+                position: Point::origin(),
+                velocity: Velocity::zero()
+            }
+            .size_bytes(),
+            48
+        );
+        let small = Payload::AnswerBlock { tuples: vec![(1, 0, 5)] };
+        let big = Payload::AnswerBlock { tuples: vec![(1, 0, 5); 10] };
+        assert!(big.size_bytes() > small.size_bytes());
+    }
+}

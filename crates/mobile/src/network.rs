@@ -1,0 +1,149 @@
+//! The simulated wireless network: fixed latency, per-node disconnection
+//! windows, exact message/byte accounting.
+//!
+//! Disconnection is first-class because the paper's Section 5.2 trade-off
+//! hinges on "the probability that an update to Answer(CQ) can be
+//! propagated to M (i.e. that M is not disconnected)".  A message whose
+//! recipient is offline at delivery time is lost (counted in
+//! [`NetStats::dropped`]) — the pessimistic model that makes the
+//! immediate-vs-delayed comparison interesting.
+
+use crate::message::{Message, Payload};
+use most_temporal::{Interval, IntervalSet, Tick};
+use std::collections::BTreeMap;
+
+/// Cumulative traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+    /// Messages lost to disconnection.
+    pub dropped: u64,
+}
+
+/// The simulated network.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    latency: Tick,
+    in_flight: Vec<(Tick, Message)>,
+    offline: BTreeMap<u64, IntervalSet>,
+    /// Traffic counters.
+    pub stats: NetStats,
+}
+
+impl Network {
+    /// A network with the given one-way latency in ticks.
+    pub fn new(latency: Tick) -> Self {
+        Network { latency, ..Network::default() }
+    }
+
+    /// Declares an offline window for a node (global ticks).
+    pub fn add_offline_window(&mut self, node: u64, from: Tick, to: Tick) {
+        let entry = self.offline.entry(node).or_default();
+        *entry = entry.union(&IntervalSet::singleton(Interval::new(from, to)));
+    }
+
+    /// Whether `node` is connected at tick `t`.
+    pub fn is_connected(&self, node: u64, t: Tick) -> bool {
+        self.offline.get(&node).is_none_or(|s| !s.contains(t))
+    }
+
+    /// Sends a message at tick `now`; it is delivered (or dropped) at
+    /// `now + latency`.
+    pub fn send(&mut self, from: u64, to: u64, payload: Payload, now: Tick) {
+        self.stats.messages += 1;
+        self.stats.bytes += payload.size_bytes();
+        self.in_flight
+            .push((now + self.latency, Message { from, to, sent_at: now, payload }));
+    }
+
+    /// Broadcast helper: sends the payload to every node in `nodes` except
+    /// the sender.
+    pub fn broadcast(&mut self, from: u64, nodes: &[u64], payload: Payload, now: Tick) {
+        for &to in nodes {
+            if to != from {
+                self.send(from, to, payload.clone(), now);
+            }
+        }
+    }
+
+    /// Delivers every message due at or before `now`; messages to offline
+    /// recipients are dropped.
+    pub fn deliver_due(&mut self, now: Tick) -> Vec<Message> {
+        let mut delivered = Vec::new();
+        let mut remaining = Vec::with_capacity(self.in_flight.len());
+        let in_flight = std::mem::take(&mut self.in_flight);
+        for (at, msg) in in_flight {
+            if at > now {
+                remaining.push((at, msg));
+            } else if self.is_connected(msg.to, at) {
+                delivered.push(msg);
+            } else {
+                self.stats.dropped += 1;
+            }
+        }
+        self.in_flight = remaining;
+        delivered.sort_by_key(|m| (m.sent_at, m.from));
+        delivered
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut net = Network::new(2);
+        net.send(1, 2, Payload::Cancel, 0);
+        assert!(net.deliver_due(1).is_empty());
+        let msgs = net.deliver_due(2);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].to, 2);
+        assert_eq!(net.stats.messages, 1);
+        assert_eq!(net.stats.bytes, 8);
+        assert_eq!(net.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn disconnection_drops_messages() {
+        let mut net = Network::new(1);
+        net.add_offline_window(2, 5, 10);
+        assert!(net.is_connected(2, 4));
+        assert!(!net.is_connected(2, 5));
+        // Sent at 5, delivered at 6 while offline: dropped.
+        net.send(1, 2, Payload::Cancel, 5);
+        assert!(net.deliver_due(6).is_empty());
+        assert_eq!(net.stats.dropped, 1);
+        // Sent at 10, delivered at 11 after reconnection: arrives.
+        net.send(1, 2, Payload::Cancel, 10);
+        assert_eq!(net.deliver_due(11).len(), 1);
+    }
+
+    #[test]
+    fn broadcast_skips_sender() {
+        let mut net = Network::new(0);
+        net.broadcast(1, &[1, 2, 3, 4], Payload::Cancel, 0);
+        assert_eq!(net.stats.messages, 3);
+        let msgs = net.deliver_due(0);
+        assert_eq!(msgs.len(), 3);
+        assert!(msgs.iter().all(|m| m.to != 1));
+    }
+
+    #[test]
+    fn multiple_offline_windows_merge() {
+        let mut net = Network::new(0);
+        net.add_offline_window(7, 0, 2);
+        net.add_offline_window(7, 10, 12);
+        assert!(!net.is_connected(7, 1));
+        assert!(net.is_connected(7, 5));
+        assert!(!net.is_connected(7, 11));
+    }
+}

@@ -1,0 +1,164 @@
+//! The fleet: mobile computers, each holding exactly its own object.
+//!
+//! "Assume that the distribution is such that each object resides in the
+//! computer on the moving vehicle it represents, but nowhere else.  This is
+//! a reasonable architecture in case there are very frequent updates to the
+//! attributes of the moving object" (Section 5.3).
+
+use most_spatial::{Point, Trajectory, Velocity};
+use most_temporal::Tick;
+use std::collections::BTreeMap;
+
+/// The locally-held object of one mobile computer.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// Node (= object) id.
+    pub id: u64,
+    /// The object's recorded motion, updated locally as the vehicle senses
+    /// speed/direction changes.
+    pub trajectory: Trajectory,
+    /// A static attribute (e.g. price / payload class) for predicate
+    /// variety.
+    pub price: f64,
+    /// Scheduled future motion-vector changes `(tick, new velocity)` —
+    /// the simulation's stand-in for the vehicle's actual driving.
+    pub planned_updates: Vec<(Tick, Velocity)>,
+}
+
+/// The fleet simulation: nodes plus a clock.  The network lives alongside
+/// (strategies take both) so that traffic accounting stays explicit.
+#[derive(Debug, Clone, Default)]
+pub struct FleetSim {
+    nodes: BTreeMap<u64, NodeInfo>,
+    clock: Tick,
+}
+
+impl FleetSim {
+    /// An empty fleet at tick 0.
+    pub fn new() -> Self {
+        FleetSim::default()
+    }
+
+    /// Adds a node with its initial motion and planned updates (must be in
+    /// ascending tick order).
+    pub fn add_node(
+        &mut self,
+        id: u64,
+        start: Point,
+        velocity: Velocity,
+        price: f64,
+        planned_updates: Vec<(Tick, Velocity)>,
+    ) {
+        debug_assert!(planned_updates.windows(2).all(|w| w[0].0 <= w[1].0));
+        self.nodes.insert(
+            id,
+            NodeInfo {
+                id,
+                trajectory: Trajectory::starting_at(start, velocity),
+                price,
+                planned_updates,
+            },
+        );
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> Tick {
+        self.clock
+    }
+
+    /// Node ids, ascending.
+    pub fn node_ids(&self) -> Vec<u64> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A node's object.
+    pub fn node(&self, id: u64) -> Option<&NodeInfo> {
+        self.nodes.get(&id)
+    }
+
+    /// Advances the clock to `t`, applying every planned motion-vector
+    /// update that falls due; returns `(node, tick)` for each applied
+    /// update (these are the moments data-shipping must transmit).
+    pub fn advance_to(&mut self, t: Tick) -> Vec<(u64, Tick)> {
+        assert!(t >= self.clock, "clock cannot go backwards");
+        let mut applied = Vec::new();
+        for node in self.nodes.values_mut() {
+            while let Some(&(at, v)) = node.planned_updates.first() {
+                if at > t {
+                    break;
+                }
+                node.trajectory.update_velocity(at, v);
+                node.planned_updates.remove(0);
+                applied.push((node.id, at));
+            }
+        }
+        self.clock = t;
+        applied.sort();
+        applied
+    }
+
+    /// The trajectory a node *would report* at tick `t` if asked now:
+    /// its recorded motion (including updates applied so far).
+    pub fn position_of(&self, id: u64, t: Tick) -> Option<Point> {
+        self.nodes.get(&id).map(|n| n.trajectory.position_at_tick(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> FleetSim {
+        let mut sim = FleetSim::new();
+        sim.add_node(
+            1,
+            Point::origin(),
+            Velocity::new(1.0, 0.0),
+            80.0,
+            vec![(10, Velocity::new(0.0, 1.0)), (20, Velocity::zero())],
+        );
+        sim.add_node(2, Point::new(50.0, 0.0), Velocity::zero(), 120.0, vec![]);
+        sim
+    }
+
+    #[test]
+    fn planned_updates_apply_in_order() {
+        let mut sim = fleet();
+        let applied = sim.advance_to(15);
+        assert_eq!(applied, vec![(1, 10)]);
+        assert_eq!(sim.position_of(1, 15), Some(Point::new(10.0, 5.0)));
+        let applied = sim.advance_to(25);
+        assert_eq!(applied, vec![(1, 20)]);
+        assert_eq!(sim.position_of(1, 25), Some(Point::new(10.0, 10.0)));
+        assert!(sim.advance_to(30).is_empty());
+    }
+
+    #[test]
+    fn node_accessors() {
+        let sim = fleet();
+        assert_eq!(sim.node_ids(), vec![1, 2]);
+        assert_eq!(sim.len(), 2);
+        assert!(!sim.is_empty());
+        assert_eq!(sim.node(2).unwrap().price, 120.0);
+        assert!(sim.node(9).is_none());
+        assert_eq!(sim.position_of(9, 0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clock_cannot_rewind() {
+        let mut sim = fleet();
+        sim.advance_to(10);
+        sim.advance_to(5);
+    }
+}

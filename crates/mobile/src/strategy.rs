@@ -1,0 +1,497 @@
+//! Distributed query processing strategies (Section 5.3).
+//!
+//! Three query classes:
+//!
+//! * **self-referencing** — "Will I reach the point (a,b) in 3 minutes?" —
+//!   answered locally, zero messages;
+//! * **object** — "Retrieve the objects that will reach the point (a,b) in
+//!   3 minutes" — per-object predicates, processed either by *data
+//!   shipping* ("request that the object of each mobile computer be sent to
+//!   M; then M processes the query") or *query shipping* ("send the query
+//!   to all the other mobile computers; each computer for which the
+//!   predicate is satisfied sends the object to M"), the latter being the
+//!   paper's preferred strategy;
+//! * **relationship** — "objects that stay within 2 miles of each other" —
+//!   centralized at the issuer ("the most efficient way ... is to send all
+//!   the objects to a central location").
+
+use crate::message::Payload;
+use crate::network::Network;
+use crate::sim::{FleetSim, NodeInfo};
+use most_spatial::predicates::{dist_within, inside_polygon, piecewise};
+use most_spatial::{MovingPoint, Point, Polygon, Rect};
+use most_temporal::{Duration, Horizon, Interval, IntervalSet, Tick};
+
+/// Classification of a distributed query (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Decidable from the issuer's own object alone.
+    SelfReferencing,
+    /// Decidable per object, independently of other objects.
+    Object,
+    /// Requires two or more objects jointly.
+    Relationship,
+}
+
+/// Per-object predicates for object (and self-referencing) queries.
+#[derive(Debug, Clone)]
+pub enum ObjectPredicate {
+    /// "Will reach (come within `radius` of) `target` within `within`
+    /// ticks" — the paper's running example.
+    ReachesPointWithin {
+        /// Target point.
+        target: Point,
+        /// Proximity radius.
+        radius: f64,
+        /// Deadline, in ticks from now.
+        within: Duration,
+    },
+    /// Currently inside an axis-aligned region.
+    InsideRect(Rect),
+    /// Will be inside the polygon within the deadline.
+    EntersPolygonWithin {
+        /// The polygon.
+        polygon: Polygon,
+        /// Deadline in ticks.
+        within: Duration,
+    },
+    /// Static attribute threshold.
+    PriceAtMost(f64),
+}
+
+impl ObjectPredicate {
+    /// Whether the predicate holds for `node` at tick `now`, given its
+    /// currently recorded motion.  The `...Within` variants are
+    /// *eventuality* predicates: they hold now iff satisfaction occurs at
+    /// some tick in `[now, now + within]`.
+    pub fn eval(&self, node: &NodeInfo, now: Tick) -> bool {
+        match self {
+            ObjectPredicate::PriceAtMost(limit) => node.price <= *limit,
+            ObjectPredicate::InsideRect(r) => {
+                r.contains(node.trajectory.position_at_tick(now))
+            }
+            _ => {
+                // satisfaction_from is computed over [0, now + within];
+                // only ticks >= now count towards the eventuality.
+                self.satisfaction_from(node, now)
+                    .last_tick()
+                    .is_some_and(|last| last >= now)
+            }
+        }
+    }
+
+    /// The ticks (from `now` to the prediction horizon) at which the
+    /// predicate holds, based on the node's current motion extrapolated —
+    /// used by the continuous strategies.
+    pub fn satisfaction_from(&self, node: &NodeInfo, now: Tick) -> IntervalSet {
+        let leg = node.trajectory.leg_at(now);
+        match self {
+            ObjectPredicate::PriceAtMost(limit) => {
+                if node.price <= *limit {
+                    IntervalSet::singleton(Interval::new(0, Tick::MAX - 1))
+                } else {
+                    IntervalSet::empty()
+                }
+            }
+            ObjectPredicate::InsideRect(r) => {
+                let h = Horizon::new(now + 10_000);
+                most_spatial::predicates::inside_rect(leg, *r, h)
+            }
+            ObjectPredicate::ReachesPointWithin { target, radius, within } => {
+                let h = Horizon::new(now + within);
+                dist_within(leg, MovingPoint::stationary(*target), *radius, h)
+            }
+            ObjectPredicate::EntersPolygonWithin { polygon, within } => {
+                let h = Horizon::new(now + within);
+                inside_polygon(leg, polygon, h)
+            }
+        }
+    }
+}
+
+/// Relationship predicates over pairs of objects.
+#[derive(Debug, Clone)]
+pub enum RelPredicate {
+    /// "Stay within `radius` of each other for at least the next `for_at_least`
+    /// ticks."
+    StayWithinFor {
+        /// Pair distance bound.
+        radius: f64,
+        /// Required duration.
+        for_at_least: Duration,
+    },
+}
+
+impl RelPredicate {
+    /// Evaluates the predicate on two recorded motions at tick `now`.
+    pub fn eval_pair(&self, a: &MovingPoint, b: &MovingPoint, now: Tick) -> bool {
+        match self {
+            RelPredicate::StayWithinFor { radius, for_at_least } => {
+                let h = Horizon::new(now + for_at_least);
+                let set = dist_within(*a, *b, *radius, h);
+                set.always_for(*for_at_least, h).contains(now)
+            }
+        }
+    }
+}
+
+/// A self-referencing query: evaluated on the issuer's own object; *no
+/// messages are exchanged* ("self-referencing queries can be answered
+/// without any inter-computer communication").
+pub fn self_referencing(sim: &FleetSim, issuer: u64, pred: &ObjectPredicate) -> Option<bool> {
+    sim.node(issuer).map(|n| pred.eval(n, sim.now()))
+}
+
+/// One-shot object query, **data shipping**: every other node sends its
+/// object state to the issuer, which evaluates the predicate locally.
+pub fn object_query_data_shipping(
+    sim: &FleetSim,
+    net: &mut Network,
+    issuer: u64,
+    pred: &ObjectPredicate,
+) -> Vec<u64> {
+    let now = sim.now();
+    let ids = sim.node_ids();
+    // Request broadcast, then each node ships its state.
+    net.broadcast(issuer, &ids, Payload::Query { text: "SHIP-STATE".into() }, now);
+    for &id in &ids {
+        if id == issuer {
+            continue;
+        }
+        let node = sim.node(id).expect("fleet node");
+        let leg = node.trajectory.leg_at(now);
+        net.send(
+            id,
+            issuer,
+            Payload::State {
+                id,
+                position: leg.position_at_tick(now),
+                velocity: leg.velocity,
+            },
+            now,
+        );
+    }
+    // Issuer evaluates every received object.
+    let mut out: Vec<u64> = ids
+        .into_iter()
+        .filter(|&id| id != issuer)
+        .filter(|&id| pred.eval(sim.node(id).expect("fleet node"), now))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// One-shot object query, **query shipping**: the query is broadcast; each
+/// node evaluates locally ("it processes the query in parallel, at all the
+/// mobile computers") and only satisfied nodes reply.
+pub fn object_query_query_shipping(
+    sim: &FleetSim,
+    net: &mut Network,
+    issuer: u64,
+    pred: &ObjectPredicate,
+    query_text: &str,
+) -> Vec<u64> {
+    let now = sim.now();
+    let ids = sim.node_ids();
+    net.broadcast(issuer, &ids, Payload::Query { text: query_text.into() }, now);
+    let mut out = Vec::new();
+    for &id in &ids {
+        if id == issuer {
+            continue;
+        }
+        if pred.eval(sim.node(id).expect("fleet node"), now) {
+            net.send(id, issuer, Payload::MatchStatus { id, matches: true }, now);
+            out.push(id);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Continuous object query over `[sim.now(), until]`, **data shipping**:
+/// "using the first approach C would have to transmit C to M every time the
+/// object C changes."  Returns the per-node satisfaction ground truth.
+pub fn continuous_object_data_shipping(
+    sim: &mut FleetSim,
+    net: &mut Network,
+    issuer: u64,
+    pred: &ObjectPredicate,
+    until: Tick,
+) -> Vec<(u64, IntervalSet)> {
+    let start = sim.now();
+    let ids = sim.node_ids();
+    net.broadcast(issuer, &ids, Payload::Query { text: "SHIP-STATE-CONT".into() }, start);
+    // Initial state shipment.
+    for &id in &ids {
+        if id == issuer {
+            continue;
+        }
+        let node = sim.node(id).expect("fleet node");
+        let leg = node.trajectory.leg_at(start);
+        net.send(
+            id,
+            issuer,
+            Payload::State { id, position: leg.position_at_tick(start), velocity: leg.velocity },
+            start,
+        );
+    }
+    // Every motion-vector change ships the new state.
+    let updates = sim.advance_to(until);
+    for (id, at) in &updates {
+        if *id == issuer {
+            continue;
+        }
+        let node = sim.node(*id).expect("fleet node");
+        let leg = node.trajectory.leg_at(*at);
+        net.send(
+            *id,
+            issuer,
+            Payload::State { id: *id, position: leg.position_at_tick(*at), velocity: leg.velocity },
+            *at,
+        );
+    }
+    ground_truth(sim, issuer, pred, start, until)
+}
+
+/// Continuous object query, **query shipping**: "the remote computer C
+/// evaluates the predicate each time the object C changes, and transmits C
+/// to M when the predicate is satisfied."  Each node sends one message per
+/// satisfaction-status transition.
+pub fn continuous_object_query_shipping(
+    sim: &mut FleetSim,
+    net: &mut Network,
+    issuer: u64,
+    pred: &ObjectPredicate,
+    until: Tick,
+    query_text: &str,
+) -> Vec<(u64, IntervalSet)> {
+    let start = sim.now();
+    let ids = sim.node_ids();
+    net.broadcast(issuer, &ids, Payload::Query { text: query_text.into() }, start);
+    let truth = ground_truth_after_advance(sim, issuer, pred, start, until);
+    // One MatchStatus message per status flip (enter/exit), per node.
+    for (id, set) in &truth {
+        let mut prev = false;
+        for t in start..=until {
+            let cur = set.contains(t);
+            if cur != prev {
+                net.send(*id, issuer, Payload::MatchStatus { id: *id, matches: cur }, t);
+                prev = cur;
+            }
+        }
+    }
+    truth
+}
+
+/// Relationship query centralized at the issuer: all nodes ship state once;
+/// the issuer evaluates every pair.
+pub fn relationship_query_centralized(
+    sim: &FleetSim,
+    net: &mut Network,
+    issuer: u64,
+    pred: &RelPredicate,
+) -> Vec<(u64, u64)> {
+    let now = sim.now();
+    let ids = sim.node_ids();
+    net.broadcast(issuer, &ids, Payload::Query { text: "SHIP-STATE-ALL".into() }, now);
+    for &id in &ids {
+        if id == issuer {
+            continue;
+        }
+        let node = sim.node(id).expect("fleet node");
+        let leg = node.trajectory.leg_at(now);
+        net.send(
+            id,
+            issuer,
+            Payload::State { id, position: leg.position_at_tick(now), velocity: leg.velocity },
+            now,
+        );
+    }
+    let mut out = Vec::new();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            let la = sim.node(a).expect("fleet node").trajectory.leg_at(now);
+            let lb = sim.node(b).expect("fleet node").trajectory.leg_at(now);
+            if pred.eval_pair(&la, &lb, now) {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+/// Ground-truth satisfaction over `[start, until]` using the *full*
+/// (already advanced) trajectories.
+fn ground_truth(
+    sim: &FleetSim,
+    issuer: u64,
+    pred: &ObjectPredicate,
+    start: Tick,
+    until: Tick,
+) -> Vec<(u64, IntervalSet)> {
+    let h = Horizon::new(until);
+    let window = IntervalSet::singleton(Interval::new(start, until));
+    sim.node_ids()
+        .into_iter()
+        .filter(|&id| id != issuer)
+        .map(|id| {
+            let node = sim.node(id).expect("fleet node");
+            let set = match pred {
+                ObjectPredicate::PriceAtMost(limit) => {
+                    if node.price <= *limit {
+                        IntervalSet::full(h)
+                    } else {
+                        IntervalSet::empty()
+                    }
+                }
+                ObjectPredicate::InsideRect(r) => piecewise(&node.trajectory, h, |leg, h| {
+                    most_spatial::predicates::inside_rect(leg, *r, h)
+                }),
+                ObjectPredicate::ReachesPointWithin { target, radius, .. } => {
+                    piecewise(&node.trajectory, h, |leg, h| {
+                        dist_within(leg, MovingPoint::stationary(*target), *radius, h)
+                    })
+                }
+                ObjectPredicate::EntersPolygonWithin { polygon, .. } => {
+                    piecewise(&node.trajectory, h, |leg, h| inside_polygon(leg, polygon, h))
+                }
+            };
+            (id, set.intersect(&window))
+        })
+        .filter(|(_, s)| !s.is_empty())
+        .collect()
+}
+
+fn ground_truth_after_advance(
+    sim: &mut FleetSim,
+    issuer: u64,
+    pred: &ObjectPredicate,
+    start: Tick,
+    until: Tick,
+) -> Vec<(u64, IntervalSet)> {
+    sim.advance_to(until);
+    ground_truth(sim, issuer, pred, start, until)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use most_spatial::Velocity;
+
+    /// Issuer 0 parked; node 1 drives towards (100, 0); node 2 drives away;
+    /// node 3 parked near the target.
+    fn fleet() -> FleetSim {
+        let mut sim = FleetSim::new();
+        sim.add_node(0, Point::new(0.0, 50.0), Velocity::zero(), 0.0, vec![]);
+        sim.add_node(1, Point::origin(), Velocity::new(1.0, 0.0), 80.0, vec![]);
+        sim.add_node(2, Point::origin(), Velocity::new(-1.0, 0.0), 60.0, vec![]);
+        sim.add_node(3, Point::new(98.0, 0.0), Velocity::zero(), 100.0, vec![]);
+        sim
+    }
+
+    fn reach_pred() -> ObjectPredicate {
+        ObjectPredicate::ReachesPointWithin {
+            target: Point::new(100.0, 0.0),
+            radius: 5.0,
+            within: 200,
+        }
+    }
+
+    #[test]
+    fn query_classes_are_distinct() {
+        assert_ne!(QueryClass::SelfReferencing, QueryClass::Object);
+        assert_ne!(QueryClass::Object, QueryClass::Relationship);
+    }
+
+    #[test]
+    fn self_referencing_needs_no_messages() {
+        let sim = fleet();
+        assert_eq!(self_referencing(&sim, 3, &reach_pred()), Some(true));
+        assert_eq!(self_referencing(&sim, 2, &reach_pred()), Some(false));
+        assert_eq!(self_referencing(&sim, 99, &reach_pred()), None);
+    }
+
+    #[test]
+    fn both_object_strategies_agree() {
+        let sim = fleet();
+        let mut net_a = Network::new(0);
+        let mut net_b = Network::new(0);
+        let a = object_query_data_shipping(&sim, &mut net_a, 0, &reach_pred());
+        let b = object_query_query_shipping(&sim, &mut net_b, 0, &reach_pred(), "Q");
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 3]);
+        // Query shipping sends fewer/lighter messages: broadcast + matches
+        // vs broadcast + all states.
+        assert!(net_b.stats.bytes < net_a.stats.bytes);
+        assert!(net_b.stats.messages <= net_a.stats.messages);
+    }
+
+    #[test]
+    fn continuous_strategies_same_truth_different_cost() {
+        let mk = || {
+            let mut sim = FleetSim::new();
+            sim.add_node(0, Point::new(0.0, 50.0), Velocity::zero(), 0.0, vec![]);
+            // Node 1 wanders with many updates but stays far away.
+            sim.add_node(
+                1,
+                Point::new(1000.0, 1000.0),
+                Velocity::new(1.0, 0.0),
+                0.0,
+                (1..50).map(|i| (i * 2, Velocity::new((i % 3) as f64, 1.0))).collect(),
+            );
+            // Node 2 drives straight through the target zone, no updates.
+            sim.add_node(2, Point::origin(), Velocity::new(1.0, 0.0), 0.0, vec![]);
+            sim
+        };
+        let pred = reach_pred();
+        let mut sim_a = mk();
+        let mut net_a = Network::new(0);
+        let truth_a = continuous_object_data_shipping(&mut sim_a, &mut net_a, 0, &pred, 150);
+        let mut sim_b = mk();
+        let mut net_b = Network::new(0);
+        let truth_b =
+            continuous_object_query_shipping(&mut sim_b, &mut net_b, 0, &pred, 150, "Q");
+        assert_eq!(truth_a, truth_b);
+        // Only node 2 ever matches.
+        assert_eq!(truth_a.len(), 1);
+        assert_eq!(truth_a[0].0, 2);
+        // Data shipping pays for every one of node 1's 49 updates; query
+        // shipping sends only node 2's enter/exit transitions.
+        assert!(net_a.stats.messages > net_b.stats.messages + 40);
+    }
+
+    #[test]
+    fn relationship_query_finds_convoys() {
+        let mut sim = FleetSim::new();
+        sim.add_node(0, Point::new(500.0, 500.0), Velocity::zero(), 0.0, vec![]);
+        // A convoy travelling together.
+        sim.add_node(1, Point::origin(), Velocity::new(1.0, 0.0), 0.0, vec![]);
+        sim.add_node(2, Point::new(1.0, 0.5), Velocity::new(1.0, 0.0), 0.0, vec![]);
+        // A car crossing them briefly.
+        sim.add_node(3, Point::new(30.0, -30.0), Velocity::new(0.0, 1.0), 0.0, vec![]);
+        let mut net = Network::new(0);
+        let pairs = relationship_query_centralized(
+            &sim,
+            &mut net,
+            0,
+            &RelPredicate::StayWithinFor { radius: 2.0, for_at_least: 30 },
+        );
+        assert_eq!(pairs, vec![(1, 2)]);
+        // All nodes shipped state to the issuer.
+        assert_eq!(net.stats.messages as usize, (sim.len() - 1) * 2);
+    }
+
+    #[test]
+    fn predicate_variants_evaluate() {
+        let sim = fleet();
+        let n1 = sim.node(1).unwrap();
+        assert!(ObjectPredicate::PriceAtMost(100.0).eval(n1, 0));
+        assert!(!ObjectPredicate::PriceAtMost(50.0).eval(n1, 0));
+        assert!(!ObjectPredicate::InsideRect(Rect::new(90.0, -5.0, 110.0, 5.0)).eval(n1, 0));
+        let poly = ObjectPredicate::EntersPolygonWithin {
+            polygon: Polygon::rectangle(90.0, -5.0, 110.0, 5.0),
+            within: 200,
+        };
+        assert!(poly.satisfaction_from(n1, 0).contains(95));
+    }
+}

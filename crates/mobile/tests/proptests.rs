@@ -1,0 +1,97 @@
+//! Property tests: the competing distributed strategies must compute
+//! identical answers on random fleets — only their traffic may differ —
+//! and query shipping must never send more bytes than data shipping for
+//! one-shot object queries.
+
+use most_mobile::strategy::{
+    continuous_object_data_shipping, continuous_object_query_shipping,
+    object_query_data_shipping, object_query_query_shipping, ObjectPredicate,
+};
+use most_mobile::{FleetSim, Network};
+use most_spatial::{Point, Rect, Velocity};
+use proptest::prelude::*;
+
+type NodeSpec = (f64, f64, f64, f64, Option<(u64, f64, f64)>);
+
+#[derive(Debug, Clone)]
+struct FleetSpec {
+    nodes: Vec<NodeSpec>,
+}
+
+fn arb_fleet() -> impl Strategy<Value = FleetSpec> {
+    prop::collection::vec(
+        (
+            -200.0f64..200.0,
+            -200.0f64..200.0,
+            -2.0f64..2.0,
+            -2.0f64..2.0,
+            prop::option::of((1..250u64, -2.0f64..2.0, -2.0f64..2.0)),
+        ),
+        1..12,
+    )
+    .prop_map(|nodes| FleetSpec { nodes })
+}
+
+fn build(spec: &FleetSpec) -> FleetSim {
+    let mut sim = FleetSim::new();
+    sim.add_node(0, Point::origin(), Velocity::zero(), 0.0, vec![]);
+    for (i, &(x, y, vx, vy, upd)) in spec.nodes.iter().enumerate() {
+        let updates = upd
+            .map(|(t, ux, uy)| vec![(t, Velocity::new(ux, uy))])
+            .unwrap_or_default();
+        sim.add_node(
+            i as u64 + 1,
+            Point::new(x, y),
+            Velocity::new(vx, vy),
+            50.0,
+            updates,
+        );
+    }
+    sim
+}
+
+fn arb_pred() -> impl Strategy<Value = ObjectPredicate> {
+    prop_oneof![
+        (-100.0f64..100.0, -100.0f64..100.0, 5.0f64..80.0).prop_map(|(x, y, r)| {
+            ObjectPredicate::ReachesPointWithin {
+                target: Point::new(x, y),
+                radius: r,
+                within: 250,
+            }
+        }),
+        (-100.0f64..100.0, -100.0f64..100.0, 10.0f64..120.0).prop_map(|(x, y, w)| {
+            ObjectPredicate::InsideRect(Rect::new(x, y, x + w, y + w))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn one_shot_strategies_agree(spec in arb_fleet(), pred in arb_pred()) {
+        let sim = build(&spec);
+        let mut net_a = Network::new(0);
+        let mut net_b = Network::new(0);
+        let a = object_query_data_shipping(&sim, &mut net_a, 0, &pred);
+        let b = object_query_query_shipping(&sim, &mut net_b, 0, &pred, "Q");
+        prop_assert_eq!(&a, &b);
+        // Query shipping's bytes never exceed data shipping's: both pay the
+        // broadcast; replies (17 B) are cheaper than states (48 B).
+        prop_assert!(net_b.stats.bytes <= net_a.stats.bytes);
+        // Data shipping sends exactly one state per remote node.
+        prop_assert_eq!(net_a.stats.messages as usize, 2 * spec.nodes.len());
+    }
+
+    #[test]
+    fn continuous_strategies_agree(spec in arb_fleet(), pred in arb_pred()) {
+        let mut sim_a = build(&spec);
+        let mut net_a = Network::new(0);
+        let truth_a = continuous_object_data_shipping(&mut sim_a, &mut net_a, 0, &pred, 250);
+        let mut sim_b = build(&spec);
+        let mut net_b = Network::new(0);
+        let truth_b =
+            continuous_object_query_shipping(&mut sim_b, &mut net_b, 0, &pred, 250, "Q");
+        prop_assert_eq!(truth_a, truth_b);
+    }
+}

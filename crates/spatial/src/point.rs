@@ -1,0 +1,218 @@
+//! 2-D points and velocity vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A point in the plane.
+///
+/// The paper's spatial classes expose `X.POSITION` and `Y.POSITION` (and
+/// `Z.POSITION`; this reproduction works in the plane, matching every example
+/// in the paper — cars, motels, aircraft ranges projected to 2-D).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (the paper's `X.POSITION`).
+    pub x: f64,
+    /// Vertical coordinate (the paper's `Y.POSITION`).
+    pub y: f64,
+}
+
+/// A velocity vector: displacement per clock tick.
+///
+/// This is the paper's *motion vector* — the `A.function` sub-attribute of a
+/// position attribute, restricted (as in Section 4) to linear functions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Velocity {
+    /// Displacement in `x` per tick (the paper's example
+    /// `X.POSITION.function = 5 · t` has `dx = 5`).
+    pub dx: f64,
+    /// Displacement in `y` per tick.
+    pub dy: f64,
+}
+
+impl Point {
+    /// Creates the point `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const fn origin() -> Self {
+        Point { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other` (the paper's `DIST` method).
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root in comparisons).
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Displacement vector from `other` to `self`.
+    pub fn delta(self, other: Point) -> Velocity {
+        Velocity::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Velocity {
+    /// Creates the velocity `(dx, dy)`.
+    pub const fn new(dx: f64, dy: f64) -> Self {
+        Velocity { dx, dy }
+    }
+
+    /// The zero velocity (a stationary object).
+    pub const fn zero() -> Self {
+        Velocity { dx: 0.0, dy: 0.0 }
+    }
+
+    /// Whether both components are exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.dx == 0.0 && self.dy == 0.0
+    }
+
+    /// Speed: Euclidean norm of the vector.
+    pub fn speed(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared norm.
+    pub fn norm_sq(self) -> f64 {
+        self.dx * self.dx + self.dy * self.dy
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Velocity) -> f64 {
+        self.dx * other.dx + self.dy * other.dy
+    }
+
+    /// 2-D cross product (signed area of the parallelogram).
+    pub fn cross(self, other: Velocity) -> f64 {
+        self.dx * other.dy - self.dy * other.dx
+    }
+
+    /// A velocity with the same direction and the given speed; zero input
+    /// stays zero.
+    pub fn with_speed(self, speed: f64) -> Velocity {
+        let n = self.speed();
+        if n == 0.0 {
+            Velocity::zero()
+        } else {
+            Velocity::new(self.dx / n * speed, self.dy / n * speed)
+        }
+    }
+}
+
+impl Add<Velocity> for Point {
+    type Output = Point;
+    fn add(self, v: Velocity) -> Point {
+        Point::new(self.x + v.dx, self.y + v.dy)
+    }
+}
+
+impl Sub<Velocity> for Point {
+    type Output = Point;
+    fn sub(self, v: Velocity) -> Point {
+        Point::new(self.x - v.dx, self.y - v.dy)
+    }
+}
+
+impl Add for Velocity {
+    type Output = Velocity;
+    fn add(self, o: Velocity) -> Velocity {
+        Velocity::new(self.dx + o.dx, self.dy + o.dy)
+    }
+}
+
+impl Sub for Velocity {
+    type Output = Velocity;
+    fn sub(self, o: Velocity) -> Velocity {
+        Velocity::new(self.dx - o.dx, self.dy - o.dy)
+    }
+}
+
+impl Mul<f64> for Velocity {
+    type Output = Velocity;
+    fn mul(self, k: f64) -> Velocity {
+        Velocity::new(self.dx * k, self.dy * k)
+    }
+}
+
+impl Neg for Velocity {
+    type Output = Velocity;
+    fn neg(self) -> Velocity {
+        Velocity::new(-self.dx, -self.dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Velocity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.dx, self.dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(b.dist(a), 5.0);
+    }
+
+    #[test]
+    fn point_velocity_arithmetic() {
+        let p = Point::new(1.0, 2.0);
+        let v = Velocity::new(0.5, -1.0);
+        assert_eq!(p + v, Point::new(1.5, 1.0));
+        assert_eq!(p - v, Point::new(0.5, 3.0));
+        assert_eq!(p.delta(Point::origin()), Velocity::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn velocity_algebra() {
+        let v = Velocity::new(3.0, 4.0);
+        assert_eq!(v.speed(), 5.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.dot(Velocity::new(1.0, 0.0)), 3.0);
+        assert_eq!(v.cross(Velocity::new(1.0, 0.0)), -4.0);
+        assert_eq!(v * 2.0, Velocity::new(6.0, 8.0));
+        assert_eq!(-v, Velocity::new(-3.0, -4.0));
+        assert_eq!(v + v, Velocity::new(6.0, 8.0));
+        assert_eq!(v - v, Velocity::zero());
+    }
+
+    #[test]
+    fn with_speed_rescales() {
+        let v = Velocity::new(3.0, 4.0).with_speed(10.0);
+        assert!((v.speed() - 10.0).abs() < 1e-12);
+        assert!((v.dx - 6.0).abs() < 1e-12);
+        assert!(Velocity::zero().with_speed(5.0).is_zero());
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(Velocity::zero().is_zero());
+        assert!(!Velocity::new(0.0, 1e-12).is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1, 2.5)");
+        assert_eq!(Velocity::new(0.5, 0.0).to_string(), "<0.5, 0>");
+    }
+}

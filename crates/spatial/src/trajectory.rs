@@ -1,0 +1,202 @@
+//! Piecewise-linear trajectories.
+//!
+//! Between explicit updates a moving object follows its motion vector; an
+//! update at tick `u` replaces the vector from `u` onwards.  A [`Trajectory`]
+//! records that entire piecewise history, which is what persistent-query
+//! evaluation (Section 2.3) and the workload generators need: the paper's
+//! example object whose `X.POSITION.function` is `5t`, then `7t` from minute
+//! one, then `10t` from minute two, is a three-leg trajectory.
+
+use crate::motion::MovingPoint;
+use crate::point::{Point, Velocity};
+use most_temporal::Tick;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear motion history: a sequence of legs with strictly
+/// increasing start ticks, each valid until the next leg begins (the last
+/// leg extends forever).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    legs: Vec<MovingPoint>,
+}
+
+impl Trajectory {
+    /// Starts a trajectory with a single leg.
+    pub fn new(initial: MovingPoint) -> Self {
+        Trajectory { legs: vec![initial] }
+    }
+
+    /// Starts a trajectory at `p` with velocity `v` from tick 0.
+    pub fn starting_at(p: Point, v: Velocity) -> Self {
+        Trajectory::new(MovingPoint::from_origin(p, v))
+    }
+
+    /// The legs, ordered by start tick.
+    pub fn legs(&self) -> &[MovingPoint] {
+        &self.legs
+    }
+
+    /// Number of motion-vector updates recorded (legs − 1).
+    pub fn update_count(&self) -> usize {
+        self.legs.len() - 1
+    }
+
+    /// Applies a motion-vector update at tick `t`: from `t` onward the
+    /// object moves with `v` from its position at `t` on the previous leg.
+    /// Two updates at the same tick collapse into one (the last wins),
+    /// matching the paper's instantaneous-update assumption.
+    ///
+    /// # Panics
+    /// Panics when `t` precedes the start of the current last leg (updates
+    /// must arrive in time order).
+    pub fn update_velocity(&mut self, t: Tick, v: Velocity) {
+        let last = *self.legs.last().expect("trajectory has at least one leg");
+        assert!(
+            t >= last.since,
+            "updates must be in increasing tick order (t={t}, last={})",
+            last.since
+        );
+        if t == last.since {
+            *self.legs.last_mut().expect("non-empty") = MovingPoint::new(last.anchor, t, v);
+        } else {
+            self.legs.push(last.redirected_at(t, v));
+        }
+    }
+
+    /// Teleports the object: at tick `t` both position and velocity are
+    /// explicitly set (the paper's update of *both* sub-attributes).
+    pub fn update_position_and_velocity(&mut self, t: Tick, p: Point, v: Velocity) {
+        let last = *self.legs.last().expect("trajectory has at least one leg");
+        assert!(t >= last.since, "updates must be in tick order");
+        if t == last.since {
+            *self.legs.last_mut().expect("non-empty") = MovingPoint::new(p, t, v);
+        } else {
+            self.legs.push(MovingPoint::new(p, t, v));
+        }
+    }
+
+    /// The leg in force at tick `t`.
+    ///
+    /// Ticks before the first leg's start extrapolate the first leg
+    /// backwards (consistent with [`MovingPoint::position_at`]).
+    pub fn leg_at(&self, t: Tick) -> MovingPoint {
+        match self.legs.binary_search_by_key(&t, |leg| leg.since) {
+            Ok(i) => self.legs[i],
+            Err(0) => self.legs[0],
+            Err(i) => self.legs[i - 1],
+        }
+    }
+
+    /// Position at tick `t`.
+    pub fn position_at_tick(&self, t: Tick) -> Point {
+        self.leg_at(t).position_at_tick(t)
+    }
+
+    /// Velocity in force at tick `t`.
+    pub fn velocity_at_tick(&self, t: Tick) -> Velocity {
+        self.leg_at(t).velocity
+    }
+
+    /// The legs overlapping the tick range `[from, to]`, each paired with
+    /// the subrange it covers.  Used to evaluate spatial predicates piecewise
+    /// over a history containing updates.
+    pub fn legs_between(&self, from: Tick, to: Tick) -> Vec<(MovingPoint, Tick, Tick)> {
+        let mut out = Vec::new();
+        if from > to {
+            return out;
+        }
+        for (i, leg) in self.legs.iter().enumerate() {
+            let leg_start = if i == 0 { 0 } else { leg.since };
+            let leg_end = self
+                .legs
+                .get(i + 1)
+                .map(|next| next.since - 1)
+                .unwrap_or(Tick::MAX);
+            let lo = leg_start.max(from);
+            let hi = leg_end.min(to);
+            if lo <= hi {
+                out.push((*leg, lo, hi));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leg_trajectory() {
+        let t = Trajectory::starting_at(Point::origin(), Velocity::new(2.0, 0.0));
+        assert_eq!(t.position_at_tick(0), Point::origin());
+        assert_eq!(t.position_at_tick(5), Point::new(10.0, 0.0));
+        assert_eq!(t.update_count(), 0);
+    }
+
+    #[test]
+    fn velocity_update_is_continuous() {
+        // The Section 2.3 example: speed 5, then 7 from t=1, then 10 from t=2.
+        let mut t = Trajectory::starting_at(Point::origin(), Velocity::new(5.0, 0.0));
+        t.update_velocity(1, Velocity::new(7.0, 0.0));
+        t.update_velocity(2, Velocity::new(10.0, 0.0));
+        assert_eq!(t.position_at_tick(1), Point::new(5.0, 0.0));
+        assert_eq!(t.position_at_tick(2), Point::new(12.0, 0.0));
+        assert_eq!(t.position_at_tick(4), Point::new(32.0, 0.0));
+        assert_eq!(t.velocity_at_tick(0), Velocity::new(5.0, 0.0));
+        assert_eq!(t.velocity_at_tick(1), Velocity::new(7.0, 0.0));
+        assert_eq!(t.velocity_at_tick(5), Velocity::new(10.0, 0.0));
+        assert_eq!(t.update_count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_update_panics() {
+        let mut t = Trajectory::starting_at(Point::origin(), Velocity::zero());
+        t.update_velocity(5, Velocity::new(1.0, 0.0));
+        t.update_velocity(3, Velocity::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn teleport_update() {
+        let mut t = Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
+        t.update_position_and_velocity(10, Point::new(100.0, 100.0), Velocity::zero());
+        assert_eq!(t.position_at_tick(9), Point::new(9.0, 0.0));
+        assert_eq!(t.position_at_tick(10), Point::new(100.0, 100.0));
+        assert_eq!(t.position_at_tick(20), Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn legs_between_partitions_range() {
+        let mut t = Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
+        t.update_velocity(10, Velocity::new(2.0, 0.0));
+        t.update_velocity(20, Velocity::new(3.0, 0.0));
+        let legs = t.legs_between(5, 25);
+        assert_eq!(legs.len(), 3);
+        assert_eq!((legs[0].1, legs[0].2), (5, 9));
+        assert_eq!((legs[1].1, legs[1].2), (10, 19));
+        assert_eq!((legs[2].1, legs[2].2), (20, 25));
+        // Ranges within one leg:
+        let legs = t.legs_between(12, 15);
+        assert_eq!(legs.len(), 1);
+        assert_eq!((legs[0].1, legs[0].2), (12, 15));
+        assert!(t.legs_between(7, 3).is_empty());
+    }
+
+    #[test]
+    fn leg_at_boundaries() {
+        let mut t = Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
+        t.update_velocity(10, Velocity::new(2.0, 0.0));
+        assert_eq!(t.leg_at(9).velocity, Velocity::new(1.0, 0.0));
+        assert_eq!(t.leg_at(10).velocity, Velocity::new(2.0, 0.0));
+        assert_eq!(t.leg_at(11).velocity, Velocity::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn same_tick_initial_replacement() {
+        let mut t = Trajectory::starting_at(Point::new(1.0, 1.0), Velocity::zero());
+        t.update_velocity(0, Velocity::new(1.0, 1.0));
+        assert_eq!(t.position_at_tick(2), Point::new(3.0, 3.0));
+        assert_eq!(t.update_count(), 0);
+    }
+}

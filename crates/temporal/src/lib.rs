@@ -1,0 +1,37 @@
+//! Discrete-time temporal algebra for the MOST / FTL reproduction.
+//!
+//! The ICDE 1997 paper models time as a special database object whose
+//! "domain is the set of natural numbers, and its value increases by one in
+//! each clock tick" (Section 2).  Queries are interpreted over *database
+//! histories*: infinite sequences of states, one per tick.  Because the paper
+//! itself truncates infinite answers by letting queries "expire after a
+//! predefined (but very large) amount of time", every evaluation in this
+//! workspace happens against a finite [`Horizon`].
+//!
+//! This crate provides the three building blocks everything else sits on:
+//!
+//! * [`Tick`] / [`Horizon`] — the discrete clock;
+//! * [`Interval`] — closed tick intervals `[begin, end]`;
+//! * [`IntervalSet`] — *normalized* sets of intervals (disjoint and
+//!   non-consecutive, exactly the invariant the paper's appendix requires of
+//!   the per-instantiation interval columns of the relations `R_g`), together
+//!   with the full temporal-operator algebra (`Until` via maximal chains,
+//!   `Nexttime`, `Eventually`, `Always` and the bounded real-time variants of
+//!   Section 3.4).
+//!
+//! The [`chain`] module contains a literal transcription of the appendix's
+//! maximal-chain merge for `Until`; [`IntervalSet::until`] is the production
+//! implementation and the two are property-tested against each other and
+//! against brute-force per-tick evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod interval;
+pub mod interval_set;
+pub mod time;
+
+pub use interval::Interval;
+pub use interval_set::IntervalSet;
+pub use time::{Duration, Horizon, Tick};

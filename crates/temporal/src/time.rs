@@ -1,0 +1,115 @@
+//! The discrete clock: ticks, durations and evaluation horizons.
+//!
+//! The paper's `time` object has the natural numbers as its domain and
+//! increases by one per clock tick.  A [`Tick`] is therefore a plain `u64`;
+//! a [`Duration`] is a difference of ticks.  Evaluation of FTL formulas is
+//! always performed relative to a [`Horizon`], the paper's "predefined (but
+//! very large) amount of time" after which queries expire.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the global discrete clock (the paper's `time` object).
+///
+/// Tick `0` is, by convention of the appendix ("without loss of generality we
+/// assume that the time when we are evaluating the query is zero"), the
+/// moment the query under evaluation was entered.
+pub type Tick = u64;
+
+/// A length of time, measured in clock ticks.
+pub type Duration = u64;
+
+/// The finite evaluation horizon `[0, end]` standing in for the infinite
+/// future database history.
+///
+/// Section 2.3: "we will assume in this paper that a continuous query expires
+/// after a predefined (but very large) amount of time."  All interval algebra
+/// in this workspace is exact within the horizon; `Always`-style operators
+/// interpret "all future states" as "all states up to and including
+/// `Horizon::end`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Horizon {
+    end: Tick,
+}
+
+impl Horizon {
+    /// Creates a horizon covering ticks `0..=end`.
+    pub const fn new(end: Tick) -> Self {
+        Horizon { end }
+    }
+
+    /// The last tick inside the horizon (inclusive).
+    pub const fn end(self) -> Tick {
+        self.end
+    }
+
+    /// Number of ticks in the horizon (`end + 1`).
+    pub const fn len(self) -> u64 {
+        self.end + 1
+    }
+
+    /// A horizon is never empty: it always contains at least tick 0.
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Whether `t` falls inside the horizon.
+    pub const fn contains(self, t: Tick) -> bool {
+        t <= self.end
+    }
+
+    /// Iterator over every tick in the horizon.
+    ///
+    /// Only sensible for the small horizons used by tests and the naive
+    /// reference evaluator; the interval algebra never enumerates ticks.
+    pub fn ticks(self) -> impl Iterator<Item = Tick> {
+        0..=self.end
+    }
+
+    /// Clamps a tick into the horizon.
+    pub fn clamp(self, t: Tick) -> Tick {
+        t.min(self.end)
+    }
+}
+
+impl Default for Horizon {
+    /// A comfortable default horizon for interactive use: 1,000,000 ticks.
+    fn default() -> Self {
+        Horizon::new(1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_contains_bounds() {
+        let h = Horizon::new(10);
+        assert!(h.contains(0));
+        assert!(h.contains(10));
+        assert!(!h.contains(11));
+        assert_eq!(h.len(), 11);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn horizon_tick_iteration_matches_len() {
+        let h = Horizon::new(4);
+        let ticks: Vec<Tick> = h.ticks().collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ticks.len() as u64, h.len());
+    }
+
+    #[test]
+    fn horizon_clamp() {
+        let h = Horizon::new(5);
+        assert_eq!(h.clamp(3), 3);
+        assert_eq!(h.clamp(5), 5);
+        assert_eq!(h.clamp(99), 5);
+    }
+
+    #[test]
+    fn default_horizon_is_large() {
+        assert!(Horizon::default().end() >= 1_000_000);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests pinning the interval algebra to brute-force
+//! per-tick set semantics, and the production `Until` to the appendix's
+//! maximal-chain construction.
+
+use most_temporal::chain::until_via_chains;
+use most_temporal::{Horizon, Interval, IntervalSet, Tick};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const H_END: Tick = 64;
+
+fn horizon() -> Horizon {
+    Horizon::new(H_END)
+}
+
+/// Arbitrary interval set within the test horizon, via raw (possibly
+/// overlapping / unsorted / adjacent) intervals.
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec((0..=H_END, 0..=16u64), 0..8).prop_map(|pairs| {
+        IntervalSet::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(a, len)| Interval::new(a, (a + len).min(H_END))),
+        )
+    })
+}
+
+fn ticks_of(s: &IntervalSet) -> BTreeSet<Tick> {
+    s.ticks().collect()
+}
+
+fn set_of(ticks: &BTreeSet<Tick>) -> IntervalSet {
+    IntervalSet::from_predicate(horizon(), |t| ticks.contains(&t))
+}
+
+proptest! {
+    #[test]
+    fn normalization_invariant_holds(s in arb_set()) {
+        prop_assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn round_trip_through_ticks(s in arb_set()) {
+        prop_assert_eq!(set_of(&ticks_of(&s)), s);
+    }
+
+    #[test]
+    fn union_matches_set_union(a in arb_set(), b in arb_set()) {
+        let expected: BTreeSet<Tick> = ticks_of(&a).union(&ticks_of(&b)).copied().collect();
+        prop_assert_eq!(a.union(&b), set_of(&expected));
+    }
+
+    #[test]
+    fn intersect_matches_set_intersection(a in arb_set(), b in arb_set()) {
+        let expected: BTreeSet<Tick> =
+            ticks_of(&a).intersection(&ticks_of(&b)).copied().collect();
+        prop_assert_eq!(a.intersect(&b), set_of(&expected));
+    }
+
+    #[test]
+    fn complement_matches_set_complement(a in arb_set()) {
+        let h = horizon();
+        let universe: BTreeSet<Tick> = h.ticks().collect();
+        let expected: BTreeSet<Tick> =
+            universe.difference(&ticks_of(&a)).copied().collect();
+        prop_assert_eq!(a.complement(h), set_of(&expected));
+    }
+
+    #[test]
+    fn difference_matches_set_difference(a in arb_set(), b in arb_set()) {
+        let expected: BTreeSet<Tick> =
+            ticks_of(&a).difference(&ticks_of(&b)).copied().collect();
+        prop_assert_eq!(a.difference(&b, horizon()), set_of(&expected));
+    }
+
+    #[test]
+    fn demorgan_laws(a in arb_set(), b in arb_set()) {
+        let h = horizon();
+        let lhs = a.union(&b).complement(h);
+        let rhs = a.complement(h).intersect(&b.complement(h));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn contains_matches_linear_scan(s in arb_set(), t in 0..=H_END) {
+        prop_assert_eq!(s.contains(t), ticks_of(&s).contains(&t));
+    }
+
+    #[test]
+    fn next_time_matches_pointwise(s in arb_set()) {
+        let h = horizon();
+        let expected = IntervalSet::from_predicate(h, |t| t < H_END && s.contains(t + 1));
+        prop_assert_eq!(s.next_time(h), expected);
+    }
+
+    #[test]
+    fn eventually_matches_pointwise(s in arb_set()) {
+        let h = horizon();
+        let expected =
+            IntervalSet::from_predicate(h, |t| (t..=H_END).any(|u| s.contains(u)));
+        prop_assert_eq!(s.eventually(), expected);
+    }
+
+    #[test]
+    fn always_matches_pointwise(s in arb_set()) {
+        let h = horizon();
+        let expected =
+            IntervalSet::from_predicate(h, |t| (t..=H_END).all(|u| s.contains(u)));
+        prop_assert_eq!(s.always(h), expected);
+    }
+
+    #[test]
+    fn until_matches_pointwise(f in arb_set(), g in arb_set()) {
+        let h = horizon();
+        let expected = IntervalSet::from_predicate(h, |t| {
+            g.ticks().any(|t2| t2 >= t && (t..t2).all(|u| f.contains(u)))
+        });
+        prop_assert_eq!(f.until(&g), expected);
+    }
+
+    #[test]
+    fn until_agrees_with_appendix_chains(f in arb_set(), g in arb_set()) {
+        prop_assert_eq!(f.until(&g), until_via_chains(&f, &g));
+    }
+
+    #[test]
+    fn eventually_within_matches_pointwise(s in arb_set(), c in 0..20u64) {
+        let h = horizon();
+        let expected = IntervalSet::from_predicate(h, |t| {
+            (t..=(t + c).min(H_END)).any(|u| s.contains(u))
+        });
+        prop_assert_eq!(s.eventually_within(c), expected);
+    }
+
+    #[test]
+    fn eventually_after_matches_pointwise(s in arb_set(), c in 0..20u64) {
+        let h = horizon();
+        let expected = IntervalSet::from_predicate(h, |t| {
+            (t + c..=H_END).any(|u| u >= t + c && s.contains(u))
+        });
+        prop_assert_eq!(s.eventually_after(c), expected);
+    }
+
+    #[test]
+    fn always_for_matches_pointwise(s in arb_set(), c in 0..20u64) {
+        let h = horizon();
+        let expected = IntervalSet::from_predicate(h, |t| {
+            t + c <= H_END && (t..=t + c).all(|u| s.contains(u))
+        });
+        prop_assert_eq!(s.always_for(c, h), expected);
+    }
+
+    #[test]
+    fn until_within_matches_pointwise(f in arb_set(), g in arb_set(), c in 0..20u64) {
+        let h = horizon();
+        let expected = IntervalSet::from_predicate(h, |t| {
+            g.ticks()
+                .any(|t2| t2 >= t && t2 <= t + c && (t..t2).all(|u| f.contains(u)))
+        });
+        prop_assert_eq!(f.until_within(c, &g), expected);
+    }
+
+    #[test]
+    fn until_with_full_f_is_eventually(g in arb_set()) {
+        // Eventually g  ==  true Until g   (Section 3.3)
+        let full = IntervalSet::full(horizon());
+        prop_assert_eq!(full.until(&g), g.eventually());
+    }
+
+    #[test]
+    fn always_is_not_eventually_not(s in arb_set()) {
+        // Always f == ¬ Eventually ¬ f    (Section 3.3)
+        let h = horizon();
+        let lhs = s.always(h);
+        let rhs = s.complement(h).eventually().complement(h);
+        prop_assert_eq!(lhs, rhs);
+    }
+}

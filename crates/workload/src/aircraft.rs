@@ -1,0 +1,100 @@
+//! Aircraft around an airport: the Section 1 air-traffic-control scenario
+//! ("retrieve all the airplanes that will come within 30 miles of the
+//! airport in the next 10 minutes").
+
+use most_core::Database;
+use most_spatial::{Point, Velocity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One aircraft.
+#[derive(Debug, Clone)]
+pub struct Aircraft {
+    /// Position at tick 0.
+    pub position: Point,
+    /// Motion vector.
+    pub velocity: Velocity,
+    /// Whether the generator aimed it at the airport (ground truth for
+    /// sanity checks; closeness still depends on speed and distance).
+    pub inbound: bool,
+}
+
+/// Generates aircraft on a ring `[ring_lo, ring_hi]` around the airport at
+/// the origin; roughly `inbound_fraction` of them fly toward the airport
+/// (with some aiming error), the rest in random directions.
+pub fn around_airport(
+    count: usize,
+    ring_lo: f64,
+    ring_hi: f64,
+    speed: (f64, f64),
+    inbound_fraction: f64,
+    seed: u64,
+) -> Vec<Aircraft> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let angle = rng.random_range(0.0..std::f64::consts::TAU);
+            let dist = rng.random_range(ring_lo..ring_hi);
+            let position = Point::new(angle.cos() * dist, angle.sin() * dist);
+            let sp = rng.random_range(speed.0..=speed.1);
+            let inbound = rng.random_range(0.0..1.0) < inbound_fraction;
+            let heading = if inbound {
+                // Toward the airport, with up to ±0.2 rad of aiming error.
+                let base = (-position.y).atan2(-position.x);
+                base + rng.random_range(-0.2..0.2)
+            } else {
+                rng.random_range(0.0..std::f64::consts::TAU)
+            };
+            Aircraft {
+                position,
+                velocity: Velocity::new(heading.cos() * sp, heading.sin() * sp),
+                inbound,
+            }
+        })
+        .collect()
+}
+
+/// Inserts aircraft as class `aircraft` objects.
+pub fn populate(db: &mut Database, fleet: &[Aircraft]) -> Vec<u64> {
+    fleet
+        .iter()
+        .map(|a| db.insert_moving_object("aircraft", a.position, a.velocity))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aircraft_on_ring_with_speeds() {
+        let fleet = around_airport(200, 100.0, 300.0, (2.0, 4.0), 0.5, 3);
+        for a in &fleet {
+            let d = a.position.dist(Point::origin());
+            assert!((100.0..300.0).contains(&d));
+            let s = a.velocity.speed();
+            assert!((2.0..=4.0 + 1e-9).contains(&s));
+        }
+        let inbound = fleet.iter().filter(|a| a.inbound).count();
+        assert!(inbound > 60 && inbound < 140, "inbound = {inbound}");
+    }
+
+    #[test]
+    fn inbound_aircraft_approach() {
+        let fleet = around_airport(100, 200.0, 250.0, (3.0, 3.0), 1.0, 4);
+        for a in &fleet {
+            let now = a.position.dist(Point::origin());
+            let later = (a.position + a.velocity * 10.0).dist(Point::origin());
+            assert!(later < now, "inbound aircraft should close distance");
+        }
+    }
+
+    #[test]
+    fn populate_database() {
+        let fleet = around_airport(10, 100.0, 200.0, (2.0, 3.0), 0.5, 5);
+        let mut db = Database::new(1000);
+        let ids = populate(&mut db, &fleet);
+        assert_eq!(ids.len(), 10);
+        assert_eq!(db.object(ids[0]).unwrap().class, "aircraft");
+    }
+}

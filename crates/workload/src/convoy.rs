@@ -1,0 +1,113 @@
+//! Convoys: groups of vehicles travelling together, plus independent
+//! traffic — the workload behind relationship queries ("objects that will
+//! stay within 2 miles of each other for at least the next 3 minutes") and
+//! the Until example ("the distance between o and n stays within 5 miles
+//! until they both enter polygon P").
+
+use most_core::Database;
+use most_spatial::{Point, Velocity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated convoy scenario.
+#[derive(Debug, Clone)]
+pub struct ConvoyScenario {
+    /// Vehicles: `(position, velocity, convoy id)`; convoy id `None` for
+    /// independent traffic.
+    pub vehicles: Vec<(Point, Velocity, Option<usize>)>,
+}
+
+/// Generates `convoys` groups of `per_convoy` vehicles each (members share
+/// a heading and stay within `spread` of their leader), plus `independent`
+/// free vehicles.
+pub fn generate(
+    convoys: usize,
+    per_convoy: usize,
+    independent: usize,
+    area: f64,
+    spread: f64,
+    seed: u64,
+) -> ConvoyScenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vehicles = Vec::new();
+    for c in 0..convoys {
+        let leader = Point::new(
+            rng.random_range(-area..area),
+            rng.random_range(-area..area),
+        );
+        let angle = rng.random_range(0.0..std::f64::consts::TAU);
+        let speed = rng.random_range(1.0..2.0);
+        let v = Velocity::new(angle.cos() * speed, angle.sin() * speed);
+        for _ in 0..per_convoy {
+            let jitter = Point::new(
+                leader.x + rng.random_range(-spread..spread),
+                leader.y + rng.random_range(-spread..spread),
+            );
+            vehicles.push((jitter, v, Some(c)));
+        }
+    }
+    for _ in 0..independent {
+        let p = Point::new(
+            rng.random_range(-area..area),
+            rng.random_range(-area..area),
+        );
+        let angle = rng.random_range(0.0..std::f64::consts::TAU);
+        let speed = rng.random_range(1.0..2.0);
+        vehicles.push((p, Velocity::new(angle.cos() * speed, angle.sin() * speed), None));
+    }
+    ConvoyScenario { vehicles }
+}
+
+impl ConvoyScenario {
+    /// Inserts every vehicle as a `vehicles` object; returns
+    /// `(id, convoy id)` pairs.
+    pub fn populate(&self, db: &mut Database) -> Vec<(u64, Option<usize>)> {
+        self.vehicles
+            .iter()
+            .map(|(p, v, c)| (db.insert_moving_object("vehicles", *p, *v), *c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convoy_members_share_velocity_and_stay_close() {
+        let s = generate(3, 4, 5, 1000.0, 3.0, 7);
+        assert_eq!(s.vehicles.len(), 3 * 4 + 5);
+        for c in 0..3 {
+            let members: Vec<_> = s
+                .vehicles
+                .iter()
+                .filter(|(_, _, cid)| *cid == Some(c))
+                .collect();
+            assert_eq!(members.len(), 4);
+            let v0 = members[0].1;
+            for (p, v, _) in &members {
+                assert_eq!(*v, v0, "same motion vector within convoy");
+                // All within 2*spread of each other.
+                assert!(members.iter().all(|(q, _, _)| p.dist(*q) <= 4.0 * 3.0));
+            }
+        }
+    }
+
+    #[test]
+    fn populate_assigns_ids() {
+        let s = generate(1, 3, 2, 100.0, 2.0, 1);
+        let mut db = Database::new(100);
+        let ids = s.populate(&mut db);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids.iter().filter(|(_, c)| c.is_some()).count(), 3);
+        assert_eq!(db.len(), 5);
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = generate(2, 2, 2, 100.0, 2.0, 5);
+        let b = generate(2, 2, 2, 100.0, 2.0, 5);
+        assert_eq!(a.vehicles.len(), b.vehicles.len());
+        assert_eq!(a.vehicles[0].0, b.vehicles[0].0);
+    }
+}

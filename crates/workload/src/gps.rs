@@ -1,0 +1,166 @@
+//! Position-tracking policies: the experiment behind the paper's core
+//! motivation (E1).
+//!
+//! "Either the position is updated very frequently (which would impose a
+//! serious performance and wireless-bandwidth overhead), or, the answer to
+//! queries is outdated" — versus representing the position "as a function
+//! of its motion vector".  [`simulate_tracking`] replays a ground-truth
+//! position sequence against a tracking policy and reports how many
+//! database updates the policy sent and how far the database's belief
+//! strayed from the truth.
+
+use most_spatial::{Point, Velocity};
+
+/// How the vehicle reports to the database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrackingPolicy {
+    /// Traditional DBMS: a position-only update every tick.
+    EveryTick,
+    /// Traditional DBMS under bandwidth pressure: a position-only update
+    /// every `k` ticks (the database believes the last reported position).
+    EveryK(u64),
+    /// MOST: position + motion vector, re-sent only when the dead-reckoned
+    /// prediction drifts more than `threshold` from the truth.
+    DeadReckoning {
+        /// Allowed prediction error before an update is sent.
+        threshold: f64,
+    },
+}
+
+/// Outcome of a tracking simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingReport {
+    /// Updates sent to the database.
+    pub updates: u64,
+    /// Maximum deviation between the database's belief and the truth.
+    pub max_error: f64,
+    /// Mean deviation across all ticks.
+    pub mean_error: f64,
+}
+
+/// Replays `truth` (one position per tick, starting at tick 0) under the
+/// policy.  The first report at tick 0 is free for every policy (the object
+/// must be inserted); subsequent reports count as updates.
+pub fn simulate_tracking(truth: &[Point], policy: TrackingPolicy) -> TrackingReport {
+    assert!(!truth.is_empty(), "need at least one position");
+    let mut updates = 0u64;
+    let mut max_error = 0.0f64;
+    let mut sum_error = 0.0f64;
+
+    // Database belief: last reported position (+ vector for dead
+    // reckoning) and the tick it was reported at.
+    let mut believed_pos = truth[0];
+    let mut believed_vel = match policy {
+        TrackingPolicy::DeadReckoning { .. } => estimate_velocity(truth, 0),
+        _ => Velocity::zero(),
+    };
+    let mut reported_at = 0usize;
+
+    for (t, &actual) in truth.iter().enumerate().skip(1) {
+        let predicted = believed_pos + believed_vel * ((t - reported_at) as f64);
+        let err = predicted.dist(actual);
+        let must_report = match policy {
+            TrackingPolicy::EveryTick => true,
+            TrackingPolicy::EveryK(k) => (t - reported_at) as u64 >= k.max(1),
+            TrackingPolicy::DeadReckoning { threshold } => err > threshold,
+        };
+        if must_report {
+            updates += 1;
+            believed_pos = actual;
+            believed_vel = match policy {
+                TrackingPolicy::DeadReckoning { .. } => estimate_velocity(truth, t),
+                _ => Velocity::zero(),
+            };
+            reported_at = t;
+            // After reporting, the database is exact at this tick.
+            max_error = max_error.max(0.0);
+        } else {
+            max_error = max_error.max(err);
+            sum_error += err;
+        }
+        if !must_report {
+            continue;
+        }
+    }
+    TrackingReport {
+        updates,
+        max_error,
+        mean_error: sum_error / truth.len().max(1) as f64,
+    }
+}
+
+/// Velocity estimate at tick `t`: the forward difference (what a GPS unit
+/// would derive from consecutive fixes).
+fn estimate_velocity(truth: &[Point], t: usize) -> Velocity {
+    match (truth.get(t), truth.get(t + 1)) {
+        (Some(a), Some(b)) => b.delta(*a),
+        _ => Velocity::zero(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use most_spatial::Trajectory;
+
+    fn straight_line(n: usize) -> Vec<Point> {
+        (0..n).map(|t| Point::new(t as f64, 0.0)).collect()
+    }
+
+    fn zigzag(n: usize, turn_every: usize) -> Vec<Point> {
+        let mut traj = Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
+        for (i, t) in (turn_every..n).step_by(turn_every).enumerate() {
+            let v = if i % 2 == 0 {
+                Velocity::new(0.0, 1.0)
+            } else {
+                Velocity::new(1.0, 0.0)
+            };
+            traj.update_velocity(t as u64, v);
+        }
+        (0..n).map(|t| traj.position_at_tick(t as u64)).collect()
+    }
+
+    #[test]
+    fn every_tick_updates_every_tick() {
+        let r = simulate_tracking(&straight_line(100), TrackingPolicy::EveryTick);
+        assert_eq!(r.updates, 99);
+        assert_eq!(r.max_error, 0.0);
+    }
+
+    #[test]
+    fn every_k_trades_updates_for_error() {
+        let r = simulate_tracking(&straight_line(100), TrackingPolicy::EveryK(10));
+        assert!(r.updates <= 10);
+        // The static belief lags by up to 9 ticks at speed 1.
+        assert!(r.max_error >= 9.0 - 1e-9, "max_error = {}", r.max_error);
+    }
+
+    #[test]
+    fn dead_reckoning_on_straight_line_needs_no_updates() {
+        // The paper's claim in its purest form: with a correct motion
+        // vector, a straight drive never needs an update.
+        let r = simulate_tracking(
+            &straight_line(1000),
+            TrackingPolicy::DeadReckoning { threshold: 0.5 },
+        );
+        assert_eq!(r.updates, 0);
+        assert!(r.max_error < 0.5);
+    }
+
+    #[test]
+    fn dead_reckoning_updates_once_per_turn() {
+        let truth = zigzag(200, 50); // 3 turns
+        let r = simulate_tracking(&truth, TrackingPolicy::DeadReckoning { threshold: 1.0 });
+        assert!(r.updates >= 3 && r.updates <= 6, "updates = {}", r.updates);
+        assert!(r.max_error <= 2.0, "max_error = {}", r.max_error);
+        // Orders of magnitude below per-tick updating.
+        let every = simulate_tracking(&truth, TrackingPolicy::EveryTick);
+        assert!(every.updates > 20 * r.updates);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_truth_panics() {
+        let _ = simulate_tracking(&[], TrackingPolicy::EveryTick);
+    }
+}

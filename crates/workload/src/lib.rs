@@ -1,0 +1,32 @@
+//! Synthetic workload generators for the MOST reproduction.
+//!
+//! The 1997 paper has no datasets; its motivating scenarios are cars on
+//! highways querying motels, aircraft around airports, and convoys of
+//! vehicles.  This crate generates seeded, reproducible instances of those
+//! scenarios (DESIGN.md, substitutions) for the examples, integration tests
+//! and the benchmark harness:
+//!
+//! * [`update_process`] — Poisson-like motion-vector change processes ("the
+//!   motion vector of an object can change, but in most cases it does so
+//!   less frequently than the position");
+//! * [`cars`] — vehicles on a plane with random headings and speed changes;
+//! * [`motels`] — stationary motels with prices along a highway;
+//! * [`aircraft`] — aircraft converging on / departing an airport (the
+//!   Section 1 air-traffic-control query);
+//! * [`convoy`] — groups of vehicles travelling together (relationship
+//!   queries);
+//! * [`gps`] — position-tracking policies for experiment E1: per-tick
+//!   position updates vs dead-reckoning with a motion vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aircraft;
+pub mod cars;
+pub mod convoy;
+pub mod gps;
+pub mod motels;
+pub mod update_process;
+
+pub use cars::{CarPlan, CarScenario};
+pub use gps::{simulate_tracking, TrackingPolicy, TrackingReport};

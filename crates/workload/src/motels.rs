@@ -1,0 +1,84 @@
+//! The MOTELS relation: stationary spatial objects with price and
+//! availability, spread along a highway (the Section 1 scenario of a car
+//! querying "motels within a radius of 5 miles").
+
+use most_core::Database;
+use most_spatial::{Point, Velocity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One motel.
+#[derive(Debug, Clone)]
+pub struct Motel {
+    /// Geographic coordinates.
+    pub location: Point,
+    /// Room price.
+    pub price: f64,
+    /// Rooms available right now.
+    pub availability: i64,
+}
+
+/// Generates `count` motels scattered within `offset` of a straight
+/// west–east highway of the given `length`.
+pub fn highway_motels(count: usize, length: f64, offset: f64, seed: u64) -> Vec<Motel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Motel {
+            location: Point::new(
+                rng.random_range(0.0..length),
+                rng.random_range(-offset..offset),
+            ),
+            price: rng.random_range(40.0..180.0),
+            availability: rng.random_range(0..40),
+        })
+        .collect()
+}
+
+/// Inserts motels as stationary spatial objects of class `motels`.
+pub fn populate(db: &mut Database, motels: &[Motel]) -> Vec<u64> {
+    motels
+        .iter()
+        .map(|m| {
+            let id = db.insert_moving_object("motels", m.location, Velocity::zero());
+            db.set_static(id, "PRICE", m.price.into()).expect("open class");
+            db.set_static(id, "AVAILABILITY", m.availability.into())
+                .expect("open class");
+            id
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motels_within_bounds() {
+        for m in highway_motels(100, 5000.0, 50.0, 1) {
+            assert!((0.0..5000.0).contains(&m.location.x));
+            assert!(m.location.y.abs() <= 50.0);
+            assert!((40.0..180.0).contains(&m.price));
+            assert!((0..40).contains(&m.availability));
+        }
+    }
+
+    #[test]
+    fn populate_creates_stationary_objects() {
+        let motels = highway_motels(10, 1000.0, 20.0, 2);
+        let mut db = Database::new(100);
+        let ids = populate(&mut db, &motels);
+        assert_eq!(ids.len(), 10);
+        for (id, m) in ids.iter().zip(&motels) {
+            let o = db.object(*id).unwrap();
+            assert_eq!(o.position_at(50), Some(m.location));
+            assert_eq!(o.velocity_at(0), Some(Velocity::zero()));
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = highway_motels(5, 100.0, 5.0, 9);
+        let b = highway_motels(5, 100.0, 5.0, 9);
+        assert_eq!(a[2].location, b[2].location);
+    }
+}

@@ -1,0 +1,87 @@
+//! Motion-vector change processes.
+//!
+//! Inter-update gaps are sampled from a geometric approximation of an
+//! exponential distribution with the given mean, producing Poisson-like
+//! update streams; velocities are sampled uniformly in direction with
+//! speeds in a band.
+
+use most_spatial::Velocity;
+use most_temporal::{Duration, Tick};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples an inter-update gap with the given mean (≥ 1 tick).
+pub fn sample_gap(rng: &mut StdRng, mean: f64) -> Duration {
+    let u: f64 = rng.random_range(1e-12..1.0);
+    let gap = -u.ln() * mean;
+    gap.max(1.0).round() as Duration
+}
+
+/// Samples a velocity with uniform direction and speed in `[lo, hi]`.
+pub fn sample_velocity(rng: &mut StdRng, lo: f64, hi: f64) -> Velocity {
+    let angle = rng.random_range(0.0..std::f64::consts::TAU);
+    let speed = rng.random_range(lo..=hi);
+    Velocity::new(angle.cos() * speed, angle.sin() * speed)
+}
+
+/// Generates an update schedule over `[1, until]` with mean gap
+/// `mean_gap`: `(tick, new velocity)` pairs in ascending order.
+pub fn update_schedule(
+    rng: &mut StdRng,
+    until: Tick,
+    mean_gap: f64,
+    speed_lo: f64,
+    speed_hi: f64,
+) -> Vec<(Tick, Velocity)> {
+    let mut out = Vec::new();
+    let mut t: Tick = 0;
+    loop {
+        t += sample_gap(rng, mean_gap);
+        if t > until {
+            return out;
+        }
+        out.push((t, sample_velocity(rng, speed_lo, speed_hi)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaps_positive_and_mean_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 5000;
+        let mean = 40.0;
+        let total: u64 = (0..n).map(|_| sample_gap(&mut rng, mean)).sum();
+        let avg = total as f64 / n as f64;
+        assert!(avg > mean * 0.9 && avg < mean * 1.1, "avg = {avg}");
+    }
+
+    #[test]
+    fn velocities_in_speed_band() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = sample_velocity(&mut rng, 1.0, 3.0);
+            let s = v.speed();
+            assert!((1.0..=3.0 + 1e-9).contains(&s), "speed {s}");
+        }
+    }
+
+    #[test]
+    fn schedules_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sched = update_schedule(&mut rng, 1000, 50.0, 0.5, 2.0);
+        assert!(!sched.is_empty());
+        assert!(sched.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(sched.iter().all(|(t, _)| *t >= 1 && *t <= 1000));
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let a = update_schedule(&mut StdRng::seed_from_u64(9), 500, 30.0, 1.0, 2.0);
+        let b = update_schedule(&mut StdRng::seed_from_u64(9), 500, 30.0, 1.0, 2.0);
+        assert_eq!(a, b);
+    }
+}

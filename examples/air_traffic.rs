@@ -1,0 +1,65 @@
+//! Air-traffic control: the paper's Section 1 motivating query —
+//! "retrieve all the airplanes that will come within 30 miles of the
+//! airport in the next 10 minutes" — plus a temporal trigger on runway
+//! proximity.
+//!
+//! ```sh
+//! cargo run --example air_traffic
+//! ```
+
+use moving_objects::core::Database;
+use moving_objects::ftl::Query;
+use moving_objects::workload::aircraft;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 10 minutes at one tick per second.
+    let ten_minutes = 600;
+    let mut db = Database::new(3_600);
+
+    // 150 aircraft between 200 and 500 miles out; roughly 40% inbound.
+    // Distances in miles, speeds in miles/second-tick (fast planes!).
+    let fleet = aircraft::around_airport(150, 200.0, 500.0, (0.3, 0.6), 0.4, 2024);
+    let ids = aircraft::populate(&mut db, &fleet);
+    println!("tracking {} aircraft around the airport at (0, 0)", ids.len());
+
+    // The paper's query Q.
+    let q = Query::parse(&format!(
+        "RETRIEVE o WHERE Eventually within {ten_minutes} (DIST(o, POINT(0, 0)) <= 30)"
+    ))?;
+    let answer = db.instantaneous(&q)?;
+    println!("\n{} aircraft will come within 30 miles in the next 10 minutes:", answer.len());
+    for (values, interval) in answer.rows().iter().take(8) {
+        println!("  {:?} inside the 30-mile ring during {interval}", values[0]);
+    }
+    if answer.len() > 8 {
+        println!("  ... and {} more", answer.len() - 8);
+    }
+
+    // A trigger: fire as each aircraft first crosses the 30-mile ring.
+    let trig = Query::parse("RETRIEVE o WHERE DIST(o, POINT(0, 0)) <= 30")?;
+    db.create_trigger("entered_approach_zone", trig)?;
+    let mut fired = 0;
+    for _ in 0..10 {
+        db.advance_clock(60); // one minute
+        let events = db.take_trigger_events();
+        for e in events.iter().take(3) {
+            println!("t={:>4}: {} fired for {:?}", e.at, e.name, e.values[0]);
+        }
+        fired += events.len();
+    }
+    println!("\n{fired} approach-zone entries within 10 minutes");
+
+    // Tentativeness (Section 1): an answer can be invalidated by a later
+    // motion-vector update — steer the first inbound plane away and ask
+    // again.
+    if let Some(&plane) = answer.ids().first() {
+        let away = moving_objects::spatial::Velocity::new(0.6, 0.0);
+        db.update_motion(plane, away)?;
+        let fresh = db.instantaneous(&q)?;
+        println!(
+            "after steering #{plane} away, the answer {} it (answers are tentative)",
+            if fresh.ids().contains(&plane) { "still contains" } else { "no longer contains" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The travelling-salesman scenario of Sections 1–2: a car on the highway
+//! issues "Display motels within a radius of 5 miles" as a *continuous*
+//! query — evaluated once, displayed from the materialized answer as the
+//! car moves, re-evaluated only when a motion vector changes.
+//!
+//! ```sh
+//! cargo run --example motel_finder
+//! ```
+
+use moving_objects::core::Database;
+use moving_objects::ftl::Query;
+use moving_objects::spatial::{Point, Velocity};
+use moving_objects::workload::motels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new(2_000);
+
+    // The MOTELS relation: 40 motels along a 1000-mile highway.
+    let all = motels::highway_motels(40, 1_000.0, 4.0, 7);
+    motels::populate(&mut db, &all);
+
+    // The car drives east along the highway at 1 mile per tick.
+    let car = db.insert_moving_object("cars", Point::new(0.0, 0.0), Velocity::new(1.0, 0.0));
+
+    // The Section 1 gesture: the driver draws region C around the car and
+    // "indicates that C moves as a rigid body having the motion vector of
+    // the car".  `INSIDE(m, C, o)` is that moving region; FTL variables
+    // range over all objects, so we retrieve (motel, vehicle) pairs and
+    // keep the rows for our car when displaying.
+    db.add_region(
+        "C",
+        moving_objects::spatial::Polygon::rectangle(-5.0, -5.0, 5.0, 5.0),
+    );
+    let q = Query::parse("RETRIEVE m, o WHERE m.PRICE <= 120 AND m <> o AND INSIDE(m, C, o)")?;
+    let cq = db.register_continuous(q)?;
+    println!(
+        "continuous query registered; single evaluation served {} (motel, car) rows",
+        db.continuous_answer(cq)?.len()
+    );
+
+    // Drive.  The display changes with the car's position although the
+    // database receives no updates at all.
+    for _ in 0..10 {
+        db.advance_clock(100);
+        let now = db.now();
+        let display = db.continuous_display(cq, now)?;
+        let near: Vec<String> = display
+            .iter()
+            .filter(|row| row[1] == moving_objects::dbms::value::Value::Id(car))
+            .map(|row| format!("{}", row[0]))
+            .collect();
+        let x = db.object(car)?.position_at(now).map(|p| p.x).unwrap_or(0.0);
+        println!("t={now:>4}  car at x={x:>6.0}  motels in range: {near:?}");
+    }
+    println!("evaluations so far: {}", db.continuous_evaluations());
+
+    // The driver takes an exit: one motion-vector update, one refresh.
+    db.update_motion(car, Velocity::new(0.0, 1.0))?;
+    println!(
+        "after the exit-ramp update: {} evaluations (exactly one refresh)",
+        db.continuous_evaluations()
+    );
+
+    // A satisfactory motel was found — cancel, per Section 2.3.
+    db.cancel_continuous(cq)?;
+    println!("query cancelled");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The three query types on one scenario (Section 2.3 / Figure 1): the
+//! paper's speed-doubling query R, where only the persistent variant ever
+//! retrieves the object.
+//!
+//! ```sh
+//! cargo run --example persistent_speedup
+//! ```
+
+use moving_objects::core::{Database, PersistentQuery};
+use moving_objects::ftl::Query;
+use moving_objects::spatial::{Point, Velocity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new(100);
+    let o = db.insert_moving_object("objects", Point::origin(), Velocity::new(5.0, 0.0));
+
+    // R = "retrieve the objects whose speed in the direction of the X-axis
+    // doubles within 10 minutes" (1 tick = 1 minute here).
+    let r = Query::parse("RETRIEVE o WHERE [x <- o.VX] Eventually within 10 (o.VX >= 2 * x)")?;
+    println!("query R: {r}\n");
+
+    let cq = db.register_continuous(r.clone())?;
+    let mut pq = PersistentQuery::enter(&db, r.clone());
+
+    let report = |db: &mut Database, pq: &mut PersistentQuery, label: &str| {
+        let t = db.now();
+        let inst = db.instantaneous_now(&r).expect("instantaneous");
+        let cont = db.continuous_display(cq, t).expect("continuous");
+        let pers = pq.satisfied_now(db).expect("persistent");
+        println!(
+            "t={t}  {label:<34} instantaneous={:<6} continuous={:<6} persistent={:?}",
+            format!("{:?}", inst.len()),
+            format!("{:?}", cont.len()),
+            pers.iter().map(|v| v[0].to_string()).collect::<Vec<_>>(),
+        );
+    };
+
+    report(&mut db, &mut pq, "X.function = 5t");
+    db.advance_clock(1);
+    db.update_motion(o, Velocity::new(7.0, 0.0))?;
+    report(&mut db, &mut pq, "update: 7t");
+    db.advance_clock(1);
+    db.update_motion(o, Velocity::new(10.0, 0.0))?;
+    report(&mut db, &mut pq, "update: 10t  (5 -> 10 doubled!)");
+    db.advance_clock(5);
+    report(&mut db, &mut pq, "cruising");
+
+    println!(
+        "\nAs the paper argues: the instantaneous and continuous variants never \
+         retrieve o\n(each implicit future history has constant speed), while the \
+         persistent variant,\nevaluated over the recorded update history anchored at \
+         its entry time, retrieves o\nfrom wall-time 2 onwards."
+    );
+    Ok(())
+}

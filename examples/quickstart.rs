@@ -1,0 +1,48 @@
+//! Quickstart: dynamic attributes and future queries in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use moving_objects::core::Database;
+use moving_objects::ftl::Query;
+use moving_objects::spatial::{Point, Polygon, Velocity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A MOST database whose queries expire after 1000 ticks.
+    let mut db = Database::new(1_000);
+
+    // Moving objects carry a *motion vector*, not a position log: the car's
+    // position is a function of time and needs no per-tick updates.
+    let car = db.insert_moving_object("cars", Point::new(0.0, 0.0), Velocity::new(0.5, 0.0));
+    db.set_static(car, "PRICE", 80.0.into())?;
+    let truck =
+        db.insert_moving_object("cars", Point::new(200.0, 5.0), Velocity::new(-0.5, 0.0));
+    db.set_static(truck, "PRICE", 150.0.into())?;
+
+    // A named region for INSIDE / OUTSIDE predicates.
+    db.add_region("Downtown", Polygon::rectangle(90.0, -10.0, 110.0, 10.0));
+
+    // A future query: who reaches Downtown within 250 ticks?
+    let q = Query::parse(
+        "RETRIEVE o WHERE o.PRICE <= 100 AND Eventually within 250 INSIDE(o, Downtown)",
+    )?;
+    let answer = db.instantaneous(&q)?;
+    println!("query: {q}");
+    println!("answer (with satisfaction intervals in global ticks):\n{answer}");
+    assert_eq!(answer.ids(), vec![car]);
+
+    // The answer to the *same* query depends on when it is asked — no
+    // updates required, just the clock:
+    db.advance_clock(400); // the car is now past Downtown
+    let later = db.instantaneous(&q)?;
+    println!("at t=400 the same query returns {} rows", later.len());
+    assert!(later.is_empty());
+
+    // DIST works against fixed points too:
+    let q2 = Query::parse("RETRIEVE o WHERE Eventually within 200 (DIST(o, POINT(50, 0)) <= 10)")?;
+    let near_marker = db.instantaneous(&q2)?;
+    println!("objects passing near POINT(50,0) in the next 200 ticks: {:?}", near_marker.ids());
+
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! `mostql` — an interactive shell over a MOST database.
+//!
+//! ```sh
+//! cargo run --bin mostql
+//! ```
+//!
+//! Type `HELP` for the command list.  Lines may also be piped in:
+//!
+//! ```sh
+//! printf 'CREATE c AT (0,0) VEL (1,0)\nTICK 5\nOBJECTS\n' | cargo run --bin mostql
+//! ```
+
+use moving_objects::repl::{Outcome, Session};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut session = Session::new(100_000);
+    // A file argument runs as a script before the interactive loop
+    // (`cargo run --bin mostql -- setup.mql`).
+    for path in std::env::args().skip(1) {
+        match std::fs::read_to_string(&path) {
+            Ok(script) => {
+                for line in script.lines() {
+                    match session.execute(line) {
+                        Outcome::Text(t) if t.is_empty() => {}
+                        Outcome::Text(t) => println!("{t}"),
+                        Outcome::Quit => return,
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read script `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let stdin = io::stdin();
+    let interactive = true; // prompts are harmless when piped
+    println!("mostql — MOST / FTL shell (HELP for commands, QUIT to leave)");
+    loop {
+        if interactive {
+            print!("mostql> ");
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match session.execute(&line) {
+                Outcome::Text(t) if t.is_empty() => {}
+                Outcome::Text(t) => println!("{t}"),
+                Outcome::Quit => break,
+            },
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+}

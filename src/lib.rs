@@ -1,0 +1,72 @@
+//! # moving-objects
+//!
+//! Umbrella crate for the reproduction of *"Modeling and Querying Moving
+//! Objects"* (A. P. Sistla, O. Wolfson, S. Chamberlain, S. Dao; ICDE 1997).
+//!
+//! The paper introduces the **MOST** data model — databases whose *dynamic
+//! attributes* change continuously as functions of time without explicit
+//! updates — and **FTL** (Future Temporal Logic), a query language over the
+//! implied future database history, together with an interval-relation
+//! evaluation algorithm, a dynamic-attribute indexing scheme and strategies
+//! for mobile/distributed query processing.
+//!
+//! This crate re-exports the whole workspace so applications can depend on a
+//! single crate:
+//!
+//! * [`temporal`] — tick clock, closed intervals, normalized interval sets,
+//!   the `Until` chain algebra (paper appendix).
+//! * [`spatial`] — points, motion vectors, polygons and the moving-point
+//!   predicate solvers behind `DIST`, `INSIDE` and `WITHIN-A-SPHERE`.
+//! * [`dbms`] — the in-memory relational DBMS substrate MOST is layered on
+//!   (Section 5.1).
+//! * [`ftl`] — FTL lexer/parser/semantics and the appendix evaluation
+//!   algorithm (Section 3).
+//! * [`index`] — dynamic-attribute indexing over (time × value) space
+//!   (Section 4).
+//! * [`core`] — the MOST data model proper: dynamic attributes, database
+//!   histories, instantaneous / continuous / persistent queries, triggers,
+//!   and the MOST-on-DBMS rewriting (Sections 2 and 5.1).
+//! * [`mobile`] — simulated mobile distributed environment and the query
+//!   shipping strategies of Sections 5.2–5.3.
+//! * [`workload`] — synthetic scenario generators used by the examples,
+//!   tests and benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use moving_objects::core::{Database, MotionUpdate};
+//! use moving_objects::ftl::Query;
+//! use moving_objects::spatial::{Point, Velocity};
+//!
+//! // A database whose clock starts at tick 0, with a 1000-tick horizon.
+//! let mut db = Database::new(1_000);
+//!
+//! // A car heading east at 0.5 distance units per tick.
+//! let car = db.insert_moving_object(
+//!     "car",
+//!     Point::new(0.0, 0.0),
+//!     Velocity::new(0.5, 0.0),
+//! );
+//! db.set_static(car, "PRICE", 80.0.into());
+//!
+//! // "Retrieve objects o that come within 10 of (50, 0) within 200 ticks."
+//! let q = Query::parse(
+//!     "RETRIEVE o WHERE Eventually within 200 (DIST(o, POINT(50, 0)) <= 10)",
+//! )
+//! .unwrap();
+//! let answer = db.instantaneous(&q).unwrap();
+//! assert_eq!(answer.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use most_core as core;
+pub use most_dbms as dbms;
+pub use most_ftl as ftl;
+pub use most_index as index;
+pub use most_mobile as mobile;
+pub use most_spatial as spatial;
+pub use most_temporal as temporal;
+pub use most_workload as workload;
+
+pub mod repl;

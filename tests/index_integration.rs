@@ -1,0 +1,149 @@
+//! Integration: the Section 4 index answers the same questions as FTL /
+//! scan paths, through the database facade and standalone.
+
+use moving_objects::core::Database;
+use moving_objects::ftl::Query;
+use moving_objects::index::{DynamicAttributeIndex, IndexKind, RebuildingIndex};
+use moving_objects::spatial::{Point, Rect, Velocity};
+use moving_objects::workload::cars::{apply_due_updates, CarScenario};
+
+#[test]
+fn database_spatial_index_matches_ftl_inside_query() {
+    let scenario = CarScenario {
+        count: 40,
+        area: 300.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: 80.0,
+        horizon: 400,
+        seed: 13,
+    };
+    let plans = scenario.generate();
+    let mut db = Database::new(1_000);
+    let ids = scenario.populate(&mut db, &plans);
+    db.enable_spatial_index(Rect::new(-2_000.0, -2_000.0, 2_000.0, 2_000.0));
+    let rect = Rect::new(-60.0, -60.0, 60.0, 60.0);
+    db.add_region(
+        "R",
+        moving_objects::spatial::Polygon::rectangle(-60.0, -60.0, 60.0, 60.0),
+    );
+    let q = Query::parse("RETRIEVE o WHERE INSIDE(o, R)").unwrap();
+    let mut last = 0;
+    for step in [0u64, 50, 137, 256, 399] {
+        db.advance_clock(step - last);
+        apply_due_updates(&mut db, &ids, &plans, last, step);
+        last = step;
+        let (via_index, used) = db.objects_in_rect(&rect);
+        assert!(used, "index should serve the query");
+        let via_ftl = db.instantaneous_now(&q).unwrap();
+        let ftl_ids: Vec<u64> = via_ftl.iter().map(|v| v[0].as_id().unwrap()).collect();
+        assert_eq!(via_index, ftl_ids, "t = {step}");
+    }
+}
+
+#[test]
+fn continuous_index_query_matches_ftl_windows() {
+    // The index's continuous range query on attribute A mirrors an FTL
+    // comparison query's satisfaction intervals.
+    use moving_objects::ftl::context::MemoryContext;
+    use moving_objects::ftl::evaluate_query;
+    use moving_objects::spatial::Trajectory;
+
+    let lifetime = 300u64;
+    let mut idx = DynamicAttributeIndex::new(IndexKind::QuadTree, lifetime, (-1_000.0, 1_000.0));
+    let mut ctx = MemoryContext::new(lifetime);
+    // A.value == X coordinate of each car.
+    let setups = [(0.0, 1.0), (500.0, -2.0), (120.0, 0.0), (-300.0, 2.5)];
+    for (i, &(x0, vx)) in setups.iter().enumerate() {
+        let id = i as u64 + 1;
+        idx.insert(id, 0, x0, vx);
+        ctx.add_object(
+            id,
+            Trajectory::starting_at(Point::new(x0, 0.0), Velocity::new(vx, 0.0)),
+        );
+    }
+    let (rows, _) = idx.continuous(0, 100.0, 150.0);
+    let q = Query::parse("RETRIEVE o WHERE o.X >= 100 AND o.X <= 150").unwrap();
+    let answer = evaluate_query(&ctx, &q).unwrap();
+    assert_eq!(rows.len(), answer.len());
+    for (id, set) in rows {
+        let want = answer
+            .intervals_for(&[moving_objects::dbms::value::Value::Id(id)])
+            .unwrap_or_else(|| panic!("object {id} missing from FTL answer"));
+        assert_eq!(&set, want, "object {id}");
+    }
+}
+
+#[test]
+fn rebuilding_index_tracks_long_lived_objects() {
+    let mut idx = RebuildingIndex::new(IndexKind::QuadTree, 200, (-1e5, 1e5));
+    idx.insert(1, 0, 0.0, 1.0);
+    idx.insert(2, 0, 1_000.0, -1.0);
+    // March far beyond several lifetimes with periodic queries.
+    for epoch in 1..=10u64 {
+        let t = epoch * 150;
+        let (ids, _) = idx.instantaneous(t, t as f64 - 0.5, t as f64 + 0.5);
+        assert_eq!(ids, vec![1], "object 1 has value == t at every t (t = {t})");
+    }
+    assert!(idx.rebuilds >= 6, "rebuilds = {}", idx.rebuilds);
+}
+
+#[test]
+fn index_pruned_ftl_answers_equal_unpruned() {
+    // Section 4's purpose: INSIDE atoms skip objects that can never enter
+    // the region.  The pruned evaluation must be answer-identical.
+    let scenario = CarScenario {
+        count: 60,
+        area: 800.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: 120.0,
+        horizon: 400,
+        seed: 21,
+    };
+    let plans = scenario.generate();
+    let queries = [
+        "RETRIEVE o WHERE Eventually within 300 INSIDE(o, P)",
+        "RETRIEVE o WHERE INSIDE(o, P) AND o.PRICE <= 150",
+        "RETRIEVE o, n WHERE o <> n AND (DIST(o, n) <= 80 Until INSIDE(o, P))",
+        "RETRIEVE o WHERE NOT Eventually INSIDE(o, P)", // complement needs full domain
+    ];
+    let run = |use_index: bool| {
+        let mut db = Database::new(600);
+        db.add_region(
+            "P",
+            moving_objects::spatial::Polygon::rectangle(-80.0, -80.0, 80.0, 80.0),
+        );
+        let ids = scenario.populate(&mut db, &plans);
+        if use_index {
+            db.enable_spatial_index(Rect::new(-5_000.0, -5_000.0, 5_000.0, 5_000.0));
+        }
+        let mut answers = Vec::new();
+        let mut last = 0;
+        for now in [0u64, 77, 240] {
+            db.advance_clock(now - db.now());
+            apply_due_updates(&mut db, &ids, &plans, last, now);
+            last = now;
+            for q in &queries {
+                answers.push(db.instantaneous(&Query::parse(q).unwrap()).unwrap());
+            }
+        }
+        answers
+    };
+    let plain = run(false);
+    let pruned = run(true);
+    assert_eq!(plain, pruned);
+    // And the pruning is actually engaged: with the index on, a region far
+    // from everything yields an empty candidate set instantly.
+    let mut db = Database::new(600);
+    scenario.populate(&mut db, &plans);
+    db.add_region(
+        "FAR",
+        moving_objects::spatial::Polygon::rectangle(90_000.0, 90_000.0, 90_010.0, 90_010.0),
+    );
+    db.enable_spatial_index(Rect::new(-5_000.0, -5_000.0, 5_000.0, 5_000.0));
+    let ctx = db.current_context();
+    use moving_objects::ftl::EvalContext;
+    let cands = ctx
+        .inside_candidates(db.region("FAR").unwrap())
+        .expect("index enabled and window in epoch");
+    assert!(cands.is_empty(), "nothing ever reaches FAR: {cands:?}");
+}

@@ -1,0 +1,49 @@
+//! The mostql command processor must never panic: arbitrary input produces
+//! either output or an error string, and the session stays usable.
+
+use moving_objects::repl::{Outcome, Session};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_lines_never_panic(lines in prop::collection::vec("\\PC{0,60}", 0..8)) {
+        let mut s = Session::new(1_000);
+        for line in &lines {
+            let _ = s.execute(line);
+        }
+        // Still functional afterwards.
+        match s.execute("NOW") {
+            Outcome::Text(t) => prop_assert!(t.starts_with("t = ")),
+            Outcome::Quit => prop_assert!(false, "NOW must not quit"),
+        }
+    }
+
+    #[test]
+    fn command_soup_never_panics(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("CREATE"), Just("SET"), Just("MOVE"), Just("DROP"),
+                Just("REGION"), Just("TICK"), Just("SHOW"), Just("CANCEL"),
+                Just("RETRIEVE"), Just("CONTINUOUS"), Just("EXPLAIN"),
+                Just("NEAREST"), Just("a"), Just("a.P"), Just("AT"),
+                Just("VEL"), Just("RECT"), Just("("), Just(")"), Just(","),
+                Just("="), Just("1"), Just("-2.5"), Just("cq0"), Just("WHERE"),
+                Just("o"), Just("INSIDE"), Just("true"),
+            ],
+            0..12
+        )
+    ) {
+        let mut s = Session::new(1_000);
+        // Seed some state so lookups can succeed sometimes.
+        let _ = s.execute("CREATE a AT (0, 0) VEL (1, 0)");
+        let _ = s.execute("REGION P RECT (0, 0, 10, 10)");
+        let line = parts.join(" ");
+        let _ = s.execute(&line);
+        match s.execute("OBJECTS") {
+            Outcome::Text(_) => {}
+            Outcome::Quit => prop_assert!(false, "OBJECTS must not quit"),
+        }
+    }
+}

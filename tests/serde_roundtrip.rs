@@ -1,0 +1,135 @@
+//! Serialization round-trips: queries, answers, values, geometry and
+//! interval sets all survive JSON — the wire format a MOST deployment
+//! would ship between the server and moving clients (Section 5.2).
+
+use moving_objects::dbms::value::Value;
+use moving_objects::ftl::answer::{Answer, AnswerTuple};
+use moving_objects::ftl::{Formula, Query};
+use moving_objects::spatial::{MovingPoint, Point, Polygon, Trajectory, Velocity};
+use moving_objects::temporal::{Interval, IntervalSet};
+
+fn round_trip<T>(v: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(v).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn queries_round_trip() {
+    let sources = [
+        "RETRIEVE o WHERE o.PRICE <= 100 AND Eventually within 3 INSIDE(o, P)",
+        "RETRIEVE o, n WHERE DIST(o, n) <= 5 Until (INSIDE(o, P) AND INSIDE(n, P))",
+        "RETRIEVE o WHERE [x <- o.VX] Eventually within 10 (o.VX >= 2 * x)",
+        "RETRIEVE o WHERE NOT (INSIDE(o, P) OR OUTSIDE(o, Q))",
+        "RETRIEVE o, n WHERE Eventually WITHIN_SPHERE(2.5, o, n, POINT(-1, 4.5))",
+    ];
+    for src in sources {
+        let q = Query::parse(src).unwrap();
+        assert_eq!(round_trip(&q), q, "{src}");
+    }
+}
+
+#[test]
+fn formulas_round_trip() {
+    let f = Query::parse_formula("time <= 30 AND o.X > -2.5").unwrap();
+    let back: Formula = round_trip(&f);
+    assert_eq!(back, f);
+}
+
+#[test]
+fn values_round_trip_including_floats() {
+    for v in [
+        Value::Null,
+        Value::Bool(true),
+        Value::Int(-42),
+        Value::from(2.5),
+        Value::from(-0.0),
+        Value::from("Rest Inn"),
+        Value::Time(17),
+        Value::Id(9),
+    ] {
+        assert_eq!(round_trip(&v), v);
+    }
+}
+
+#[test]
+fn answers_round_trip() {
+    let a = Answer::new(
+        vec!["o".into()],
+        vec![AnswerTuple {
+            values: vec![Value::Id(2)],
+            intervals: IntervalSet::from_intervals([
+                Interval::new(10, 15),
+                Interval::new(20, 25),
+            ]),
+        }],
+    );
+    let b: Answer = round_trip(&a);
+    assert_eq!(b, a);
+    assert_eq!(b.at_tick(12).len(), 1);
+}
+
+#[test]
+fn geometry_round_trips() {
+    let poly = Polygon::regular(Point::new(1.0, -2.0), 5.0, 7);
+    assert_eq!(round_trip(&poly), poly);
+    let mut traj = Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.5));
+    traj.update_velocity(10, Velocity::zero());
+    assert_eq!(round_trip(&traj), traj);
+    let mp = MovingPoint::new(Point::new(3.0, 4.0), 7, Velocity::new(-1.0, 0.0));
+    assert_eq!(round_trip(&mp), mp);
+}
+
+#[test]
+fn whole_database_round_trips() {
+    use moving_objects::core::{AttrFunction, Database};
+    use moving_objects::ftl::Query;
+
+    let mut db = Database::new(1_000);
+    let car = db.insert_moving_object("cars", Point::new(0.0, 0.0), Velocity::new(1.0, 0.0));
+    db.set_static(car, "PRICE", Value::from(80.0)).unwrap();
+    db.set_dynamic_scalar(car, "FUEL", Some(100.0), Some(AttrFunction::Linear(-0.5)))
+        .unwrap();
+    db.add_region("P", Polygon::rectangle(90.0, -10.0, 110.0, 10.0));
+    let cq = db
+        .register_continuous(Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap())
+        .unwrap();
+    db.advance_clock(30);
+    db.update_motion(car, Velocity::new(1.0, 0.1)).unwrap();
+
+    let mut back: Database = round_trip(&db);
+    // State survives: clock, objects, histories, regions, the materialized
+    // continuous answer, and future evaluation gives identical results.
+    assert_eq!(back.now(), db.now());
+    assert_eq!(back.object_ids(), db.object_ids());
+    assert_eq!(
+        back.continuous_answer(cq).unwrap(),
+        db.continuous_answer(cq).unwrap()
+    );
+    let q = Query::parse("RETRIEVE o WHERE Eventually (o.FUEL <= 50)").unwrap();
+    assert_eq!(
+        back.instantaneous(&q).unwrap(),
+        db.instantaneous(&q).unwrap()
+    );
+    // The skipped spatial index deserializes as disabled and can be
+    // re-enabled.
+    assert!(!back.has_spatial_index());
+    back.enable_spatial_index(moving_objects::spatial::Rect::new(
+        -1e4, -1e4, 1e4, 1e4,
+    ));
+    assert!(back.has_spatial_index());
+}
+
+#[test]
+fn interval_sets_round_trip_normalized() {
+    let s = IntervalSet::from_intervals([
+        Interval::new(5, 9),
+        Interval::new(0, 2),
+        Interval::new(3, 4),
+    ]);
+    let back: IntervalSet = round_trip(&s);
+    assert_eq!(back, s);
+    assert!(back.is_normalized());
+}

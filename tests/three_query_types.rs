@@ -1,0 +1,115 @@
+//! Integration: the Section 2.3 semantics of instantaneous, continuous and
+//! persistent queries, end to end through the public API.
+
+use moving_objects::core::{Database, PersistentQuery};
+use moving_objects::dbms::value::Value;
+use moving_objects::ftl::Query;
+use moving_objects::spatial::{Point, Polygon, Velocity};
+
+fn speed_query() -> Query {
+    Query::parse("RETRIEVE o WHERE [x <- o.VX] Eventually within 10 (o.VX >= 2 * x)").unwrap()
+}
+
+#[test]
+fn figure_one_walkthrough() {
+    let mut db = Database::new(100);
+    let o = db.insert_moving_object("objects", Point::origin(), Velocity::new(5.0, 0.0));
+    let cq = db.register_continuous(speed_query()).unwrap();
+    let mut pq = PersistentQuery::enter(&db, speed_query());
+
+    // t = 0.
+    assert!(db.instantaneous_now(&speed_query()).unwrap().is_empty());
+    assert!(db.continuous_display(cq, 0).unwrap().is_empty());
+    assert!(pq.satisfied_now(&db).unwrap().is_empty());
+
+    // t = 1: function 5t -> 7t.
+    db.advance_clock(1);
+    db.update_motion(o, Velocity::new(7.0, 0.0)).unwrap();
+    assert!(pq.satisfied_now(&db).unwrap().is_empty());
+
+    // t = 2: function 7t -> 10t; the speed doubled within the window.
+    db.advance_clock(1);
+    db.update_motion(o, Velocity::new(10.0, 0.0)).unwrap();
+    assert!(db.instantaneous_now(&speed_query()).unwrap().is_empty());
+    assert!(db.continuous_display(cq, 2).unwrap().is_empty());
+    assert_eq!(pq.satisfied_now(&db).unwrap(), vec![vec![Value::Id(o)]]);
+}
+
+#[test]
+fn instantaneous_depends_on_entry_time_only() {
+    let mut db = Database::new(1_000);
+    db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+    db.add_region("P", Polygon::rectangle(100.0, -5.0, 120.0, 5.0));
+    let q = Query::parse("RETRIEVE o WHERE Eventually within 50 INSIDE(o, P)").unwrap();
+    // Too far at t=0 (needs 100 ticks, window is 50).
+    assert!(db.instantaneous_now(&q).unwrap().is_empty());
+    // At t=60 the car is 40 ticks out: within the window.
+    db.advance_clock(60);
+    assert_eq!(db.instantaneous_now(&q).unwrap().len(), 1);
+    // At t=110 the car is inside P itself (x = 110).
+    db.advance_clock(50);
+    assert_eq!(db.instantaneous_now(&q).unwrap().len(), 1);
+    // At t=200 it has left P (x = 200) for good.
+    db.advance_clock(90);
+    assert!(db.instantaneous_now(&q).unwrap().is_empty());
+}
+
+#[test]
+fn continuous_answer_is_served_from_materialized_tuples() {
+    let mut db = Database::new(1_000);
+    let car = db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+    db.add_region("P", Polygon::rectangle(100.0, -5.0, 120.0, 5.0));
+    let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+    let cq = db.register_continuous(q).unwrap();
+    // The single evaluation covers the whole pass through P.
+    let answer = db.continuous_answer(cq).unwrap();
+    let set = answer.intervals_for(&[Value::Id(car)]).unwrap();
+    assert_eq!(set.first_tick(), Some(100));
+    assert_eq!(set.last_tick(), Some(120));
+    // Display changes over time with zero re-evaluation.
+    for (t, expect) in [(0, 0), (99, 0), (100, 1), (110, 1), (121, 0)] {
+        assert_eq!(db.continuous_display(cq, t).unwrap().len(), expect, "t = {t}");
+    }
+    assert_eq!(db.continuous_evaluations(), 1);
+}
+
+#[test]
+fn continuous_refresh_rewrites_only_the_future() {
+    let mut db = Database::new(1_000);
+    let car = db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+    db.add_region("P", Polygon::rectangle(100.0, -5.0, 120.0, 5.0));
+    let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+    let cq = db.register_continuous(q).unwrap();
+    // Serve up to t=110 (the car is inside), then it turns north.
+    db.advance_clock(110);
+    db.update_motion(car, Velocity::new(0.0, 1.0)).unwrap();
+    let set = db
+        .continuous_answer(cq)
+        .unwrap()
+        .intervals_for(&[Value::Id(car)])
+        .unwrap()
+        .clone();
+    // Served past [100, 109] intact; future: still inside until it exits
+    // P's top edge at y=5 (5 more ticks from t=110).
+    assert!(set.contains(100) && set.contains(109));
+    assert_eq!(set.last_tick(), Some(115));
+    assert_eq!(db.continuous_evaluations(), 2);
+}
+
+#[test]
+fn persistent_query_sees_static_attribute_history() {
+    // Persistent queries watch *any* recorded updates — here a static
+    // attribute change satisfying an assignment formula.
+    let mut db = Database::new(100);
+    let m = db.insert_moving_object("motels", Point::origin(), Velocity::zero());
+    db.set_static(m, "PRICE", Value::from(100.0)).unwrap();
+    let q = Query::parse(
+        "RETRIEVE o WHERE [x <- o.PRICE] Eventually (o.PRICE <= x - 20)",
+    )
+    .unwrap();
+    let mut pq = PersistentQuery::enter(&db, q);
+    assert!(pq.satisfied_now(&db).unwrap().is_empty());
+    db.advance_clock(5);
+    db.set_static(m, "PRICE", Value::from(75.0)).unwrap();
+    assert_eq!(pq.satisfied_now(&db).unwrap(), vec![vec![Value::Id(m)]]);
+}
