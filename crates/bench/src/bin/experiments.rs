@@ -1,8 +1,12 @@
 //! The experiment runner: regenerates every table of EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [all|fig1|e1|e2|e3|e4|e4b|e5|e6|e6b|e7|e8] [--quick]
+//! experiments [all|fig1|e1|e2|e3|e4|e4b|e5|e6|e6b|e7|e8|e9|micro] [--quick]
 //! ```
+//!
+//! Under `--quick` the wall-clock columns are replaced by a placeholder so
+//! the full report is byte-identical across runs (every other cell is
+//! derived from seeded deterministic workloads); CI diffs the output.
 
 use most_bench::experiments::{run_all, run_one};
 use most_bench::Scale;
@@ -17,7 +21,7 @@ fn main() {
     let which: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     println!("# MOST / FTL reproduction — experiment run ({:?})\n", scale);
-    let tables = if which.is_empty() || which.iter().any(|w| w.as_str() == "all") {
+    let mut tables = if which.is_empty() || which.iter().any(|w| w.as_str() == "all") {
         run_all(scale)
     } else {
         let mut out = Vec::new();
@@ -26,7 +30,7 @@ fn main() {
                 Some(t) => out.push(t),
                 None => {
                     eprintln!(
-                        "unknown experiment `{w}` (expected fig1, e1..e9, e4b, e6b, all)"
+                        "unknown experiment `{w}` (expected fig1, e1..e9, e4b, e6b, micro, all)"
                     );
                     std::process::exit(2);
                 }
@@ -34,6 +38,11 @@ fn main() {
         }
         out
     };
+    if scale == Scale::Quick {
+        for t in &mut tables {
+            t.stabilize();
+        }
+    }
     for t in tables {
         println!("{t}");
     }

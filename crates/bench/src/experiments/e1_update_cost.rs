@@ -11,8 +11,7 @@ use crate::{Scale, Table};
 use most_spatial::{Point, Trajectory, Velocity};
 use most_workload::update_process::update_schedule;
 use most_workload::{simulate_tracking, TrackingPolicy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use most_testkit::rng::Rng;
 
 /// Runs the tracking-policy comparison across motion-vector change rates.
 pub fn run(scale: Scale) -> Table {
@@ -41,7 +40,7 @@ pub fn run(scale: Scale) -> Table {
             let mut max_err = 0.0f64;
             let mut mean_err = 0.0;
             for i in 0..fleet {
-                let mut rng = StdRng::seed_from_u64(1_000 + i as u64);
+                let mut rng = Rng::seed_from_u64(1_000 + i as u64);
                 let mut traj =
                     Trajectory::starting_at(Point::origin(), Velocity::new(1.0, 0.0));
                 for (t, v) in update_schedule(&mut rng, horizon, mean_gap, 0.5, 2.0) {

@@ -7,8 +7,7 @@
 use crate::table::{fmt_duration, fmt_f64};
 use crate::{Scale, Table};
 use most_index::{DynamicAttributeIndex, IndexKind, ScanIndex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use most_testkit::rng::Rng;
 use std::time::Instant;
 
 /// Builds an index + scan baseline with `n` objects and measures a batch of
@@ -34,7 +33,7 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
     for &n in sizes {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let value_range = (-(n as f64), 2.0 * n as f64);
         let mut idx = DynamicAttributeIndex::new(IndexKind::QuadTree, lifetime, value_range);
         let mut scan = ScanIndex::new();
@@ -86,6 +85,7 @@ pub fn run(scale: Scale) -> Table {
         "Claimed shape: scan visits n entries per query; the index visits \
          O(log n) nodes plus the candidates, so the visit ratio grows with n.",
     );
+    table.mark_measured(&["index time/query", "scan time/query"]);
     table
 }
 

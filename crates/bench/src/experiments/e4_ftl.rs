@@ -17,7 +17,7 @@ use most_temporal::Tick;
 use most_workload::cars::CarScenario;
 use std::time::Instant;
 
-fn context(n: usize, horizon: Tick, seed: u64) -> MemoryContext {
+pub(crate) fn context(n: usize, horizon: Tick, seed: u64) -> MemoryContext {
     let scenario = CarScenario {
         count: n,
         area: 300.0,
@@ -105,6 +105,7 @@ pub fn run(scale: Scale) -> Table {
          satisfaction intervals (relation sizes), not with horizon × objects, so the \
          speedup grows with the horizon; answers are asserted identical.",
     );
+    table.mark_measured(&["interval algo", "per-tick baseline", "speedup"]);
     table
 }
 
@@ -145,6 +146,7 @@ pub fn run_ablation(scale: Scale) -> Table {
          extensions pay for active-domain expansion (NOT over k variables touches \
          n^k instantiations).",
     );
+    table.mark_measured(&["time"]);
     table
 }
 

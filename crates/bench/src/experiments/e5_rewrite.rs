@@ -12,8 +12,7 @@ use most_dbms::expr::{CmpOp, Expr};
 use most_dbms::query::SelectQuery;
 use most_dbms::schema::ColumnType;
 use most_dbms::value::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use most_testkit::rng::Rng;
 use std::time::Instant;
 
 /// Builds a cars table with `n` rows and `attrs` dynamic attributes.
@@ -29,7 +28,7 @@ fn build_layer(n: usize, attrs: usize, seed: u64) -> MostDbmsLayer {
             dynamic_attrs: (0..attrs).map(|i| format!("A{i}")).collect(),
         })
         .expect("create table");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 0..n as u64 {
         let dynamics = (0..attrs)
             .map(|_| {
@@ -91,6 +90,7 @@ pub fn run(scale: Scale) -> Table {
          dominant latency term; per-subquery cost stays flat.",
     );
     table.note(format!("table size n = {n}"));
+    table.mark_measured(&["latency", "latency/subquery"]);
     table
 }
 

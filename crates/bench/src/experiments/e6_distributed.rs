@@ -128,7 +128,7 @@ pub fn run(scale: Scale) -> Table {
     table
 }
 
-/// Helper for the criterion bench: ratio of continuous data-shipping to
+/// Helper for the micro-benchmarks: ratio of continuous data-shipping to
 /// query-shipping messages at a given size.
 pub fn continuous_message_ratio(n: usize, window: u64) -> f64 {
     let pred = ObjectPredicate::ReachesPointWithin {

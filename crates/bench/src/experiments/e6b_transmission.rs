@@ -12,14 +12,13 @@ use crate::{Scale, Table};
 use most_mobile::transmission::{delayed, immediate, AnswerRow};
 use most_mobile::Network;
 use most_temporal::Interval;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use most_testkit::rng::Rng;
 
-fn random_answer(n: usize, horizon: u64, rng: &mut StdRng) -> Vec<AnswerRow> {
+fn random_answer(n: usize, horizon: u64, rng: &mut Rng) -> Vec<AnswerRow> {
     (0..n as u64)
         .map(|id| {
             let b = rng.random_range(0..horizon - 20);
-            let len = rng.random_range(5..60).min(horizon - b);
+            let len = rng.random_range(5u64..60).min(horizon - b);
             (id, Interval::new(b, b + len))
         })
         .collect()
@@ -44,21 +43,21 @@ pub fn run(scale: Scale) -> Table {
     );
     for offline_frac in [0.0, 0.1, 0.3] {
         for memory_b in [8usize, 64] {
-            let mut rng = StdRng::seed_from_u64(17);
+            let mut rng = Rng::seed_from_u64(17);
             let answer = random_answer(tuples, horizon, &mut rng);
             // Offline windows scattered over the horizon.
-            let mk_net = |rng: &mut StdRng| {
+            let mk_net = |rng: &mut Rng| {
                 let mut net = Network::new(0);
                 let mut covered = 0u64;
                 while (covered as f64) < offline_frac * horizon as f64 {
                     let from = rng.random_range(1..horizon - 10);
-                    let len = rng.random_range(5..30);
+                    let len = rng.random_range(5u64..30);
                     net.add_offline_window(200, from, (from + len).min(horizon));
                     covered += len;
                 }
                 net
             };
-            let mut rng_net = StdRng::seed_from_u64(99);
+            let mut rng_net = Rng::seed_from_u64(99);
             let mut net = mk_net(&mut rng_net);
             let ri = immediate(&mut net, 100, 200, &answer, &answer, memory_b, 0, horizon);
             table.row(vec![
@@ -70,7 +69,7 @@ pub fn run(scale: Scale) -> Table {
                 ri.lost.to_string(),
                 ri.display_error_ticks.to_string(),
             ]);
-            let mut rng_net = StdRng::seed_from_u64(99);
+            let mut rng_net = Rng::seed_from_u64(99);
             let mut net = mk_net(&mut rng_net);
             let rd = delayed(&mut net, 100, 200, &answer, &answer, 0, horizon);
             table.row(vec![

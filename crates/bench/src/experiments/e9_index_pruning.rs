@@ -83,6 +83,7 @@ pub fn run(scale: Scale) -> Table {
          reach the region's bounding box within the horizon), so the speedup grows \
          with n at fixed region size.",
     );
+    table.mark_measured(&["full enumeration", "index-pruned", "speedup"]);
     table
 }
 

@@ -11,6 +11,7 @@ pub mod e7_index_ablation;
 pub mod e8_rebuild_period;
 pub mod e9_index_pruning;
 pub mod fig1_query_types;
+pub mod micro;
 
 use crate::{Scale, Table};
 
@@ -29,6 +30,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e7_index_ablation::run(scale),
         e8_rebuild_period::run(scale),
         e9_index_pruning::run(scale),
+        micro::run(scale),
     ]
 }
 
@@ -48,6 +50,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e7" => e7_index_ablation::run(scale),
         "e8" => e8_rebuild_period::run(scale),
         "e9" => e9_index_pruning::run(scale),
+        "micro" => micro::run(scale),
         _ => return None,
     })
 }

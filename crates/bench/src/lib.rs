@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use table::Table;
 

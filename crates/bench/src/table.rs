@@ -15,6 +15,8 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes (the claim being tested, caveats).
     pub notes: Vec<String>,
+    /// Headers of wall-clock-derived columns (see [`Table::stabilize`]).
+    pub measured: Vec<String>,
 }
 
 impl Table {
@@ -30,7 +32,48 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            measured: Vec::new(),
         }
+    }
+
+    /// Marks columns (by header name) as wall-clock measurements.
+    ///
+    /// Measured cells vary run to run; [`Table::stabilize`] blanks them so
+    /// the rendered output is reproducible (the `--quick` CI mode).
+    pub fn mark_measured(&mut self, headers: &[&str]) -> &mut Self {
+        for h in headers {
+            debug_assert!(
+                self.headers.iter().any(|x| x == h),
+                "unknown measured column {h:?}"
+            );
+            self.measured.push((*h).to_string());
+        }
+        self
+    }
+
+    /// Replaces every cell of a measured column with `—`, making the
+    /// rendered table deterministic across runs.
+    pub fn stabilize(&mut self) {
+        if self.measured.is_empty() {
+            return;
+        }
+        let cols: Vec<usize> = self
+            .measured
+            .iter()
+            .filter_map(|h| self.headers.iter().position(|x| x == h))
+            .collect();
+        for row in &mut self.rows {
+            for &c in &cols {
+                if let Some(cell) = row.get_mut(c) {
+                    *cell = "—".to_owned();
+                }
+            }
+        }
+        self.notes.push(
+            "wall-clock columns elided for deterministic output (rerun without \
+             --quick for measured values)"
+                .to_owned(),
+        );
     }
 
     /// Appends a row.
@@ -119,6 +162,23 @@ mod tests {
         assert!(s.contains("## E0 — demo"));
         assert!(s.contains("| 10 | 1.5 |"));
         assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    fn stabilize_blanks_only_measured_columns() {
+        let mut t = Table::new("E0", "demo", &["n", "time"]);
+        t.row(vec!["10".into(), "1.5ms".into()]);
+        t.mark_measured(&["time"]);
+        t.stabilize();
+        assert_eq!(t.cell(0, "n"), Some("10"));
+        assert_eq!(t.cell(0, "time"), Some("—"));
+        assert!(t.notes.iter().any(|n| n.contains("deterministic")));
+
+        // A table with no measured columns is untouched (no note).
+        let mut plain = Table::new("E0", "demo", &["n"]);
+        plain.row(vec!["10".into()]);
+        plain.stabilize();
+        assert!(plain.notes.is_empty());
     }
 
     #[test]

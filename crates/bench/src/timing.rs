@@ -1,0 +1,68 @@
+//! Minimal wall-clock sampling harness — the in-repo replacement for the
+//! external `criterion` crate.
+//!
+//! Each benchmark runs `warmup` untimed iterations and then `samples`
+//! timed ones; we report the minimum and the median — the two robust
+//! statistics for "how fast can this go" and "how fast does it usually
+//! go".  No statistical machinery beyond that: the experiment tables
+//! assert on *shapes* (ratios, counts), never on absolute times.
+
+use std::time::{Duration, Instant};
+
+/// Summary of one benchmark's timed samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+/// Runs `f` for `warmup` untimed and `samples` timed iterations.
+///
+/// The closure's result is passed through [`std::hint::black_box`] so the
+/// optimizer cannot delete the measured work.
+pub fn bench<T>(warmup: usize, samples: usize, mut f: impl FnMut() -> T) -> Sample {
+    assert!(samples > 0, "need at least one timed sample");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    Sample {
+        min: times[0],
+        median: times[samples / 2],
+        iters: samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_warmup_plus_samples_iterations() {
+        let mut calls = 0u32;
+        let s = bench(2, 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 7);
+        assert_eq!(s.iters, 5);
+        assert!(s.min <= s.median);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timed sample")]
+    fn zero_samples_is_an_error() {
+        bench(0, 0, || ());
+    }
+}

@@ -1,11 +1,10 @@
 //! Object classes: "a database is a set of object-classes ... an
 //! object-class is a set of attributes" (Section 2).
 
-use serde::{Deserialize, Serialize};
 
 /// The kind of an attribute (Section 2.1: "each attribute of an
 /// object-class is either static or dynamic").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttrKind {
     /// Changes only on explicit update.
     Static,
@@ -14,7 +13,7 @@ pub enum AttrKind {
 }
 
 /// A declared attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttrDecl {
     /// Attribute name.
     pub name: String,
@@ -27,7 +26,7 @@ pub struct AttrDecl {
 /// Spatial classes implicitly carry the dynamic position attributes
 /// (`X.POSITION`, `Y.POSITION` — exposed to FTL as `X` / `Y`, with the
 /// motion-vector sub-attributes `VX` / `VY` / `SPEED`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassDef {
     /// Class name.
     pub name: String,
@@ -80,6 +79,10 @@ impl ClassDef {
         self.attr(name).is_some_and(|a| a.kind == kind)
     }
 }
+
+most_testkit::json_enum!(AttrKind { Static, Dynamic });
+most_testkit::json_struct!(AttrDecl { name, kind });
+most_testkit::json_struct!(ClassDef { name, spatial, attrs });
 
 #[cfg(test)]
 mod tests {

@@ -16,11 +16,10 @@ use most_dbms::value::Value;
 use most_ftl::answer::{Answer, AnswerTuple};
 use most_ftl::Query;
 use most_temporal::{Horizon, Interval, IntervalSet, Tick};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A registered continuous query.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CqEntry {
     /// The query.
     pub query: Query,
@@ -31,7 +30,7 @@ pub struct CqEntry {
 }
 
 /// Registry of live continuous queries.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ContinuousRegistry {
     next: u64,
     entries: BTreeMap<u64, CqEntry>,
@@ -199,6 +198,9 @@ pub fn merge_answers(old: &Answer, new: &Answer, boundary: Tick) -> Answer {
             .collect(),
     )
 }
+
+most_testkit::json_struct!(CqEntry { query, entered_at, answer });
+most_testkit::json_struct!(ContinuousRegistry { next, entries, evaluations, incremental_refreshes });
 
 #[cfg(test)]
 mod tests {

@@ -14,7 +14,6 @@ use most_ftl::{evaluate_query, Query};
 use most_index::MovingObjectIndex2D;
 use most_spatial::{Point, Polygon, Rect, Velocity};
 use most_temporal::{Duration, IntervalSet, Tick};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A position/velocity report from a sensor (e.g. GPS), applied as one
@@ -28,7 +27,7 @@ pub struct MotionUpdate {
 }
 
 /// How continuous queries are kept fresh on explicit updates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RefreshMode {
     /// Re-evaluate every registered query in full (the paper's literal
     /// "reevaluated when an update occurs").
@@ -42,7 +41,7 @@ pub enum RefreshMode {
 }
 
 /// Cumulative database statistics (cost accounting for the experiments).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DbStats {
     /// Explicit updates applied (motion + attribute).
     pub updates: u64,
@@ -74,7 +73,7 @@ pub struct DbStats {
 /// );
 /// assert_eq!(db.continuous_evaluations(), 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Database {
     expiration: Duration,
     clock: Tick,
@@ -85,10 +84,49 @@ pub struct Database {
     continuous: ContinuousRegistry,
     refresh_mode: RefreshMode,
     triggers: TriggerRegistry,
-    #[serde(skip)]
     spatial_index: Option<SpatialIndexState>,
     /// Cost counters.
     pub stats: DbStats,
+}
+
+most_testkit::json_enum!(RefreshMode { Full, Incremental });
+most_testkit::json_struct!(DbStats { updates, instantaneous_queries });
+
+impl most_testkit::ser::ToJson for Database {
+    fn to_json(&self) -> most_testkit::ser::Json {
+        // The spatial index is a derived acceleration structure; it is
+        // rebuilt on demand after loading rather than serialized.
+        most_testkit::ser::Json::Obj(vec![
+            ("expiration".to_owned(), self.expiration.to_json()),
+            ("clock".to_owned(), self.clock.to_json()),
+            ("next_id".to_owned(), self.next_id.to_json()),
+            ("classes".to_owned(), self.classes.to_json()),
+            ("objects".to_owned(), self.objects.to_json()),
+            ("regions".to_owned(), self.regions.to_json()),
+            ("continuous".to_owned(), self.continuous.to_json()),
+            ("refresh_mode".to_owned(), self.refresh_mode.to_json()),
+            ("triggers".to_owned(), self.triggers.to_json()),
+            ("stats".to_owned(), self.stats.to_json()),
+        ])
+    }
+}
+
+impl most_testkit::ser::FromJson for Database {
+    fn from_json(j: &most_testkit::ser::Json) -> Result<Self, most_testkit::ser::JsonError> {
+        Ok(Database {
+            expiration: most_testkit::ser::FromJson::from_json(j.field("expiration")?)?,
+            clock: most_testkit::ser::FromJson::from_json(j.field("clock")?)?,
+            next_id: most_testkit::ser::FromJson::from_json(j.field("next_id")?)?,
+            classes: most_testkit::ser::FromJson::from_json(j.field("classes")?)?,
+            objects: most_testkit::ser::FromJson::from_json(j.field("objects")?)?,
+            regions: most_testkit::ser::FromJson::from_json(j.field("regions")?)?,
+            continuous: most_testkit::ser::FromJson::from_json(j.field("continuous")?)?,
+            refresh_mode: most_testkit::ser::FromJson::from_json(j.field("refresh_mode")?)?,
+            triggers: most_testkit::ser::FromJson::from_json(j.field("triggers")?)?,
+            spatial_index: None,
+            stats: most_testkit::ser::FromJson::from_json(j.field("stats")?)?,
+        })
+    }
 }
 
 #[derive(Debug, Clone)]

@@ -8,7 +8,6 @@
 //! A.updatetime + t0 is given by A.value + A.function(t0)."
 
 use most_temporal::Tick;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The `A.function` sub-attribute: a function of elapsed time `t0` with
@@ -18,7 +17,7 @@ use std::fmt;
 /// however, the ideas can be extended to nonlinear functions"; the
 /// quadratic variant implements that extension for scalar attributes such
 /// as fuel consumption under constant acceleration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AttrFunction {
     /// `f(t0) = slope · t0` — the motion-vector case.
     Linear(f64),
@@ -65,7 +64,7 @@ impl AttrFunction {
 
 /// A dynamic attribute: changes over time "even if it is not explicitly
 /// updated".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicAttribute {
     /// The `A.value` sub-attribute: value at `updatetime`.
     pub value: f64,
@@ -121,6 +120,12 @@ impl fmt::Display for DynamicAttribute {
         }
     }
 }
+
+most_testkit::json_enum!(AttrFunction {
+    Linear(slope),
+    Quadratic { accel, slope },
+});
+most_testkit::json_struct!(DynamicAttribute { value, updatetime, function });
 
 #[cfg(test)]
 mod tests {

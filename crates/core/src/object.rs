@@ -12,11 +12,10 @@ use crate::dynamic::{AttrFunction, DynamicAttribute};
 use most_dbms::value::Value;
 use most_spatial::{Point, Trajectory, Velocity};
 use most_temporal::{Interval, Tick};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A moving object.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MovingObject {
     /// Object id.
     pub id: u64,
@@ -199,6 +198,8 @@ impl MovingObject {
         motion + statics + dynamics
     }
 }
+
+most_testkit::json_struct!(MovingObject { id, class, trajectory, statics, dynamics });
 
 #[cfg(test)]
 mod tests {

@@ -4,7 +4,8 @@
 //! vehicles, an air-traffic console — querying one database while sensor
 //! feeds apply motion-vector updates.  [`SharedDatabase`] supports that
 //! shape: queries evaluate under a read lock (many concurrent readers),
-//! updates take the write lock.  The lock is `parking_lot::RwLock`.
+//! updates take the write lock.  The lock is `std::sync::RwLock`; a
+//! poisoned lock (a panic while holding it) is treated as fatal.
 //!
 //! Instantaneous queries through this facade use
 //! [`Database::instantaneous_readonly`], which does not bump the stats
@@ -17,8 +18,7 @@ use most_ftl::answer::Answer;
 use most_ftl::Query;
 use most_spatial::Velocity;
 use most_temporal::{Duration, Tick};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A cloneable, thread-safe handle to a MOST database.
 #[derive(Debug, Clone)]
@@ -34,22 +34,22 @@ impl SharedDatabase {
 
     /// Runs a closure under the read lock.
     pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.inner.read().expect("database lock poisoned"))
     }
 
     /// Runs a closure under the write lock.
     pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.inner.write())
+        f(&mut self.inner.write().expect("database lock poisoned"))
     }
 
     /// Evaluates an instantaneous query under the read lock.
     pub fn instantaneous(&self, q: &Query) -> CoreResult<Answer> {
-        self.inner.read().instantaneous_readonly(q)
+        self.inner.read().expect("database lock poisoned").instantaneous_readonly(q)
     }
 
     /// The instantiations satisfied right now, under the read lock.
     pub fn instantaneous_now(&self, q: &Query) -> CoreResult<Vec<Vec<Value>>> {
-        let guard = self.inner.read();
+        let guard = self.inner.read().expect("database lock poisoned");
         let now = guard.now();
         let answer = guard.instantaneous_readonly(q)?;
         Ok(answer
@@ -61,18 +61,18 @@ impl SharedDatabase {
 
     /// Current clock tick.
     pub fn now(&self) -> Tick {
-        self.inner.read().now()
+        self.inner.read().expect("database lock poisoned").now()
     }
 
     /// Advances the clock (write lock).
     pub fn advance_clock(&self, ticks: Duration) {
-        self.inner.write().advance_clock(ticks);
+        self.inner.write().expect("database lock poisoned").advance_clock(ticks);
     }
 
     /// Applies a motion-vector update (write lock; refreshes continuous
     /// queries as usual).
     pub fn update_motion(&self, id: u64, velocity: Velocity) -> CoreResult<()> {
-        self.inner.write().update_motion(id, velocity)
+        self.inner.write().expect("database lock poisoned").update_motion(id, velocity)
     }
 }
 

@@ -13,10 +13,9 @@
 
 use most_dbms::value::Value;
 use most_temporal::Tick;
-use serde::{Deserialize, Serialize};
 
 /// A registered trigger.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trigger {
     /// Trigger id.
     pub id: u64,
@@ -42,7 +41,7 @@ pub struct TriggerEvent {
 }
 
 /// Registry of triggers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TriggerRegistry {
     next: u64,
     triggers: Vec<Trigger>,
@@ -82,6 +81,9 @@ impl TriggerRegistry {
         self.triggers.is_empty()
     }
 }
+
+most_testkit::json_struct!(Trigger { id, name, continuous_id, last_polled });
+most_testkit::json_struct!(TriggerRegistry { next, triggers });
 
 #[cfg(test)]
 mod tests {

@@ -1,11 +1,10 @@
 //! The select–from–where query AST.
 
 use crate::expr::Expr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A table reference in a FROM clause, with an optional alias.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRef {
     /// Catalog table name.
     pub table: String,
@@ -32,7 +31,7 @@ impl TableRef {
 /// (the substrate performs no join optimization; the paper's rewriting layer
 /// only needs correct answers from the host DBMS, and the benchmark
 /// experiments measure the MOST layer, not the host's planner).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectQuery {
     /// Projected expressions, each with an output column name.
     pub select: Vec<(String, Expr)>,

@@ -2,10 +2,9 @@
 
 use crate::error::{DbError, DbResult};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Column data types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// Boolean.
     Bool,
@@ -38,7 +37,7 @@ impl ColumnType {
 }
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {
     /// Column name (unique within the schema).
     pub name: String,
@@ -54,7 +53,7 @@ impl ColumnDef {
 }
 
 /// An ordered list of columns with an optional primary-key column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<ColumnDef>,
     key: Option<usize>,

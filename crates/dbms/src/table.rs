@@ -4,17 +4,15 @@ use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A table: a schema plus a vector of rows, with a hash index on the
 /// primary key when the schema declares one.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Tuple>,
     /// key value -> row index; maintained only when the schema has a key.
-    #[serde(skip)]
     key_index: HashMap<Value, usize>,
 }
 

@@ -1,7 +1,6 @@
 //! Typed runtime values with a total order.
 
 use most_temporal::Tick;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -13,7 +12,7 @@ use std::hash::{Hash, Hasher};
 /// deterministically; raw `f64` provides neither.  Ordering follows
 /// `f64::total_cmp`; equality and hashing use the bit pattern with `-0.0`
 /// normalized to `0.0` so that `0.0 == -0.0` as values.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct F64(f64);
 
 impl F64 {
@@ -65,7 +64,7 @@ impl fmt::Display for F64 {
 }
 
 /// A runtime value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// SQL-style missing value; compares lowest.
     Null,
@@ -186,6 +185,28 @@ impl fmt::Display for Value {
         }
     }
 }
+
+impl most_testkit::ser::ToJson for F64 {
+    fn to_json(&self) -> most_testkit::ser::Json {
+        self.0.to_json()
+    }
+}
+
+impl most_testkit::ser::FromJson for F64 {
+    fn from_json(j: &most_testkit::ser::Json) -> Result<Self, most_testkit::ser::JsonError> {
+        Ok(F64::new(f64::from_json(j)?))
+    }
+}
+
+most_testkit::json_enum!(Value {
+    Null,
+    Bool(b),
+    Int(i),
+    Float(f),
+    Str(s),
+    Time(t),
+    Id(id),
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,7 @@ use most_dbms::query::SelectQuery;
 use most_dbms::schema::{ColumnDef, ColumnType, Schema};
 use most_dbms::value::Value;
 use most_dbms::Catalog;
-use proptest::prelude::*;
+use most_testkit::check::{ints, one_of, select, tuple2, tuple3, vecs, Check, Gen};
 
 /// Rows of (id, a, b) with float columns.
 fn build_catalog(rows: &[(u64, f64, f64)]) -> Catalog {
@@ -102,42 +102,38 @@ impl Pred {
     }
 }
 
-fn arb_atom() -> impl Strategy<Value = Atom> {
-    prop_oneof![
-        Just(Atom::ColA),
-        Just(Atom::ColB),
-        (-20i32..20).prop_map(Atom::Const),
-        Just(Atom::Sum),
-    ]
+fn arb_atom() -> Gen<Atom> {
+    one_of(vec![
+        select(&[Atom::ColA, Atom::ColB, Atom::Sum]),
+        ints(-20i32..20).map(Atom::Const),
+    ])
 }
 
-fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn arb_cmp_op() -> Gen<CmpOp> {
+    select(&[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge])
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    let leaf = (arb_cmp_op(), arb_atom(), arb_atom())
-        .prop_map(|(op, x, y)| Pred::Cmp(op, x, y));
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Pred::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Pred::Or(Box::new(l), Box::new(r))),
-            inner.prop_map(|p| Pred::Not(Box::new(p))),
-        ]
-    })
+/// Random predicate tree of bounded depth (mirrors the old
+/// `prop_recursive(3, ..)` strategy).
+fn arb_pred(depth: u32) -> Gen<Pred> {
+    let leaf =
+        tuple3(arb_cmp_op(), arb_atom(), arb_atom()).map(|(op, x, y)| Pred::Cmp(op, x, y));
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_pred(depth - 1);
+    one_of(vec![
+        leaf,
+        tuple2(inner.clone(), inner.clone())
+            .map(|(l, r)| Pred::And(Box::new(l), Box::new(r))),
+        tuple2(inner.clone(), inner.clone())
+            .map(|(l, r)| Pred::Or(Box::new(l), Box::new(r))),
+        inner.map(|p| Pred::Not(Box::new(p))),
+    ])
 }
 
-fn arb_rows() -> impl Strategy<Value = Vec<(u64, f64, f64)>> {
-    prop::collection::vec((-15i32..15, -15i32..15), 0..40).prop_map(|cells| {
+fn arb_rows() -> Gen<Vec<(u64, f64, f64)>> {
+    vecs(tuple2(ints(-15i32..15), ints(-15i32..15)), 0..40).map(|cells| {
         cells
             .into_iter()
             .enumerate()
@@ -146,40 +142,46 @@ fn arb_rows() -> impl Strategy<Value = Vec<(u64, f64, f64)>> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn executor_matches_reference() {
+    Check::new("dbms::executor_matches_reference").cases(128).run(
+        &tuple2(arb_rows(), arb_pred(3)),
+        |(rows, pred)| {
+            let catalog = build_catalog(rows);
+            let q = SelectQuery::from_table("t").column("id").filter(pred.to_expr());
+            let (rs, stats) = execute_with_stats(&catalog, &q).expect("executes");
+            let got: Vec<u64> = rs
+                .rows
+                .iter()
+                .map(|r| r.get(0).unwrap().as_id().unwrap())
+                .collect();
+            let want: Vec<u64> = rows
+                .iter()
+                .filter(|&&(_, a, b)| pred.holds(a, b))
+                .map(|&(id, _, _)| id)
+                .collect();
+            assert_eq!(stats.rows_scanned, rows.len() as u64);
+            assert_eq!(stats.rows_output, want.len() as u64);
+            assert_eq!(got, want);
+        },
+    );
+}
 
-    #[test]
-    fn executor_matches_reference(rows in arb_rows(), pred in arb_pred()) {
-        let catalog = build_catalog(&rows);
-        let q = SelectQuery::from_table("t").column("id").filter(pred.to_expr());
-        let (rs, stats) = execute_with_stats(&catalog, &q).expect("executes");
-        let got: Vec<u64> = rs
-            .rows
-            .iter()
-            .map(|r| r.get(0).unwrap().as_id().unwrap())
-            .collect();
-        let want: Vec<u64> = rows
-            .iter()
-            .filter(|&&(_, a, b)| pred.holds(a, b))
-            .map(|&(id, _, _)| id)
-            .collect();
-        prop_assert_eq!(stats.rows_scanned, rows.len() as u64);
-        prop_assert_eq!(stats.rows_output, want.len() as u64);
-        prop_assert_eq!(got, want);
-    }
-
-    #[test]
-    fn projection_expressions_match_reference(rows in arb_rows(), x in arb_atom(), y in arb_atom()) {
-        let catalog = build_catalog(&rows);
-        let q = SelectQuery::from_table("t")
-            .column("id")
-            .expr("v", Expr::arith(ArithOp::Mul, x.to_expr(), y.to_expr()));
-        let (rs, _) = execute_with_stats(&catalog, &q).expect("executes");
-        for (row, &(_, a, b)) in rs.rows.iter().zip(&rows) {
-            let got = row.get(1).unwrap().as_f64().unwrap();
-            let want = x.eval(a, b) * y.eval(a, b);
-            prop_assert_eq!(got, want);
-        }
-    }
+#[test]
+fn projection_expressions_match_reference() {
+    Check::new("dbms::projection_expressions_match_reference").cases(128).run(
+        &tuple3(arb_rows(), arb_atom(), arb_atom()),
+        |(rows, x, y)| {
+            let catalog = build_catalog(rows);
+            let q = SelectQuery::from_table("t")
+                .column("id")
+                .expr("v", Expr::arith(ArithOp::Mul, x.to_expr(), y.to_expr()));
+            let (rs, _) = execute_with_stats(&catalog, &q).expect("executes");
+            for (row, &(_, a, b)) in rs.rows.iter().zip(rows) {
+                let got = row.get(1).unwrap().as_f64().unwrap();
+                let want = x.eval(a, b) * y.eval(a, b);
+                assert_eq!(got, want);
+            }
+        },
+    );
 }

@@ -10,12 +10,11 @@
 
 use most_dbms::value::Value;
 use most_temporal::{Interval, IntervalSet, Tick};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One answer row: an instantiation of the query's target variables and the
 /// ticks at which it satisfies the formula.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnswerTuple {
     /// Values of the target variables, in target order.
     pub values: Vec<Value>,
@@ -24,7 +23,7 @@ pub struct AnswerTuple {
 }
 
 /// The materialized answer of an FTL query (`Answer(CQ)` in the paper).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Answer {
     /// Target variable names, in RETRIEVE order.
     pub vars: Vec<String>,
@@ -126,6 +125,9 @@ impl fmt::Display for Answer {
         Ok(())
     }
 }
+
+most_testkit::json_struct!(AnswerTuple { values, intervals });
+most_testkit::json_struct!(Answer { vars, tuples });
 
 #[cfg(test)]
 mod tests {

@@ -1,11 +1,10 @@
 //! FTL abstract syntax: terms, formulas and queries.
 
 use most_dbms::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Comparison operators usable in atomic formulas.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -50,7 +49,7 @@ impl CmpOp {
 }
 
 /// Arithmetic operators in terms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArithOp {
     /// `+`
     Add,
@@ -64,7 +63,7 @@ pub enum ArithOp {
 
 /// A term: "a variable or the application of a function to other terms"
 /// (Section 3.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Term {
     /// A variable — an object variable (ranging over the database's
     /// objects) or a value variable bound by an assignment quantifier.
@@ -144,7 +143,7 @@ impl Term {
 /// An FTL formula (Section 3.2 syntax; `Or`/`Not` are the extensions
 /// discussed in DESIGN.md D3 — the paper's processing algorithm covers the
 /// conjunctive fragment).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Formula {
     /// Boolean constant.
     Bool(bool),
@@ -355,7 +354,7 @@ impl Formula {
 /// // Display round-trips through the parser.
 /// assert_eq!(Query::parse(&q.to_string()).unwrap(), q);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// The target list (free variables whose instantiations are returned).
     pub targets: Vec<String>,
@@ -444,6 +443,40 @@ impl fmt::Display for Query {
         write!(f, "RETRIEVE {} WHERE {}", self.targets.join(", "), self.formula)
     }
 }
+
+most_testkit::json_enum!(CmpOp { Eq, Ne, Lt, Le, Gt, Ge });
+most_testkit::json_enum!(ArithOp { Add, Sub, Mul, Div });
+most_testkit::json_enum!(Term {
+    Var(name),
+    Const(v),
+    Time,
+    Attr(base, attr),
+    Dist(a, b),
+    Point(x, y),
+    Arith(op, a, b),
+});
+most_testkit::json_enum!(Formula {
+    Bool(b),
+    Cmp(op, a, b),
+    Inside(t, region),
+    Outside(t, region),
+    InsideMoving(t, region, anchor),
+    OutsideMoving(t, region, anchor),
+    WithinSphere(radius, terms),
+    And(a, b),
+    Or(a, b),
+    Not(f),
+    Until(a, b),
+    Nexttime(f),
+    Eventually(f),
+    Always(f),
+    EventuallyWithin(c, f),
+    EventuallyAfter(c, f),
+    AlwaysFor(c, f),
+    UntilWithin(c, a, b),
+    Assign(var, term, f),
+});
+most_testkit::json_struct!(Query { targets, formula });
 
 #[cfg(test)]
 mod tests {

@@ -3,53 +3,68 @@
 //! pretty-print back to an equivalent AST.
 
 use most_ftl::{FtlError, Query};
-use proptest::prelude::*;
+use most_testkit::check::{ints, select, tuple2, vecs, Check, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Arbitrary (mostly printable, occasionally exotic) strings.
+fn arb_string() -> Gen<String> {
+    let pool: Vec<char> = ('\u{20}'..='\u{7e}')
+        .chain(['\t', '\n', 'é', 'λ', '∀', '🚗', '\u{0}', '\u{7f}'])
+        .collect();
+    vecs(select(&pool), 0..40).map(|cs| cs.into_iter().collect())
+}
 
-    #[test]
-    fn arbitrary_strings_never_panic(s in "\\PC*") {
-        match Query::parse(&s) {
+#[test]
+fn arbitrary_strings_never_panic() {
+    Check::new("ftl::arbitrary_strings_never_panic").cases(512).run(&arb_string(), |s| {
+        match Query::parse(s) {
             Ok(_) => {}
             Err(FtlError::Parse { .. }) => {}
-            Err(other) => prop_assert!(false, "non-parse error from parser: {other}"),
+            Err(other) => panic!("non-parse error from parser: {other}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn token_soup_never_panics(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("RETRIEVE"), Just("WHERE"), Just("o"), Just("n"), Just("x"),
-                Just("AND"), Just("OR"), Just("NOT"), Just("Until"), Just("Nexttime"),
-                Just("Eventually"), Just("Always"), Just("within"), Just("after"),
-                Just("for"), Just("INSIDE"), Just("OUTSIDE"), Just("DIST"),
-                Just("WITHIN_SPHERE"), Just("POINT"), Just("time"), Just("true"),
-                Just("false"), Just("("), Just(")"), Just("["), Just("]"),
-                Just(","), Just("."), Just("<="), Just(">="), Just("<"), Just(">"),
-                Just("="), Just("<>"), Just("<-"), Just("+"), Just("-"), Just("*"),
-                Just("/"), Just("3"), Just("2.5"), Just("'s'"), Just("until_within"),
-            ],
-            0..25
-        )
-    ) {
+#[test]
+fn token_soup_never_panics() {
+    let tokens = vecs(
+        select(&[
+            "RETRIEVE", "WHERE", "o", "n", "x", "AND", "OR", "NOT", "Until", "Nexttime",
+            "Eventually", "Always", "within", "after", "for", "INSIDE", "OUTSIDE", "DIST",
+            "WITHIN_SPHERE", "POINT", "time", "true", "false", "(", ")", "[", "]", ",", ".",
+            "<=", ">=", "<", ">", "=", "<>", "<-", "+", "-", "*", "/", "3", "2.5", "'s'",
+            "until_within",
+        ]),
+        0..25,
+    );
+    Check::new("ftl::token_soup_never_panics").cases(512).run(&tokens, |tokens| {
         let src = tokens.join(" ");
         match Query::parse(&src) {
             Ok(q) => {
                 // Whatever parses must round-trip through Display.
                 let again = Query::parse(&q.to_string());
-                prop_assert_eq!(again.expect("display reparses"), q);
+                assert_eq!(again.expect("display reparses"), q);
             }
             Err(FtlError::Parse { .. }) => {}
-            Err(other) => prop_assert!(false, "non-parse error: {other}"),
+            Err(other) => panic!("non-parse error: {other}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn parse_errors_point_into_the_source(s in "RETRIEVE [a-z]{1,5} WHERE [a-z<>=. ()0-9]{0,30}") {
-        if let Err(FtlError::Parse { offset, .. }) = Query::parse(&s) {
-            prop_assert!(offset <= s.len(), "offset {} beyond input {}", offset, s.len());
+#[test]
+fn parse_errors_point_into_the_source() {
+    let target = vecs(select(&('a'..='z').collect::<Vec<char>>()), 1..6)
+        .map(|cs| cs.into_iter().collect::<String>());
+    let body_pool: Vec<char> = ('a'..='z')
+        .chain(['<', '>', '=', '.', ' ', '(', ')'])
+        .chain('0'..='9')
+        .collect();
+    let body = vecs(select(&body_pool), 0..31).map(|cs| cs.into_iter().collect::<String>());
+    let gen = tuple2(target, body).map(|(t, b)| format!("RETRIEVE {t} WHERE {b}"));
+    // Also shift the error offset around with a random prefix of spaces.
+    let gen = tuple2(gen, ints(0usize..3)).map(|(s, pad)| format!("{}{s}", " ".repeat(pad)));
+    Check::new("ftl::parse_errors_point_into_the_source").cases(512).run(&gen, |s| {
+        if let Err(FtlError::Parse { offset, .. }) = Query::parse(s) {
+            assert!(offset <= s.len(), "offset {} beyond input {}", offset, s.len());
         }
-    }
+    });
 }

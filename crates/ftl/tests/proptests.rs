@@ -6,7 +6,7 @@ use most_ftl::context::MemoryContext;
 use most_ftl::semantics::naive_answer;
 use most_ftl::{evaluate_query, Query};
 use most_spatial::{Point, Polygon, Trajectory, Velocity};
-use proptest::prelude::*;
+use most_testkit::check::{ints, just, one_of, tuple2, tuple3, tuple4, vecs, Check, Gen};
 
 const H_END: u64 = 60;
 
@@ -18,34 +18,37 @@ struct Scenario {
     region_q: (f64, f64, f64, f64),
 }
 
-fn arb_coord() -> impl Strategy<Value = f64> {
-    (-60i32..=60).prop_map(|v| v as f64)
+fn arb_coord() -> Gen<f64> {
+    ints(-60i32..=60).map(|v| v as f64)
 }
 
-fn arb_vel() -> impl Strategy<Value = Velocity> {
-    ((-8i32..=8), (-8i32..=8)).prop_map(|(x, y)| Velocity::new(x as f64 * 0.25, y as f64 * 0.25))
+fn arb_vel() -> Gen<Velocity> {
+    tuple2(ints(-8i32..=8), ints(-8i32..=8))
+        .map(|(x, y)| Velocity::new(x as f64 * 0.25, y as f64 * 0.25))
 }
 
-fn arb_object() -> impl Strategy<Value = (Point, Velocity, Option<(u64, Velocity)>, f64)> {
-    (
-        (arb_coord(), arb_coord()).prop_map(|(x, y)| Point::new(x, y)),
+#[allow(clippy::type_complexity)]
+fn arb_object() -> Gen<(Point, Velocity, Option<(u64, Velocity)>, f64)> {
+    tuple4(
+        tuple2(arb_coord(), arb_coord()).map(|(x, y)| Point::new(x, y)),
         arb_vel(),
-        prop::option::of((1..H_END, arb_vel())),
-        (0u32..200).prop_map(|p| p as f64),
+        one_of(vec![
+            just(None),
+            tuple2(ints(1..H_END), arb_vel()).map(Some),
+        ]),
+        ints(0u32..200).map(|p| p as f64),
     )
 }
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (
-        prop::collection::vec(arb_object(), 1..5),
-        (arb_coord(), arb_coord(), 5u32..40, 5u32..40),
-        (arb_coord(), arb_coord(), 5u32..40, 5u32..40),
+fn arb_rect_tuple() -> Gen<(f64, f64, f64, f64)> {
+    tuple4(arb_coord(), arb_coord(), ints(5u32..40), ints(5u32..40))
+        .map(|(x, y, w, h)| (x, y, x + w as f64, y + h as f64))
+}
+
+fn arb_scenario() -> Gen<Scenario> {
+    tuple3(vecs(arb_object(), 1..5), arb_rect_tuple(), arb_rect_tuple()).map(
+        |(objects, region_p, region_q)| Scenario { objects, region_p, region_q },
     )
-        .prop_map(|(objects, p, q)| Scenario {
-            objects,
-            region_p: (p.0, p.1, p.0 + p.2 as f64, p.1 + p.3 as f64),
-            region_q: (q.0, q.1, q.0 + q.2 as f64, q.1 + q.3 as f64),
-        })
 }
 
 fn build_context(s: &Scenario) -> MemoryContext {
@@ -98,37 +101,35 @@ const TEMPLATES: &[&str] = &[
     "RETRIEVE o, n WHERE o <> n AND Always OUTSIDE(o, Q, n)",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn interval_algorithm_matches_oracle() {
+    Check::new("ftl::interval_algorithm_matches_oracle").cases(48).run(
+        &tuple3(arb_scenario(), ints(0..TEMPLATES.len()), ints(1u64..30)),
+        |(s, template_idx, c)| {
+            let ctx = build_context(s);
+            let src = TEMPLATES[*template_idx].replace("{c}", &c.to_string());
+            let q = Query::parse(&src).expect("template parses");
+            let fast = evaluate_query(&ctx, &q).expect("interval evaluation succeeds");
+            let slow = naive_answer(&ctx, &q).expect("oracle evaluation succeeds");
+            assert_eq!(fast, slow, "query: {src}");
+        },
+    );
+}
 
-    #[test]
-    fn interval_algorithm_matches_oracle(
-        s in arb_scenario(),
-        template_idx in 0..TEMPLATES.len(),
-        c in 1u64..30
-    ) {
-        let ctx = build_context(&s);
-        let src = TEMPLATES[template_idx].replace("{c}", &c.to_string());
-        let q = Query::parse(&src).expect("template parses");
-        let fast = evaluate_query(&ctx, &q).expect("interval evaluation succeeds");
-        let slow = naive_answer(&ctx, &q).expect("oracle evaluation succeeds");
-        prop_assert_eq!(fast, slow, "query: {}", src);
-    }
-
-    #[test]
-    fn answers_are_normalized(
-        s in arb_scenario(),
-        template_idx in 0..TEMPLATES.len(),
-        c in 1u64..30
-    ) {
-        let ctx = build_context(&s);
-        let src = TEMPLATES[template_idx].replace("{c}", &c.to_string());
-        let q = Query::parse(&src).expect("template parses");
-        let a = evaluate_query(&ctx, &q).expect("evaluation succeeds");
-        for tup in &a.tuples {
-            prop_assert!(tup.intervals.is_normalized());
-            prop_assert!(!tup.intervals.is_empty());
-            prop_assert_eq!(tup.values.len(), q.targets.len());
-        }
-    }
+#[test]
+fn answers_are_normalized() {
+    Check::new("ftl::answers_are_normalized").cases(48).run(
+        &tuple3(arb_scenario(), ints(0..TEMPLATES.len()), ints(1u64..30)),
+        |(s, template_idx, c)| {
+            let ctx = build_context(s);
+            let src = TEMPLATES[*template_idx].replace("{c}", &c.to_string());
+            let q = Query::parse(&src).expect("template parses");
+            let a = evaluate_query(&ctx, &q).expect("evaluation succeeds");
+            for tup in &a.tuples {
+                assert!(tup.intervals.is_normalized());
+                assert!(!tup.intervals.is_empty());
+                assert_eq!(tup.values.len(), q.targets.len());
+            }
+        },
+    );
 }

@@ -1,11 +1,10 @@
 //! Function-lines as 2-D segments in (time × value) space.
 
 use most_spatial::Rect;
-use serde::{Deserialize, Serialize};
 
 /// A line segment from `(x0, y0)` to `(x1, y1)` with `x0 <= x1`
 /// (time flows left to right).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Start abscissa (time).
     pub x0: f64,

@@ -4,7 +4,7 @@
 use most_index::{DynamicAttributeIndex, IndexKind, MovingObjectIndex2D};
 use most_spatial::{MovingPoint, Point, Rect, Trajectory, Velocity};
 use most_temporal::{Horizon, IntervalSet, Tick};
-use proptest::prelude::*;
+use most_testkit::check::{bools, ints, just, one_of, tuple2, tuple3, tuple4, vecs, Check, Gen};
 
 const LIFETIME: Tick = 200;
 
@@ -14,20 +14,22 @@ enum Op {
     Update { id: u64, t: Tick, value: f64, slope: f64 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+fn arb_ops() -> Gen<Vec<Op>> {
     // Ids from a small pool; updates target previously inserted ids (we
     // filter at replay time).
-    prop::collection::vec(
-        prop_oneof![
-            (0..40u64, -100i32..100, -8i32..8).prop_map(|(id, v, s)| Op::Insert {
-                id,
-                value: v as f64,
-                slope: s as f64 * 0.25,
+    vecs(
+        one_of(vec![
+            tuple3(ints(0..40u64), ints(-100i32..100), ints(-8i32..8)).map(|(id, v, s)| {
+                Op::Insert { id, value: v as f64, slope: s as f64 * 0.25 }
             }),
-            (0..40u64, 1..LIFETIME, -100i32..100, -8i32..8).prop_map(|(id, t, v, s)| {
-                Op::Update { id, t, value: v as f64, slope: s as f64 * 0.25 }
-            }),
-        ],
+            tuple4(ints(0..40u64), ints(1..LIFETIME), ints(-100i32..100), ints(-8i32..8))
+                .map(|(id, t, v, s)| Op::Update {
+                    id,
+                    t,
+                    value: v as f64,
+                    slope: s as f64 * 0.25,
+                }),
+        ]),
         1..30,
     )
 }
@@ -95,97 +97,122 @@ fn replay(ops: &[Op], kind: IndexKind) -> (DynamicAttributeIndex, Model) {
     (idx, model)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn instantaneous_matches_model() {
+    let gen = tuple4(
+        arb_ops(),
+        bools(),
+        ints(0..LIFETIME),
+        tuple2(ints(-120i32..100), ints(1u32..80)),
+    );
+    Check::new("index::instantaneous_matches_model").cases(48).run(
+        &gen,
+        |(ops, kind_r, now, (lo, width))| {
+            let kind = if *kind_r { IndexKind::RTree } else { IndexKind::QuadTree };
+            let (idx, model) = replay(ops, kind);
+            let (lo, hi) = (*lo as f64, *lo as f64 + *width as f64);
+            let (got, stats) = idx.instantaneous(*now, lo, hi);
+            let want = model.in_range_at(*now, lo, hi);
+            assert_eq!(&got, &want, "kind {kind:?} now {now}");
+            assert_eq!(stats.results, got.len() as u64);
+        },
+    );
+}
 
-    #[test]
-    fn instantaneous_matches_model(
-        ops in arb_ops(),
-        kind_r in any::<bool>(),
-        now in 0..LIFETIME,
-        lo in -120i32..100,
-        width in 1u32..80
-    ) {
-        let kind = if kind_r { IndexKind::RTree } else { IndexKind::QuadTree };
-        let (idx, model) = replay(&ops, kind);
-        let (lo, hi) = (lo as f64, lo as f64 + width as f64);
-        let (got, stats) = idx.instantaneous(now, lo, hi);
-        let want = model.in_range_at(now, lo, hi);
-        prop_assert_eq!(&got, &want, "kind {:?} now {}", kind, now);
-        prop_assert_eq!(stats.results, got.len() as u64);
-    }
-
-    #[test]
-    fn continuous_matches_model(
-        ops in arb_ops(),
-        kind_r in any::<bool>(),
-        now in 0..LIFETIME,
-        lo in -120i32..100,
-        width in 1u32..80
-    ) {
-        let kind = if kind_r { IndexKind::RTree } else { IndexKind::QuadTree };
-        let (idx, model) = replay(&ops, kind);
-        let (lo, hi) = (lo as f64, lo as f64 + width as f64);
-        let (rows, _) = idx.continuous(now, lo, hi);
-        for (&id, _) in model.objects.iter() {
-            let want = model.in_range_intervals(id, now, lo, hi);
-            let got = rows
-                .iter()
-                .find(|(rid, _)| *rid == id)
-                .map(|(_, s)| s.clone())
-                .unwrap_or_default();
-            prop_assert_eq!(got, want, "object {} kind {:?}", id, kind);
-        }
-    }
-
-    #[test]
-    fn quadtree_and_rtree_agree(
-        ops in arb_ops(),
-        now in 0..LIFETIME,
-        lo in -120i32..100,
-        width in 1u32..80
-    ) {
-        let (qi, _) = replay(&ops, IndexKind::QuadTree);
-        let (ri, _) = replay(&ops, IndexKind::RTree);
-        let (lo, hi) = (lo as f64, lo as f64 + width as f64);
-        prop_assert_eq!(
-            qi.instantaneous(now, lo, hi).0,
-            ri.instantaneous(now, lo, hi).0
-        );
-    }
-
-    #[test]
-    fn index2d_matches_trajectory_model(
-        objs in prop::collection::vec(
-            ((-200i32..200), (-200i32..200), (-4i32..4), (-4i32..4), prop::option::of((1..LIFETIME, -4i32..4, -4i32..4))),
-            1..25
-        ),
-        t in 0..LIFETIME,
-        rx in -200i32..150,
-        ry in -200i32..150
-    ) {
-        let mut idx = MovingObjectIndex2D::new(LIFETIME, Rect::new(-1500.0, -1500.0, 1500.0, 1500.0));
-        let mut trajs: Vec<Trajectory> = Vec::new();
-        for (i, (x, y, vx, vy, upd)) in objs.iter().enumerate() {
-            let p = Point::new(*x as f64, *y as f64);
-            let v = Velocity::new(*vx as f64 * 0.5, *vy as f64 * 0.5);
-            idx.insert(i as u64, 0, p, v);
-            let mut traj = Trajectory::new(MovingPoint::from_origin(p, v));
-            if let Some((ut, uvx, uvy)) = upd {
-                let nv = Velocity::new(*uvx as f64 * 0.5, *uvy as f64 * 0.5);
-                idx.update(i as u64, *ut, traj.position_at_tick(*ut), nv);
-                traj.update_velocity(*ut, nv);
+#[test]
+fn continuous_matches_model() {
+    let gen = tuple4(
+        arb_ops(),
+        bools(),
+        ints(0..LIFETIME),
+        tuple2(ints(-120i32..100), ints(1u32..80)),
+    );
+    Check::new("index::continuous_matches_model").cases(48).run(
+        &gen,
+        |(ops, kind_r, now, (lo, width))| {
+            let kind = if *kind_r { IndexKind::RTree } else { IndexKind::QuadTree };
+            let (idx, model) = replay(ops, kind);
+            let (lo, hi) = (*lo as f64, *lo as f64 + *width as f64);
+            let (rows, _) = idx.continuous(*now, lo, hi);
+            for (&id, _) in model.objects.iter() {
+                let want = model.in_range_intervals(id, *now, lo, hi);
+                let got = rows
+                    .iter()
+                    .find(|(rid, _)| *rid == id)
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_default();
+                assert_eq!(got, want, "object {id} kind {kind:?}");
             }
-            trajs.push(traj);
-        }
-        let region = Rect::new(rx as f64, ry as f64, rx as f64 + 60.0, ry as f64 + 60.0);
-        let (got, _) = idx.query_at(t, &region);
-        let want: Vec<u64> = trajs
-            .iter()
-            .enumerate()
-            .filter(|(_, traj)| region.contains(traj.position_at_tick(t)))
-            .map(|(i, _)| i as u64)
-            .collect();
-        prop_assert_eq!(got, want);
-    }
+        },
+    );
+}
+
+#[test]
+fn quadtree_and_rtree_agree() {
+    let gen = tuple4(
+        arb_ops(),
+        ints(0..LIFETIME),
+        ints(-120i32..100),
+        ints(1u32..80),
+    );
+    Check::new("index::quadtree_and_rtree_agree").cases(48).run(
+        &gen,
+        |(ops, now, lo, width)| {
+            let (qi, _) = replay(ops, IndexKind::QuadTree);
+            let (ri, _) = replay(ops, IndexKind::RTree);
+            let (lo, hi) = (*lo as f64, *lo as f64 + *width as f64);
+            assert_eq!(
+                qi.instantaneous(*now, lo, hi).0,
+                ri.instantaneous(*now, lo, hi).0
+            );
+        },
+    );
+}
+
+#[test]
+fn index2d_matches_trajectory_model() {
+    #[allow(clippy::type_complexity)]
+    let arb_obj: Gen<(i32, i32, i32, i32, Option<(Tick, i32, i32)>)> = tuple2(
+        tuple4(ints(-200i32..200), ints(-200i32..200), ints(-4i32..4), ints(-4i32..4)),
+        one_of(vec![
+            just(None),
+            tuple3(ints(1..LIFETIME), ints(-4i32..4), ints(-4i32..4)).map(Some),
+        ]),
+    )
+    .map(|((x, y, vx, vy), upd)| (x, y, vx, vy, upd));
+    let gen = tuple4(
+        vecs(arb_obj, 1..25),
+        ints(0..LIFETIME),
+        ints(-200i32..150),
+        ints(-200i32..150),
+    );
+    Check::new("index::index2d_matches_trajectory_model").cases(48).run(
+        &gen,
+        |(objs, t, rx, ry)| {
+            let mut idx =
+                MovingObjectIndex2D::new(LIFETIME, Rect::new(-1500.0, -1500.0, 1500.0, 1500.0));
+            let mut trajs: Vec<Trajectory> = Vec::new();
+            for (i, (x, y, vx, vy, upd)) in objs.iter().enumerate() {
+                let p = Point::new(*x as f64, *y as f64);
+                let v = Velocity::new(*vx as f64 * 0.5, *vy as f64 * 0.5);
+                idx.insert(i as u64, 0, p, v);
+                let mut traj = Trajectory::new(MovingPoint::from_origin(p, v));
+                if let Some((ut, uvx, uvy)) = upd {
+                    let nv = Velocity::new(*uvx as f64 * 0.5, *uvy as f64 * 0.5);
+                    idx.update(i as u64, *ut, traj.position_at_tick(*ut), nv);
+                    traj.update_velocity(*ut, nv);
+                }
+                trajs.push(traj);
+            }
+            let region = Rect::new(*rx as f64, *ry as f64, *rx as f64 + 60.0, *ry as f64 + 60.0);
+            let (got, _) = idx.query_at(*t, &region);
+            let want: Vec<u64> = trajs
+                .iter()
+                .enumerate()
+                .filter(|(_, traj)| region.contains(traj.position_at_tick(*t)))
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(got, want);
+        },
+    );
 }

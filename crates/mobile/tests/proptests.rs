@@ -9,7 +9,7 @@ use most_mobile::strategy::{
 };
 use most_mobile::{FleetSim, Network};
 use most_spatial::{Point, Rect, Velocity};
-use proptest::prelude::*;
+use most_testkit::check::{floats, ints, just, one_of, tuple2, tuple3, vecs, Check, Gen};
 
 type NodeSpec = (f64, f64, f64, f64, Option<(u64, f64, f64)>);
 
@@ -18,18 +18,17 @@ struct FleetSpec {
     nodes: Vec<NodeSpec>,
 }
 
-fn arb_fleet() -> impl Strategy<Value = FleetSpec> {
-    prop::collection::vec(
-        (
-            -200.0f64..200.0,
-            -200.0f64..200.0,
-            -2.0f64..2.0,
-            -2.0f64..2.0,
-            prop::option::of((1..250u64, -2.0f64..2.0, -2.0f64..2.0)),
-        ),
-        1..12,
+fn arb_fleet() -> Gen<FleetSpec> {
+    let node = tuple3(
+        tuple2(floats(-200.0..200.0), floats(-200.0..200.0)),
+        tuple2(floats(-2.0..2.0), floats(-2.0..2.0)),
+        one_of(vec![
+            just(None),
+            tuple3(ints(1..250u64), floats(-2.0..2.0), floats(-2.0..2.0)).map(Some),
+        ]),
     )
-    .prop_map(|nodes| FleetSpec { nodes })
+    .map(|((x, y), (vx, vy), upd)| (x, y, vx, vy, upd));
+    vecs(node, 1..12).map(|nodes| FleetSpec { nodes })
 }
 
 fn build(spec: &FleetSpec) -> FleetSim {
@@ -50,48 +49,53 @@ fn build(spec: &FleetSpec) -> FleetSim {
     sim
 }
 
-fn arb_pred() -> impl Strategy<Value = ObjectPredicate> {
-    prop_oneof![
-        (-100.0f64..100.0, -100.0f64..100.0, 5.0f64..80.0).prop_map(|(x, y, r)| {
-            ObjectPredicate::ReachesPointWithin {
+fn arb_pred() -> Gen<ObjectPredicate> {
+    one_of(vec![
+        tuple3(floats(-100.0..100.0), floats(-100.0..100.0), floats(5.0..80.0)).map(
+            |(x, y, r)| ObjectPredicate::ReachesPointWithin {
                 target: Point::new(x, y),
                 radius: r,
                 within: 250,
-            }
-        }),
-        (-100.0f64..100.0, -100.0f64..100.0, 10.0f64..120.0).prop_map(|(x, y, w)| {
-            ObjectPredicate::InsideRect(Rect::new(x, y, x + w, y + w))
-        }),
-    ]
+            },
+        ),
+        tuple3(floats(-100.0..100.0), floats(-100.0..100.0), floats(10.0..120.0))
+            .map(|(x, y, w)| ObjectPredicate::InsideRect(Rect::new(x, y, x + w, y + w))),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn one_shot_strategies_agree() {
+    Check::new("mobile::one_shot_strategies_agree").cases(64).run(
+        &tuple2(arb_fleet(), arb_pred()),
+        |(spec, pred)| {
+            let sim = build(spec);
+            let mut net_a = Network::new(0);
+            let mut net_b = Network::new(0);
+            let a = object_query_data_shipping(&sim, &mut net_a, 0, pred);
+            let b = object_query_query_shipping(&sim, &mut net_b, 0, pred, "Q");
+            assert_eq!(&a, &b);
+            // Query shipping's bytes never exceed data shipping's: both pay the
+            // broadcast; replies (17 B) are cheaper than states (48 B).
+            assert!(net_b.stats.bytes <= net_a.stats.bytes);
+            // Data shipping sends exactly one state per remote node.
+            assert_eq!(net_a.stats.messages as usize, 2 * spec.nodes.len());
+        },
+    );
+}
 
-    #[test]
-    fn one_shot_strategies_agree(spec in arb_fleet(), pred in arb_pred()) {
-        let sim = build(&spec);
-        let mut net_a = Network::new(0);
-        let mut net_b = Network::new(0);
-        let a = object_query_data_shipping(&sim, &mut net_a, 0, &pred);
-        let b = object_query_query_shipping(&sim, &mut net_b, 0, &pred, "Q");
-        prop_assert_eq!(&a, &b);
-        // Query shipping's bytes never exceed data shipping's: both pay the
-        // broadcast; replies (17 B) are cheaper than states (48 B).
-        prop_assert!(net_b.stats.bytes <= net_a.stats.bytes);
-        // Data shipping sends exactly one state per remote node.
-        prop_assert_eq!(net_a.stats.messages as usize, 2 * spec.nodes.len());
-    }
-
-    #[test]
-    fn continuous_strategies_agree(spec in arb_fleet(), pred in arb_pred()) {
-        let mut sim_a = build(&spec);
-        let mut net_a = Network::new(0);
-        let truth_a = continuous_object_data_shipping(&mut sim_a, &mut net_a, 0, &pred, 250);
-        let mut sim_b = build(&spec);
-        let mut net_b = Network::new(0);
-        let truth_b =
-            continuous_object_query_shipping(&mut sim_b, &mut net_b, 0, &pred, 250, "Q");
-        prop_assert_eq!(truth_a, truth_b);
-    }
+#[test]
+fn continuous_strategies_agree() {
+    Check::new("mobile::continuous_strategies_agree").cases(64).run(
+        &tuple2(arb_fleet(), arb_pred()),
+        |(spec, pred)| {
+            let mut sim_a = build(spec);
+            let mut net_a = Network::new(0);
+            let truth_a = continuous_object_data_shipping(&mut sim_a, &mut net_a, 0, pred, 250);
+            let mut sim_b = build(spec);
+            let mut net_b = Network::new(0);
+            let truth_b =
+                continuous_object_query_shipping(&mut sim_b, &mut net_b, 0, pred, 250, "Q");
+            assert_eq!(truth_a, truth_b);
+        },
+    );
 }

@@ -8,11 +8,10 @@
 
 use crate::point::{Point, Velocity};
 use most_temporal::Tick;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point moving with constant velocity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MovingPoint {
     /// Position at tick [`MovingPoint::since`] (the `value` sub-attribute).
     pub anchor: Point,
@@ -100,6 +99,8 @@ impl fmt::Display for MovingPoint {
         write!(f, "{} @t={} +{}", self.anchor, self.since, self.velocity)
     }
 }
+
+most_testkit::json_struct!(MovingPoint { anchor, since, velocity });
 
 #[cfg(test)]
 mod tests {

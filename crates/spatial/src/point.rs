@@ -1,6 +1,5 @@
 //! 2-D points and velocity vectors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
@@ -9,7 +8,7 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// The paper's spatial classes expose `X.POSITION` and `Y.POSITION` (and
 /// `Z.POSITION`; this reproduction works in the plane, matching every example
 /// in the paper — cars, motels, aircraft ranges projected to 2-D).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate (the paper's `X.POSITION`).
     pub x: f64,
@@ -21,7 +20,7 @@ pub struct Point {
 ///
 /// This is the paper's *motion vector* — the `A.function` sub-attribute of a
 /// position attribute, restricted (as in Section 4) to linear functions.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Velocity {
     /// Displacement in `x` per tick (the paper's example
     /// `X.POSITION.function = 5 · t` has `dx = 5`).
@@ -160,6 +159,9 @@ impl fmt::Display for Velocity {
         write!(f, "<{}, {}>", self.dx, self.dy)
     }
 }
+
+most_testkit::json_struct!(Point { x, y });
+most_testkit::json_struct!(Velocity { dx, dy });
 
 #[cfg(test)]
 mod tests {

@@ -7,11 +7,9 @@
 
 use crate::point::{Point, Velocity};
 use crate::region::Rect;
-use serde::{Deserialize, Serialize};
-
 /// A simple (non-self-intersecting) polygon, vertices in order (either
 /// orientation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polygon {
     vertices: Vec<Point>,
 }
@@ -241,6 +239,25 @@ impl Edge {
     /// Edge direction vector.
     pub fn direction(self) -> Velocity {
         self.b.delta(self.a)
+    }
+}
+
+impl most_testkit::ser::ToJson for Polygon {
+    fn to_json(&self) -> most_testkit::ser::Json {
+        self.vertices.to_json()
+    }
+}
+
+impl most_testkit::ser::FromJson for Polygon {
+    fn from_json(j: &most_testkit::ser::Json) -> Result<Self, most_testkit::ser::JsonError> {
+        let vertices: Vec<Point> = most_testkit::ser::FromJson::from_json(j)?;
+        if vertices.len() < 3 {
+            return Err(most_testkit::ser::JsonError::Decode(format!(
+                "a polygon needs at least 3 vertices, got {}",
+                vertices.len()
+            )));
+        }
+        Ok(Polygon { vertices })
     }
 }
 

@@ -5,10 +5,9 @@
 //! rectangles" over the (time × value) plane.
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]` (closed).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Left edge.
     pub min_x: f64,
@@ -105,7 +104,7 @@ impl Rect {
 }
 
 /// A circle (the paper's "within a radius of 5 miles" display region).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Circle {
     /// Center point.
     pub center: Point,

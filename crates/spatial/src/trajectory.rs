@@ -10,12 +10,11 @@
 use crate::motion::MovingPoint;
 use crate::point::{Point, Velocity};
 use most_temporal::Tick;
-use serde::{Deserialize, Serialize};
 
 /// A piecewise-linear motion history: a sequence of legs with strictly
 /// increasing start ticks, each valid until the next leg begins (the last
 /// leg extends forever).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     legs: Vec<MovingPoint>,
 }
@@ -119,6 +118,29 @@ impl Trajectory {
             }
         }
         out
+    }
+}
+
+impl most_testkit::ser::ToJson for Trajectory {
+    fn to_json(&self) -> most_testkit::ser::Json {
+        self.legs.to_json()
+    }
+}
+
+impl most_testkit::ser::FromJson for Trajectory {
+    fn from_json(j: &most_testkit::ser::Json) -> Result<Self, most_testkit::ser::JsonError> {
+        let legs: Vec<MovingPoint> = most_testkit::ser::FromJson::from_json(j)?;
+        if legs.is_empty() {
+            return Err(most_testkit::ser::JsonError::Decode(
+                "a trajectory needs at least one leg".to_owned(),
+            ));
+        }
+        if legs.windows(2).any(|w| w[0].since >= w[1].since) {
+            return Err(most_testkit::ser::JsonError::Decode(
+                "trajectory legs must have strictly increasing start ticks".to_owned(),
+            ));
+        }
+        Ok(Trajectory { legs })
     }
 }
 

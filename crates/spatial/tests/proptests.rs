@@ -7,9 +7,10 @@ use most_spatial::predicates::{
 };
 use most_spatial::{Circle, MovingPoint, Point, Polygon, Rect, Trajectory, Velocity};
 use most_temporal::{Horizon, IntervalSet, Tick};
-use proptest::prelude::*;
+use most_testkit::check::{ints, tuple2, tuple3, tuple4, vecs, Check, Gen};
 
 const H_END: Tick = 120;
+const CASES: usize = 64;
 
 fn horizon() -> Horizon {
     Horizon::new(H_END)
@@ -22,152 +23,189 @@ fn brute<F: Fn(Tick) -> bool>(pred: F) -> IntervalSet {
 /// Coordinates/velocities on a coarse lattice: keeps root-finding exercised
 /// (crossings frequently fall between and exactly on ticks) while staying
 /// far away from the adversarial-float regime the library does not target.
-fn arb_coord() -> impl Strategy<Value = f64> {
-    (-200i32..=200).prop_map(|v| v as f64 * 0.5)
+fn arb_coord() -> Gen<f64> {
+    ints(-200i32..=200).map(|v| v as f64 * 0.5)
 }
 
-fn arb_vel() -> impl Strategy<Value = f64> {
-    (-12i32..=12).prop_map(|v| v as f64 * 0.25)
+fn arb_vel() -> Gen<f64> {
+    ints(-12i32..=12).map(|v| v as f64 * 0.25)
 }
 
-fn arb_mover() -> impl Strategy<Value = MovingPoint> {
-    (arb_coord(), arb_coord(), arb_vel(), arb_vel()).prop_map(|(x, y, dx, dy)| {
+fn arb_mover() -> Gen<MovingPoint> {
+    tuple4(arb_coord(), arb_coord(), arb_vel(), arb_vel()).map(|(x, y, dx, dy)| {
         MovingPoint::from_origin(Point::new(x, y), Velocity::new(dx, dy))
     })
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_coord(), arb_coord(), 1u32..80, 1u32..80).prop_map(|(x, y, w, h)| {
-        Rect::new(x, y, x + w as f64, y + h as f64)
-    })
+fn arb_rect() -> Gen<Rect> {
+    tuple4(arb_coord(), arb_coord(), ints(1u32..80), ints(1u32..80))
+        .map(|(x, y, w, h)| Rect::new(x, y, x + w as f64, y + h as f64))
 }
 
-fn arb_convex_polygon() -> impl Strategy<Value = Polygon> {
-    (arb_coord(), arb_coord(), 2u32..40, 3usize..9).prop_map(|(x, y, r, n)| {
-        Polygon::regular(Point::new(x, y), r as f64, n)
-    })
+fn arb_convex_polygon() -> Gen<Polygon> {
+    tuple4(arb_coord(), arb_coord(), ints(2u32..40), ints(3usize..9))
+        .map(|(x, y, r, n)| Polygon::regular(Point::new(x, y), r as f64, n))
 }
 
 /// A star-shaped (generally concave) simple polygon: random radii at evenly
 /// spread angles around a center.
-fn arb_star_polygon() -> impl Strategy<Value = Polygon> {
-    (
-        arb_coord(),
-        arb_coord(),
-        prop::collection::vec(4u32..50, 4..10),
-    )
-        .prop_map(|(x, y, radii)| {
-            let n = radii.len();
-            let vertices = radii
-                .into_iter()
-                .enumerate()
-                .map(|(i, r)| {
-                    let a = std::f64::consts::TAU * i as f64 / n as f64;
-                    Point::new(x + r as f64 * a.cos(), y + r as f64 * a.sin())
-                })
-                .collect();
-            Polygon::new(vertices)
-        })
+fn arb_star_polygon() -> Gen<Polygon> {
+    tuple3(arb_coord(), arb_coord(), vecs(ints(4u32..50), 4..10)).map(|(x, y, radii)| {
+        let n = radii.len();
+        let vertices = radii
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let a = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(x + r as f64 * a.cos(), y + r as f64 * a.sin())
+            })
+            .collect();
+        Polygon::new(vertices)
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn dist_within_matches_brute() {
+    Check::new("spatial::dist_within_matches_brute").cases(CASES).run(
+        &tuple3(arb_mover(), arb_mover(), ints(1u32..60)),
+        |(a, b, r)| {
+            let r = *r as f64;
+            let got = dist_within(*a, *b, r, horizon());
+            let want = brute(|t| a.dist_at(*b, t as f64) <= r);
+            assert_eq!(got, want);
+        },
+    );
+}
 
-    #[test]
-    fn dist_within_matches_brute(a in arb_mover(), b in arb_mover(), r in 1u32..60) {
-        let r = r as f64;
-        let got = dist_within(a, b, r, horizon());
-        let want = brute(|t| a.dist_at(b, t as f64) <= r);
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn dist_at_least_matches_brute() {
+    Check::new("spatial::dist_at_least_matches_brute").cases(CASES).run(
+        &tuple3(arb_mover(), arb_mover(), ints(1u32..60)),
+        |(a, b, r)| {
+            let r = *r as f64;
+            let got = dist_at_least(*a, *b, r, horizon());
+            let want = brute(|t| a.dist_at(*b, t as f64) >= r);
+            assert_eq!(got, want);
+        },
+    );
+}
 
-    #[test]
-    fn dist_at_least_matches_brute(a in arb_mover(), b in arb_mover(), r in 1u32..60) {
-        let r = r as f64;
-        let got = dist_at_least(a, b, r, horizon());
-        let want = brute(|t| a.dist_at(b, t as f64) >= r);
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn inside_rect_matches_brute() {
+    Check::new("spatial::inside_rect_matches_brute").cases(CASES).run(
+        &tuple2(arb_mover(), arb_rect()),
+        |(m, rect)| {
+            let got = inside_rect(*m, *rect, horizon());
+            let want = brute(|t| rect.contains(m.position_at_tick(t)));
+            assert_eq!(got, want);
+        },
+    );
+}
 
-    #[test]
-    fn inside_rect_matches_brute(m in arb_mover(), rect in arb_rect()) {
-        let got = inside_rect(m, rect, horizon());
-        let want = brute(|t| rect.contains(m.position_at_tick(t)));
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn inside_circle_matches_brute() {
+    Check::new("spatial::inside_circle_matches_brute").cases(CASES).run(
+        &tuple4(arb_mover(), arb_coord(), arb_coord(), ints(1u32..50)),
+        |(m, c, cy, r)| {
+            let circle = Circle::new(Point::new(*c, *cy), *r as f64);
+            let got = inside_circle(*m, circle, horizon());
+            let want = brute(|t| circle.contains(m.position_at_tick(t)));
+            assert_eq!(got, want);
+        },
+    );
+}
 
-    #[test]
-    fn inside_circle_matches_brute(m in arb_mover(), c in arb_coord(), cy in arb_coord(), r in 1u32..50) {
-        let circle = Circle::new(Point::new(c, cy), r as f64);
-        let got = inside_circle(m, circle, horizon());
-        let want = brute(|t| circle.contains(m.position_at_tick(t)));
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn inside_star_polygon_matches_brute() {
+    Check::new("spatial::inside_star_polygon_matches_brute").cases(CASES).run(
+        &tuple2(arb_mover(), arb_star_polygon()),
+        |(m, poly)| {
+            let got = inside_polygon(*m, poly, horizon());
+            let want = brute(|t| poly.contains(m.position_at_tick(t)));
+            assert_eq!(got, want);
+        },
+    );
+}
 
-    #[test]
-    fn inside_star_polygon_matches_brute(m in arb_mover(), poly in arb_star_polygon()) {
-        let got = inside_polygon(m, &poly, horizon());
-        let want = brute(|t| poly.contains(m.position_at_tick(t)));
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn inside_polygon_matches_brute() {
+    Check::new("spatial::inside_polygon_matches_brute").cases(CASES).run(
+        &tuple2(arb_mover(), arb_convex_polygon()),
+        |(m, poly)| {
+            let got = inside_polygon(*m, poly, horizon());
+            let want = brute(|t| poly.contains(m.position_at_tick(t)));
+            assert_eq!(got, want);
+        },
+    );
+}
 
-    #[test]
-    fn inside_polygon_matches_brute(m in arb_mover(), poly in arb_convex_polygon()) {
-        let got = inside_polygon(m, &poly, horizon());
-        let want = brute(|t| poly.contains(m.position_at_tick(t)));
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn outside_is_complement_of_inside() {
+    Check::new("spatial::outside_is_complement_of_inside").cases(CASES).run(
+        &tuple2(arb_mover(), arb_convex_polygon()),
+        |(m, poly)| {
+            let h = horizon();
+            let inside = inside_polygon(*m, poly, h);
+            let outside = outside_polygon(*m, poly, h);
+            assert_eq!(inside.union(&outside), IntervalSet::full(h));
+            assert!(inside.intersect(&outside).is_empty());
+        },
+    );
+}
 
-    #[test]
-    fn outside_is_complement_of_inside(m in arb_mover(), poly in arb_convex_polygon()) {
-        let h = horizon();
-        let inside = inside_polygon(m, &poly, h);
-        let outside = outside_polygon(m, &poly, h);
-        prop_assert_eq!(inside.union(&outside), IntervalSet::full(h));
-        prop_assert!(inside.intersect(&outside).is_empty());
-    }
+#[test]
+fn within_sphere_matches_brute_for_triples() {
+    Check::new("spatial::within_sphere_matches_brute_for_triples")
+        .cases(CASES)
+        .run(
+            &tuple4(arb_mover(), arb_mover(), arb_mover(), ints(1u32..40)),
+            |(a, b, c, r)| {
+                let r = *r as f64;
+                let movers = [*a, *b, *c];
+                let got = within_sphere(r, &movers, horizon());
+                let want = brute(|t| {
+                    let pts: Vec<Point> =
+                        movers.iter().map(|m| m.position_at_tick(t)).collect();
+                    min_enclosing_circle(&pts).radius <= r + 1e-9
+                });
+                assert_eq!(got, want);
+            },
+        );
+}
 
-    #[test]
-    fn within_sphere_matches_brute_for_triples(
-        a in arb_mover(), b in arb_mover(), c in arb_mover(), r in 1u32..40
-    ) {
-        let r = r as f64;
-        let movers = [a, b, c];
-        let got = within_sphere(r, &movers, horizon());
-        let want = brute(|t| {
-            let pts: Vec<Point> = movers.iter().map(|m| m.position_at_tick(t)).collect();
-            min_enclosing_circle(&pts).radius <= r + 1e-9
-        });
-        prop_assert_eq!(got, want);
-    }
-
-    #[test]
-    fn mec_encloses_all_points(
-        pts in prop::collection::vec((arb_coord(), arb_coord()).prop_map(|(x, y)| Point::new(x, y)), 1..8)
-    ) {
-        let c = min_enclosing_circle(&pts);
-        for p in &pts {
-            prop_assert!(c.center.dist(*p) <= c.radius + 1e-6);
+#[test]
+fn mec_encloses_all_points() {
+    let arb_points = vecs(
+        tuple2(arb_coord(), arb_coord()).map(|(x, y)| Point::new(x, y)),
+        1..8,
+    );
+    Check::new("spatial::mec_encloses_all_points").cases(CASES).run(&arb_points, |pts| {
+        let c = min_enclosing_circle(pts);
+        for p in pts {
+            assert!(c.center.dist(*p) <= c.radius + 1e-6);
         }
         // Minimality against diameter lower bound.
         for i in 0..pts.len() {
             for j in i + 1..pts.len() {
-                prop_assert!(c.radius + 1e-6 >= pts[i].dist(pts[j]) / 2.0);
+                assert!(c.radius + 1e-6 >= pts[i].dist(pts[j]) / 2.0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn piecewise_matches_brute_on_trajectories(
-        m in arb_mover(),
-        v2 in (arb_vel(), arb_vel()).prop_map(|(dx, dy)| Velocity::new(dx, dy)),
-        switch in 1..H_END,
-        poly in arb_convex_polygon()
-    ) {
-        let mut traj = Trajectory::new(m);
-        traj.update_velocity(switch, v2);
-        let got = piecewise(&traj, horizon(), |leg, h| inside_polygon(leg, &poly, h));
-        let want = brute(|t| poly.contains(traj.position_at_tick(t)));
-        prop_assert_eq!(got, want);
-    }
+#[test]
+fn piecewise_matches_brute_on_trajectories() {
+    let arb_v2 = tuple2(arb_vel(), arb_vel()).map(|(dx, dy)| Velocity::new(dx, dy));
+    Check::new("spatial::piecewise_matches_brute_on_trajectories")
+        .cases(CASES)
+        .run(
+            &tuple4(arb_mover(), arb_v2, ints(1..H_END), arb_convex_polygon()),
+            |(m, v2, switch, poly)| {
+                let mut traj = Trajectory::new(*m);
+                traj.update_velocity(*switch, *v2);
+                let got = piecewise(&traj, horizon(), |leg, h| inside_polygon(leg, poly, h));
+                let want = brute(|t| poly.contains(traj.position_at_tick(t)));
+                assert_eq!(got, want);
+            },
+        );
 }

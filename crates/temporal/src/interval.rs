@@ -12,11 +12,10 @@
 //!   chained into a `g2`-interval while evaluating `g1 Until g2`.
 
 use crate::time::Tick;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A closed, non-empty interval of clock ticks `[begin, end]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     begin: Tick,
     end: Tick,
@@ -150,6 +149,27 @@ impl Interval {
 impl fmt::Display for Interval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}, {}]", self.begin, self.end)
+    }
+}
+
+impl most_testkit::ser::ToJson for Interval {
+    fn to_json(&self) -> most_testkit::ser::Json {
+        most_testkit::ser::Json::Obj(vec![
+            ("begin".to_owned(), self.begin.to_json()),
+            ("end".to_owned(), self.end.to_json()),
+        ])
+    }
+}
+
+impl most_testkit::ser::FromJson for Interval {
+    fn from_json(j: &most_testkit::ser::Json) -> Result<Self, most_testkit::ser::JsonError> {
+        let begin = Tick::from_json(j.field("begin")?)?;
+        let end = Tick::from_json(j.field("end")?)?;
+        Interval::try_new(begin, end).ok_or_else(|| {
+            most_testkit::ser::JsonError::Decode(format!(
+                "interval begin ({begin}) exceeds end ({end})"
+            ))
+        })
     }
 }
 

@@ -28,7 +28,6 @@
 
 use crate::interval::Interval;
 use crate::time::{Horizon, Tick};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A normalized (sorted, disjoint, non-consecutive) set of tick intervals.
@@ -44,7 +43,7 @@ use std::fmt;
 /// let g = IntervalSet::from_intervals([Interval::new(10, 12)]);
 /// assert_eq!(f.until(&g).intervals(), &[Interval::new(0, 12)]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct IntervalSet {
     intervals: Vec<Interval>,
 }
@@ -429,6 +428,21 @@ impl fmt::Display for IntervalSet {
 impl FromIterator<Interval> for IntervalSet {
     fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
         IntervalSet::from_intervals(iter)
+    }
+}
+
+impl most_testkit::ser::ToJson for IntervalSet {
+    fn to_json(&self) -> most_testkit::ser::Json {
+        most_testkit::ser::ToJson::to_json(&self.intervals)
+    }
+}
+
+impl most_testkit::ser::FromJson for IntervalSet {
+    fn from_json(j: &most_testkit::ser::Json) -> Result<Self, most_testkit::ser::JsonError> {
+        // Re-normalize on decode so a hand-edited or adversarial document
+        // cannot smuggle in an unsorted / overlapping representation.
+        let ivs: Vec<Interval> = most_testkit::ser::FromJson::from_json(j)?;
+        Ok(IntervalSet::from_intervals(ivs))
     }
 }
 

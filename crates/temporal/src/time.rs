@@ -6,8 +6,6 @@
 //! always performed relative to a [`Horizon`], the paper's "predefined (but
 //! very large) amount of time" after which queries expire.
 
-use serde::{Deserialize, Serialize};
-
 /// A point on the global discrete clock (the paper's `time` object).
 ///
 /// Tick `0` is, by convention of the appendix ("without loss of generality we
@@ -26,7 +24,7 @@ pub type Duration = u64;
 /// in this workspace is exact within the horizon; `Always`-style operators
 /// interpret "all future states" as "all states up to and including
 /// `Horizon::end`".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Horizon {
     end: Tick,
 }

@@ -4,7 +4,7 @@
 
 use most_temporal::chain::until_via_chains;
 use most_temporal::{Horizon, Interval, IntervalSet, Tick};
-use proptest::prelude::*;
+use most_testkit::check::{ints, tuple2, tuple3, vecs, Check, Gen};
 use std::collections::BTreeSet;
 
 const H_END: Tick = 64;
@@ -15,8 +15,8 @@ fn horizon() -> Horizon {
 
 /// Arbitrary interval set within the test horizon, via raw (possibly
 /// overlapping / unsorted / adjacent) intervals.
-fn arb_set() -> impl Strategy<Value = IntervalSet> {
-    prop::collection::vec((0..=H_END, 0..=16u64), 0..8).prop_map(|pairs| {
+fn arb_set() -> Gen<IntervalSet> {
+    vecs(tuple2(ints(0..=H_END), ints(0..=16u64)), 0..8).map(|pairs| {
         IntervalSet::from_intervals(
             pairs
                 .into_iter()
@@ -33,146 +33,211 @@ fn set_of(ticks: &BTreeSet<Tick>) -> IntervalSet {
     IntervalSet::from_predicate(horizon(), |t| ticks.contains(&t))
 }
 
-proptest! {
-    #[test]
-    fn normalization_invariant_holds(s in arb_set()) {
-        prop_assert!(s.is_normalized());
-    }
+#[test]
+fn normalization_invariant_holds() {
+    Check::new("temporal::normalization_invariant_holds")
+        .run(&arb_set(), |s| assert!(s.is_normalized()));
+}
 
-    #[test]
-    fn round_trip_through_ticks(s in arb_set()) {
-        prop_assert_eq!(set_of(&ticks_of(&s)), s);
-    }
+#[test]
+fn round_trip_through_ticks() {
+    Check::new("temporal::round_trip_through_ticks")
+        .run(&arb_set(), |s| assert_eq!(&set_of(&ticks_of(s)), s));
+}
 
-    #[test]
-    fn union_matches_set_union(a in arb_set(), b in arb_set()) {
-        let expected: BTreeSet<Tick> = ticks_of(&a).union(&ticks_of(&b)).copied().collect();
-        prop_assert_eq!(a.union(&b), set_of(&expected));
-    }
+#[test]
+fn union_matches_set_union() {
+    Check::new("temporal::union_matches_set_union").run(
+        &tuple2(arb_set(), arb_set()),
+        |(a, b)| {
+            let expected: BTreeSet<Tick> = ticks_of(a).union(&ticks_of(b)).copied().collect();
+            assert_eq!(a.union(b), set_of(&expected));
+        },
+    );
+}
 
-    #[test]
-    fn intersect_matches_set_intersection(a in arb_set(), b in arb_set()) {
-        let expected: BTreeSet<Tick> =
-            ticks_of(&a).intersection(&ticks_of(&b)).copied().collect();
-        prop_assert_eq!(a.intersect(&b), set_of(&expected));
-    }
+#[test]
+fn intersect_matches_set_intersection() {
+    Check::new("temporal::intersect_matches_set_intersection").run(
+        &tuple2(arb_set(), arb_set()),
+        |(a, b)| {
+            let expected: BTreeSet<Tick> =
+                ticks_of(a).intersection(&ticks_of(b)).copied().collect();
+            assert_eq!(a.intersect(b), set_of(&expected));
+        },
+    );
+}
 
-    #[test]
-    fn complement_matches_set_complement(a in arb_set()) {
+#[test]
+fn complement_matches_set_complement() {
+    Check::new("temporal::complement_matches_set_complement").run(&arb_set(), |a| {
         let h = horizon();
         let universe: BTreeSet<Tick> = h.ticks().collect();
-        let expected: BTreeSet<Tick> =
-            universe.difference(&ticks_of(&a)).copied().collect();
-        prop_assert_eq!(a.complement(h), set_of(&expected));
-    }
+        let expected: BTreeSet<Tick> = universe.difference(&ticks_of(a)).copied().collect();
+        assert_eq!(a.complement(h), set_of(&expected));
+    });
+}
 
-    #[test]
-    fn difference_matches_set_difference(a in arb_set(), b in arb_set()) {
-        let expected: BTreeSet<Tick> =
-            ticks_of(&a).difference(&ticks_of(&b)).copied().collect();
-        prop_assert_eq!(a.difference(&b, horizon()), set_of(&expected));
-    }
+#[test]
+fn difference_matches_set_difference() {
+    Check::new("temporal::difference_matches_set_difference").run(
+        &tuple2(arb_set(), arb_set()),
+        |(a, b)| {
+            let expected: BTreeSet<Tick> =
+                ticks_of(a).difference(&ticks_of(b)).copied().collect();
+            assert_eq!(a.difference(b, horizon()), set_of(&expected));
+        },
+    );
+}
 
-    #[test]
-    fn demorgan_laws(a in arb_set(), b in arb_set()) {
+#[test]
+fn demorgan_laws() {
+    Check::new("temporal::demorgan_laws").run(&tuple2(arb_set(), arb_set()), |(a, b)| {
         let h = horizon();
-        let lhs = a.union(&b).complement(h);
+        let lhs = a.union(b).complement(h);
         let rhs = a.complement(h).intersect(&b.complement(h));
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn contains_matches_linear_scan(s in arb_set(), t in 0..=H_END) {
-        prop_assert_eq!(s.contains(t), ticks_of(&s).contains(&t));
-    }
+#[test]
+fn contains_matches_linear_scan() {
+    Check::new("temporal::contains_matches_linear_scan").run(
+        &tuple2(arb_set(), ints(0..=H_END)),
+        |(s, t)| {
+            assert_eq!(s.contains(*t), ticks_of(s).contains(t));
+        },
+    );
+}
 
-    #[test]
-    fn next_time_matches_pointwise(s in arb_set()) {
+#[test]
+fn next_time_matches_pointwise() {
+    Check::new("temporal::next_time_matches_pointwise").run(&arb_set(), |s| {
         let h = horizon();
         let expected = IntervalSet::from_predicate(h, |t| t < H_END && s.contains(t + 1));
-        prop_assert_eq!(s.next_time(h), expected);
-    }
+        assert_eq!(s.next_time(h), expected);
+    });
+}
 
-    #[test]
-    fn eventually_matches_pointwise(s in arb_set()) {
+#[test]
+fn eventually_matches_pointwise() {
+    Check::new("temporal::eventually_matches_pointwise").run(&arb_set(), |s| {
         let h = horizon();
-        let expected =
-            IntervalSet::from_predicate(h, |t| (t..=H_END).any(|u| s.contains(u)));
-        prop_assert_eq!(s.eventually(), expected);
-    }
+        let expected = IntervalSet::from_predicate(h, |t| (t..=H_END).any(|u| s.contains(u)));
+        assert_eq!(s.eventually(), expected);
+    });
+}
 
-    #[test]
-    fn always_matches_pointwise(s in arb_set()) {
+#[test]
+fn always_matches_pointwise() {
+    Check::new("temporal::always_matches_pointwise").run(&arb_set(), |s| {
         let h = horizon();
-        let expected =
-            IntervalSet::from_predicate(h, |t| (t..=H_END).all(|u| s.contains(u)));
-        prop_assert_eq!(s.always(h), expected);
-    }
+        let expected = IntervalSet::from_predicate(h, |t| (t..=H_END).all(|u| s.contains(u)));
+        assert_eq!(s.always(h), expected);
+    });
+}
 
-    #[test]
-    fn until_matches_pointwise(f in arb_set(), g in arb_set()) {
-        let h = horizon();
-        let expected = IntervalSet::from_predicate(h, |t| {
-            g.ticks().any(|t2| t2 >= t && (t..t2).all(|u| f.contains(u)))
-        });
-        prop_assert_eq!(f.until(&g), expected);
-    }
+#[test]
+fn until_matches_pointwise() {
+    Check::new("temporal::until_matches_pointwise").run(
+        &tuple2(arb_set(), arb_set()),
+        |(f, g)| {
+            let h = horizon();
+            let expected = IntervalSet::from_predicate(h, |t| {
+                g.ticks().any(|t2| t2 >= t && (t..t2).all(|u| f.contains(u)))
+            });
+            assert_eq!(f.until(g), expected);
+        },
+    );
+}
 
-    #[test]
-    fn until_agrees_with_appendix_chains(f in arb_set(), g in arb_set()) {
-        prop_assert_eq!(f.until(&g), until_via_chains(&f, &g));
-    }
+#[test]
+fn until_agrees_with_appendix_chains() {
+    Check::new("temporal::until_agrees_with_appendix_chains").run(
+        &tuple2(arb_set(), arb_set()),
+        |(f, g)| {
+            assert_eq!(f.until(g), until_via_chains(f, g));
+        },
+    );
+}
 
-    #[test]
-    fn eventually_within_matches_pointwise(s in arb_set(), c in 0..20u64) {
-        let h = horizon();
-        let expected = IntervalSet::from_predicate(h, |t| {
-            (t..=(t + c).min(H_END)).any(|u| s.contains(u))
-        });
-        prop_assert_eq!(s.eventually_within(c), expected);
-    }
+#[test]
+fn eventually_within_matches_pointwise() {
+    Check::new("temporal::eventually_within_matches_pointwise").run(
+        &tuple2(arb_set(), ints(0..20u64)),
+        |(s, c)| {
+            let c = *c;
+            let h = horizon();
+            let expected = IntervalSet::from_predicate(h, |t| {
+                (t..=(t + c).min(H_END)).any(|u| s.contains(u))
+            });
+            assert_eq!(s.eventually_within(c), expected);
+        },
+    );
+}
 
-    #[test]
-    fn eventually_after_matches_pointwise(s in arb_set(), c in 0..20u64) {
-        let h = horizon();
-        let expected = IntervalSet::from_predicate(h, |t| {
-            (t + c..=H_END).any(|u| u >= t + c && s.contains(u))
-        });
-        prop_assert_eq!(s.eventually_after(c), expected);
-    }
+#[test]
+fn eventually_after_matches_pointwise() {
+    Check::new("temporal::eventually_after_matches_pointwise").run(
+        &tuple2(arb_set(), ints(0..20u64)),
+        |(s, c)| {
+            let c = *c;
+            let h = horizon();
+            let expected = IntervalSet::from_predicate(h, |t| {
+                (t + c..=H_END).any(|u| u >= t + c && s.contains(u))
+            });
+            assert_eq!(s.eventually_after(c), expected);
+        },
+    );
+}
 
-    #[test]
-    fn always_for_matches_pointwise(s in arb_set(), c in 0..20u64) {
-        let h = horizon();
-        let expected = IntervalSet::from_predicate(h, |t| {
-            t + c <= H_END && (t..=t + c).all(|u| s.contains(u))
-        });
-        prop_assert_eq!(s.always_for(c, h), expected);
-    }
+#[test]
+fn always_for_matches_pointwise() {
+    Check::new("temporal::always_for_matches_pointwise").run(
+        &tuple2(arb_set(), ints(0..20u64)),
+        |(s, c)| {
+            let c = *c;
+            let h = horizon();
+            let expected = IntervalSet::from_predicate(h, |t| {
+                t + c <= H_END && (t..=t + c).all(|u| s.contains(u))
+            });
+            assert_eq!(s.always_for(c, h), expected);
+        },
+    );
+}
 
-    #[test]
-    fn until_within_matches_pointwise(f in arb_set(), g in arb_set(), c in 0..20u64) {
-        let h = horizon();
-        let expected = IntervalSet::from_predicate(h, |t| {
-            g.ticks()
-                .any(|t2| t2 >= t && t2 <= t + c && (t..t2).all(|u| f.contains(u)))
-        });
-        prop_assert_eq!(f.until_within(c, &g), expected);
-    }
+#[test]
+fn until_within_matches_pointwise() {
+    Check::new("temporal::until_within_matches_pointwise").run(
+        &tuple3(arb_set(), arb_set(), ints(0..20u64)),
+        |(f, g, c)| {
+            let c = *c;
+            let h = horizon();
+            let expected = IntervalSet::from_predicate(h, |t| {
+                g.ticks()
+                    .any(|t2| t2 >= t && t2 <= t + c && (t..t2).all(|u| f.contains(u)))
+            });
+            assert_eq!(f.until_within(c, g), expected);
+        },
+    );
+}
 
-    #[test]
-    fn until_with_full_f_is_eventually(g in arb_set()) {
+#[test]
+fn until_with_full_f_is_eventually() {
+    Check::new("temporal::until_with_full_f_is_eventually").run(&arb_set(), |g| {
         // Eventually g  ==  true Until g   (Section 3.3)
         let full = IntervalSet::full(horizon());
-        prop_assert_eq!(full.until(&g), g.eventually());
-    }
+        assert_eq!(full.until(g), g.eventually());
+    });
+}
 
-    #[test]
-    fn always_is_not_eventually_not(s in arb_set()) {
+#[test]
+fn always_is_not_eventually_not() {
+    Check::new("temporal::always_is_not_eventually_not").run(&arb_set(), |s| {
         // Always f == ¬ Eventually ¬ f    (Section 3.3)
         let h = horizon();
         let lhs = s.always(h);
         let rhs = s.complement(h).eventually().complement(h);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
 }

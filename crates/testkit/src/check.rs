@@ -1,0 +1,638 @@
+//! A minimal property-testing harness.
+//!
+//! Generators produce lazily-shrinkable rose trees ([`Tree`]); on a
+//! failing case the runner walks the tree greedily toward a minimal
+//! counterexample.  Every case is derived deterministically from a
+//! per-test base seed, so a failure is reproducible from the single
+//! `u64` printed in the panic message, and past failures are replayed
+//! from a one-seed-per-line regression file before any novel cases run.
+//!
+//! ```
+//! use most_testkit::check::{ints, vecs, Check};
+//!
+//! Check::new("sum_is_monotone").run(
+//!     &vecs(ints(0i64..100), 0..10),
+//!     |xs: &Vec<i64>| {
+//!         let s: i64 = xs.iter().sum();
+//!         assert!(s >= xs.iter().copied().max().unwrap_or(0));
+//!     },
+//! );
+//! ```
+//!
+//! The number of cases per property defaults to 64 and can be raised
+//! globally with `MOST_CHECK_CASES=1000`; `MOST_CHECK_SEED` overrides
+//! the base seed for exploratory fuzzing.
+
+use crate::rng::Rng;
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::Once;
+
+// ---------------------------------------------------------------------------
+// Shrink trees
+// ---------------------------------------------------------------------------
+
+/// A value plus a lazy list of simpler candidate values (a rose tree).
+///
+/// Children are ordered most-aggressive first; the runner takes the
+/// first failing child repeatedly (greedy descent).
+pub struct Tree<T: 'static> {
+    /// The generated value.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone + 'static> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Tree { value: self.value.clone(), children: Rc::clone(&self.children) }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A tree with no shrinks.
+    pub fn leaf(value: T) -> Self {
+        Tree { value, children: Rc::new(Vec::new) }
+    }
+
+    /// A tree with the given lazy shrink candidates.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree { value, children: Rc::new(children) }
+    }
+
+    /// The shrink candidates (computed on demand).
+    pub fn children(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Maps the whole tree through a pure function, preserving the
+    /// shrink structure (this is what makes shrinking compose through
+    /// [`Gen::map`]).
+    pub fn map<U: Clone + 'static>(&self, f: &Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let inner = self.clone();
+        let f = Rc::clone(f);
+        Tree::with_children(value, move || {
+            inner.children().iter().map(|t| t.map(&f)).collect()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Anything that can generate a shrinkable random value.
+pub trait Generator {
+    /// The type of generated values.
+    type Value: Clone + Debug + 'static;
+    /// Draws one value (with its shrink tree) from the generator.
+    fn tree(&self, rng: &mut Rng) -> Tree<Self::Value>;
+}
+
+/// The boxed draw function inside a [`Gen`].
+type DrawFn<T> = dyn Fn(&mut Rng) -> Tree<T>;
+
+/// A boxed, cloneable generator — the concrete type every combinator
+/// returns.
+pub struct Gen<T: 'static> {
+    f: Rc<DrawFn<T>>,
+}
+
+impl<T: 'static> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: Clone + Debug + 'static> Generator for Gen<T> {
+    type Value = T;
+    fn tree(&self, rng: &mut Rng) -> Tree<T> {
+        (self.f)(rng)
+    }
+}
+
+impl<T: Clone + Debug + 'static> Gen<T> {
+    /// Wraps a raw tree-producing closure.
+    pub fn new(f: impl Fn(&mut Rng) -> Tree<T> + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Applies a pure function to every generated value; shrinking maps
+    /// through (the underlying value is shrunk, then re-mapped).
+    pub fn map<U: Clone + Debug + 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let inner = self.clone();
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(move |v: &T| f(v.clone()));
+        Gen::new(move |rng| inner.tree(rng).map(&f))
+    }
+}
+
+/// The constant generator.
+pub fn just<T: Clone + Debug + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| Tree::leaf(value.clone()))
+}
+
+/// Booleans (shrink toward `false`).
+pub fn bools() -> Gen<bool> {
+    Gen::new(|rng| {
+        let v = rng.next_u64() & 1 == 1;
+        Tree::with_children(v, move || if v { vec![Tree::leaf(false)] } else { vec![] })
+    })
+}
+
+/// Integer types usable with [`ints`].
+pub trait CheckInt: Copy + Debug + 'static {
+    /// Widens to the common sampling domain.
+    fn to_i128(self) -> i128;
+    /// Narrows back (values stay within the original range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_check_int {
+    ($($t:ty),+) => {$(
+        impl CheckInt for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )+};
+}
+impl_check_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Bounds accepted by [`ints`]: `lo..hi` or `lo..=hi`.
+pub trait IntBounds<T> {
+    /// The inclusive `(lo, hi)` pair.
+    fn closed(self) -> (T, T);
+}
+impl<T: CheckInt> IntBounds<T> for core::ops::Range<T> {
+    fn closed(self) -> (T, T) {
+        let lo = self.start.to_i128();
+        let hi = self.end.to_i128() - 1;
+        assert!(lo <= hi, "empty range");
+        (T::from_i128(lo), T::from_i128(hi))
+    }
+}
+impl<T: CheckInt> IntBounds<T> for core::ops::RangeInclusive<T> {
+    fn closed(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+fn int_shrinks(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let c = v - delta;
+        if c != lo {
+            out.push(c);
+        }
+        delta /= 2;
+    }
+    out.dedup();
+    out
+}
+
+fn int_tree<T: CheckInt>(lo: i128, v: i128) -> Tree<T> {
+    Tree::with_children(T::from_i128(v), move || {
+        int_shrinks(lo, v).into_iter().map(|c| int_tree(lo, c)).collect()
+    })
+}
+
+/// Uniform integers over a range, shrinking toward the low bound.
+pub fn ints<T: CheckInt, B: IntBounds<T>>(bounds: B) -> Gen<T> {
+    let (lo, hi) = bounds.closed();
+    let (lo, hi) = (lo.to_i128(), hi.to_i128());
+    assert!(lo <= hi, "empty range");
+    Gen::new(move |rng| {
+        let span = (hi - lo) as u64 as u128;
+        let v = lo + rng.below(span as u64 + 1) as i128;
+        int_tree(lo, v)
+    })
+}
+
+/// Uniform `f64` over `[lo, hi)`, shrinking toward `lo` (then halving).
+pub fn floats(range: core::ops::Range<f64>) -> Gen<f64> {
+    let (lo, hi) = (range.start, range.end);
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad float range");
+    fn tree(lo: f64, v: f64) -> Tree<f64> {
+        Tree::with_children(v, move || {
+            let mut out = Vec::new();
+            if v != lo {
+                out.push(tree(lo, lo));
+                let mid = lo + (v - lo) / 2.0;
+                if mid != lo && mid != v {
+                    out.push(tree(lo, mid));
+                }
+            }
+            out
+        })
+    }
+    Gen::new(move |rng| tree(lo, rng.random_range(lo..hi)))
+}
+
+/// A uniformly chosen branch.  Shrinking stays within the chosen
+/// branch's own shrink tree.
+pub fn one_of<T: Clone + Debug + 'static>(branches: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!branches.is_empty(), "one_of needs at least one branch");
+    Gen::new(move |rng| {
+        let i = rng.below(branches.len() as u64) as usize;
+        branches[i].tree(rng)
+    })
+}
+
+/// One of the given constants, shrinking toward the first.
+pub fn select<T: Clone + Debug + 'static>(options: &[T]) -> Gen<T> {
+    let options = options.to_vec();
+    assert!(!options.is_empty(), "select needs at least one option");
+    Gen::new(move |rng| {
+        let i = rng.below(options.len() as u64) as usize;
+        let options = options.clone();
+        fn tree<T: Clone + 'static>(options: Vec<T>, i: usize) -> Tree<T> {
+            Tree::with_children(options[i].clone(), move || {
+                (0..i).map(|j| tree(options.clone(), j)).collect()
+            })
+        }
+        tree(options, i)
+    })
+}
+
+fn vec_tree<T: Clone + 'static>(elems: Vec<Tree<T>>, min_len: usize) -> Tree<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|t| t.value.clone()).collect();
+    Tree::with_children(value, move || {
+        let n = elems.len();
+        let mut out = Vec::new();
+        // Structural shrinks: drop the front/back half, then single
+        // elements.
+        if n > min_len {
+            let half = n / 2;
+            if half > 0 && n - half >= min_len {
+                out.push(vec_tree(elems[half..].to_vec(), min_len));
+                out.push(vec_tree(elems[..n - half].to_vec(), min_len));
+            }
+            if n > min_len {
+                for i in 0..n {
+                    let mut rest = elems.clone();
+                    rest.remove(i);
+                    out.push(vec_tree(rest, min_len));
+                }
+            }
+        }
+        // Element shrinks.
+        for i in 0..n {
+            for child in elems[i].children() {
+                let mut next = elems.clone();
+                next[i] = child;
+                out.push(vec_tree(next, min_len));
+            }
+        }
+        out
+    })
+}
+
+/// Vectors with a length drawn from `len` and elements from `elem`.
+/// Shrinks by removing elements (down to the minimum length) and by
+/// shrinking elements.
+pub fn vecs<T: Clone + Debug + 'static>(
+    elem: Gen<T>,
+    len: core::ops::Range<usize>,
+) -> Gen<Vec<T>> {
+    assert!(len.start < len.end, "empty length range");
+    let min_len = len.start;
+    Gen::new(move |rng| {
+        let n = rng.random_range(len.clone());
+        let elems: Vec<Tree<T>> = (0..n).map(|_| elem.tree(rng)).collect();
+        vec_tree(elems, min_len)
+    })
+}
+
+/// A pair of independent draws; each side shrinks independently.
+pub fn tuple2<A, B>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)>
+where
+    A: Clone + Debug + 'static,
+    B: Clone + Debug + 'static,
+{
+    Gen::new(move |rng| {
+        fn combine<A: Clone + 'static, B: Clone + 'static>(
+            ta: Tree<A>,
+            tb: Tree<B>,
+        ) -> Tree<(A, B)> {
+            let value = (ta.value.clone(), tb.value.clone());
+            Tree::with_children(value, move || {
+                let mut out: Vec<Tree<(A, B)>> = ta
+                    .children()
+                    .into_iter()
+                    .map(|ca| combine(ca, tb.clone()))
+                    .collect();
+                out.extend(tb.children().into_iter().map(|cb| combine(ta.clone(), cb)));
+                out
+            })
+        }
+        combine(a.tree(rng), b.tree(rng))
+    })
+}
+
+/// A triple of independent draws.
+pub fn tuple3<A, B, C>(a: Gen<A>, b: Gen<B>, c: Gen<C>) -> Gen<(A, B, C)>
+where
+    A: Clone + Debug + 'static,
+    B: Clone + Debug + 'static,
+    C: Clone + Debug + 'static,
+{
+    tuple2(tuple2(a, b), c).map(|((a, b), c)| (a, b, c))
+}
+
+/// A quadruple of independent draws.
+pub fn tuple4<A, B, C, D>(a: Gen<A>, b: Gen<B>, c: Gen<C>, d: Gen<D>) -> Gen<(A, B, C, D)>
+where
+    A: Clone + Debug + 'static,
+    B: Clone + Debug + 'static,
+    C: Clone + Debug + 'static,
+    D: Clone + Debug + 'static,
+{
+    tuple2(tuple2(a, b), tuple2(c, d)).map(|((a, b), (c, d))| (a, b, c, d))
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SHRINKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SHRINKING.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn run_case<T>(prop: &impl Fn(&T), value: &T) -> Result<(), String> {
+    SHRINKING.with(|c| c.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    SHRINKING.with(|c| c.set(false));
+    outcome.map_err(panic_message)
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its label.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Default number of cases when neither [`Check::cases`] nor
+/// `MOST_CHECK_CASES` is set.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Configuration and entry point for one property.
+pub struct Check {
+    label: String,
+    cases: usize,
+    base_seed: u64,
+    regressions: Option<PathBuf>,
+}
+
+impl Check {
+    /// A property named `label`.  The label determines the default seed
+    /// stream, so distinct properties explore distinct cases.
+    pub fn new(label: impl Into<String>) -> Self {
+        let label = label.into();
+        let cases = std::env::var("MOST_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        let base_seed = std::env::var("MOST_CHECK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fnv1a(label.as_bytes()));
+        Check { label, cases, base_seed, regressions: None }
+    }
+
+    /// Overrides the case count (still superseded by
+    /// `MOST_CHECK_CASES`).
+    pub fn cases(mut self, n: usize) -> Self {
+        if std::env::var("MOST_CHECK_CASES").is_err() {
+            self.cases = n;
+        }
+        self
+    }
+
+    /// Overrides the base seed (still superseded by `MOST_CHECK_SEED`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        if std::env::var("MOST_CHECK_SEED").is_err() {
+            self.base_seed = seed;
+        }
+        self
+    }
+
+    /// Replays seeds from a regression file (one decimal `u64` per
+    /// line, `#` comments) before generating novel cases, and appends
+    /// the seed of any new failure to the file.
+    pub fn regressions(mut self, path: impl Into<PathBuf>) -> Self {
+        self.regressions = Some(path.into());
+        self
+    }
+
+    /// Runs the property: every regression seed, then `cases` novel
+    /// cases.  Panics with the minimal shrunk counterexample, its seed
+    /// and the original assertion message on failure.
+    pub fn run<G: Generator>(self, gen: &G, prop: impl Fn(&G::Value)) {
+        install_quiet_hook();
+        let regression_seeds = self.load_regression_seeds();
+        let novel = (0..self.cases).map(|i| {
+            // Golden-ratio stepping through SplitMix64 gives decorrelated
+            // per-case seeds from the single base seed.
+            crate::rng::SplitMix64::new(self.base_seed.wrapping_add(i as u64)).next_u64()
+        });
+        for (from_regression, seed) in regression_seeds
+            .iter()
+            .map(|&s| (true, s))
+            .chain(novel.map(|s| (false, s)))
+        {
+            let mut rng = Rng::seed_from_u64(seed);
+            let tree = gen.tree(&mut rng);
+            if let Err(first_msg) = run_case(&prop, &tree.value) {
+                let (minimal, msg, steps) = self.shrink(tree, first_msg, &prop);
+                if !from_regression {
+                    self.record_regression(seed);
+                }
+                panic!(
+                    "[{}] property failed (seed {}, {} shrink steps{})\n\
+                     minimal counterexample: {:?}\n\
+                     assertion: {}",
+                    self.label,
+                    seed,
+                    steps,
+                    if from_regression { ", from regression file" } else { "" },
+                    minimal,
+                    msg,
+                );
+            }
+        }
+    }
+
+    fn shrink<T: Clone + Debug + 'static>(
+        &self,
+        tree: Tree<T>,
+        first_msg: String,
+        prop: &impl Fn(&T),
+    ) -> (T, String, usize) {
+        let mut current = tree;
+        let mut msg = first_msg;
+        let mut steps = 0usize;
+        let mut evaluations = 0usize;
+        'outer: loop {
+            for child in current.children() {
+                evaluations += 1;
+                if evaluations > 4096 {
+                    break 'outer;
+                }
+                if let Err(m) = run_case(prop, &child.value) {
+                    current = child;
+                    msg = m;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current.value, msg, steps)
+    }
+
+    fn load_regression_seeds(&self) -> Vec<u64> {
+        let Some(path) = &self.regressions else { return Vec::new() };
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| l.split_whitespace().next())
+            .filter_map(|l| l.parse().ok())
+            .collect()
+    }
+
+    fn record_regression(&self, seed: u64) {
+        let Some(path) = &self.regressions else { return };
+        use std::io::Write as _;
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(path)
+        {
+            let _ = writeln!(f, "{seed} # recorded failure in {}", self.label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        Check::new("trivial").cases(10).run(&ints(0i64..100), |_| {
+            count.set(count.get() + 1);
+        });
+        assert!(count.get() >= 10);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        let caught = panic::catch_unwind(|| {
+            SHRINKING.with(|c| c.set(false));
+            Check::new("gt_10").cases(200).run(&ints(0i64..1000), |&v| {
+                assert!(v <= 10, "value {v} exceeds 10");
+            });
+        });
+        let msg = panic_message(caught.expect_err("must fail"));
+        // Greedy descent must land on the boundary counterexample.
+        assert!(msg.contains("minimal counterexample: 11"), "{msg}");
+        assert!(msg.contains("seed "), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_removes_irrelevant_elements() {
+        let caught = panic::catch_unwind(|| {
+            SHRINKING.with(|c| c.set(false));
+            Check::new("no_big_elem").cases(200).run(
+                &vecs(ints(0i64..100), 0..20),
+                |xs: &Vec<i64>| assert!(xs.iter().all(|&x| x < 90)),
+            );
+        });
+        let msg = panic_message(caught.expect_err("must fail"));
+        assert!(msg.contains("minimal counterexample: [90]"), "{msg}");
+    }
+
+    #[test]
+    fn mapped_generators_still_shrink() {
+        let caught = panic::catch_unwind(|| {
+            SHRINKING.with(|c| c.set(false));
+            let even = ints(0i64..500).map(|v| v * 2);
+            Check::new("small_even").cases(200).run(&even, |&v| assert!(v < 100));
+        });
+        let msg = panic_message(caught.expect_err("must fail"));
+        assert!(msg.contains("minimal counterexample: 100"), "{msg}");
+    }
+
+    #[test]
+    fn same_label_same_cases() {
+        let a = std::cell::RefCell::new(Vec::new());
+        Check::new("stable").cases(16).run(&ints(0i64..1_000_000), |&v| a.borrow_mut().push(v));
+        let b = std::cell::RefCell::new(Vec::new());
+        Check::new("stable").cases(16).run(&ints(0i64..1_000_000), |&v| b.borrow_mut().push(v));
+        assert_eq!(a, b);
+        assert_eq!(a.borrow().len(), 16);
+    }
+
+    #[test]
+    fn tuples_shrink_both_sides() {
+        let caught = panic::catch_unwind(|| {
+            SHRINKING.with(|c| c.set(false));
+            let g = tuple2(ints(0i64..50), ints(0i64..50));
+            Check::new("pair_sum").cases(300).run(&g, |&(a, b)| assert!(a + b < 60));
+        });
+        let msg = panic_message(caught.expect_err("must fail"));
+        // Both components shrink; the sum lands exactly on the boundary.
+        assert!(msg.contains("(49, 11)") || msg.contains("(11, 49)") || msg.contains("60"), "{msg}");
+    }
+
+    #[test]
+    fn regression_seeds_replay_first() {
+        let dir = std::env::temp_dir().join("most_testkit_regression_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("seeds.txt");
+        std::fs::write(&path, "# comment\n12345\n67890 # inline note\n").unwrap();
+        let seen = std::cell::RefCell::new(Vec::new());
+        Check::new("replay")
+            .cases(1)
+            .regressions(&path)
+            .run(&ints(0i64..10), |&v| {
+                seen.borrow_mut().push(v);
+            });
+        // Two regression cases plus one novel case.
+        assert_eq!(seen.borrow().len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,25 @@
+//! `most-testkit`: the zero-dependency substrate under the MOST
+//! workspace.
+//!
+//! Three modules replace what used to be six external crates, making
+//! the whole workspace build and test offline:
+//!
+//! * [`rng`] — deterministic seedable PRNG (SplitMix64 + xoshiro256++)
+//!   with range, float, shuffle and sampling helpers, replacing `rand`.
+//! * [`check`] — a property-testing harness with shrinking and
+//!   regression-seed files, replacing `proptest`.
+//! * [`ser`] — a JSON value model with a serializer, parser, and the
+//!   [`ser::ToJson`]/[`ser::FromJson`] trait pair, replacing
+//!   `serde`/`serde_json`.
+//!
+//! Everything is deterministic from explicit seeds: a benchmark or
+//! workload run with the same seed produces byte-identical output.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod rng;
+pub mod ser;
+
+pub use rng::{Rng, SplitMix64};
+pub use ser::{from_json_str, to_json_string, FromJson, Json, JsonError, ToJson};

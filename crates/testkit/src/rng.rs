@@ -1,0 +1,292 @@
+//! Deterministic pseudo-random numbers for workloads, benchmarks and tests.
+//!
+//! Two generators, both seedable, `Send`, and free of global state:
+//!
+//! * [`SplitMix64`] — the 64-bit mixer of Steele, Lea & Flood.  Used to
+//!   expand a single `u64` seed into larger state and as the reference
+//!   generator pinned by the determinism tests.
+//! * [`Rng`] — xoshiro256++ (Blackman & Vigna), the workhorse generator
+//!   behind every workload, benchmark and property test in the workspace.
+//!
+//! # Stream splitting for parallel workloads
+//!
+//! A parallel workload must never hand the *same* generator to two
+//! workers (the streams would be identical) nor seed workers `0, 1, 2,
+//! ...` directly (low-entropy seeds correlate).  Instead, derive one
+//! child stream per worker from a parent generator:
+//!
+//! ```
+//! use most_testkit::rng::Rng;
+//! let mut parent = Rng::seed_from_u64(42);
+//! let streams: Vec<Rng> = (0..4).map(|_| parent.split()).collect();
+//! ```
+//!
+//! [`Rng::split`] draws a fresh 64-bit value from the parent and expands
+//! it through SplitMix64 into a new 256-bit state, so child streams are
+//! statistically independent of each other and of the parent's
+//! continuation, while the whole tree remains a pure function of the
+//! root seed.
+
+/// The SplitMix64 generator: a strong 64-bit mixer with a 64-bit state.
+///
+/// Passes through every 64-bit value exactly once over its 2^64 period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// The golden-ratio increment used by SplitMix64.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// A generator starting from the given state.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The xoshiro256++ generator: 256-bit state, 64-bit outputs.
+///
+/// Deterministic, seedable, `Send`, no global state.  Use
+/// [`Rng::seed_from_u64`] to construct and [`Rng::split`] to derive
+/// independent streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl Rng {
+    /// Expands a 64-bit seed into the 256-bit state via SplitMix64 (the
+    /// seeding procedure recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Rng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        result
+    }
+
+    /// The next 32-bit output (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniform draw from a range, e.g. `rng.random_range(0..10)`,
+    /// `rng.random_range(-4..=4)`, or `rng.random_range(0.0..1.5)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// A uniform `u64` below `n` (Lemire's unbiased multiply-shift
+    /// method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is an empty range");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low < n {
+                let threshold = n.wrapping_neg() % n;
+                if low < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// `k` distinct indices sampled uniformly from `0..n` (partial
+    /// Fisher–Yates), in random order.  `k` is clamped to `n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below((n - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Derives an independent child stream (see the module docs).
+    pub fn split(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                let draw = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.below(span + 1)
+                };
+                (lo as $wide).wrapping_add(draw as $wide) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.f64() * (self.end - self.start);
+        // Guard against rounding up to the (excluded) end.
+        if v >= self.end { self.start } else { v }
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-4i32..4);
+            assert!((-4..4).contains(&v));
+            let u = rng.random_range(0u64..=16);
+            assert!(u <= 16);
+            let f = rng.random_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = Rng::seed_from_u64(1);
+        // Must not hang or panic on the span-overflow path.
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let mut rng = Rng::seed_from_u64(9);
+        let picked = rng.sample_indices(100, 10);
+        assert_eq!(picked.len(), 10);
+        let mut s = picked.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Rng::seed_from_u64(11);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*rng.choose(&xs).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        assert!(rng.choose::<u8>(&[]).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Determinism guarantees of the in-repo PRNGs: every workload, bench and
+//! property test in the workspace is a pure function of its seed, and
+//! these tests are what make that claim falsifiable.
+
+use most_testkit::rng::{Rng, SplitMix64, GOLDEN_GAMMA};
+
+/// First 8 outputs of `SplitMix64::new(0x9E3779B97F4A7C15)` — the
+/// golden-gamma seed.  Pinned so a silent change to the mixer (which
+/// would invalidate every recorded regression seed and every published
+/// experiment table) fails loudly.
+const SPLITMIX_REFERENCE: [u64; 8] = [
+    0x6E78_9E6A_A1B9_65F4,
+    0x06C4_5D18_8009_454F,
+    0xF88B_B8A8_724C_81EC,
+    0x1B39_896A_51A8_749B,
+    0x53CB_9F0C_747E_A2EA,
+    0x2C82_9ABE_1F45_32E1,
+    0xC584_133A_C916_AB3C,
+    0x3EE5_7890_41C9_8AC3,
+];
+
+#[test]
+fn splitmix64_matches_reference_vector() {
+    let mut sm = SplitMix64::new(GOLDEN_GAMMA);
+    let got: Vec<u64> = (0..8).map(|_| sm.next_u64()).collect();
+    assert_eq!(got, SPLITMIX_REFERENCE);
+}
+
+#[test]
+fn same_seed_same_sequence() {
+    for seed in [0u64, 1, 42, u64::MAX] {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        for i in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed} diverged at step {i}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut a = Rng::seed_from_u64(1);
+    let mut b = Rng::seed_from_u64(2);
+    let a16: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+    let b16: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+    assert_ne!(a16, b16);
+}
+
+#[test]
+fn split_streams_are_distinct_and_reproducible() {
+    let mut parent = Rng::seed_from_u64(7);
+    let mut children: Vec<Rng> = (0..4).map(|_| parent.split()).collect();
+    let outputs: Vec<Vec<u64>> = children
+        .iter_mut()
+        .map(|c| (0..32).map(|_| c.next_u64()).collect())
+        .collect();
+    // Pairwise distinct streams (and distinct from the parent's own
+    // continuation).
+    let parent_cont: Vec<u64> = (0..32).map(|_| parent.next_u64()).collect();
+    for i in 0..outputs.len() {
+        assert_ne!(outputs[i], parent_cont, "child {i} tracks the parent");
+        for j in (i + 1)..outputs.len() {
+            assert_ne!(outputs[i], outputs[j], "children {i} and {j} coincide");
+        }
+    }
+    // The whole tree replays exactly from the root seed.
+    let mut parent2 = Rng::seed_from_u64(7);
+    let replay: Vec<Vec<u64>> = (0..4)
+        .map(|_| {
+            let mut c = parent2.split();
+            (0..32).map(|_| c.next_u64()).collect()
+        })
+        .collect();
+    assert_eq!(outputs, replay);
+}
+
+#[test]
+fn derived_helpers_are_deterministic() {
+    let run = || {
+        let mut rng = Rng::seed_from_u64(99);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let floats: Vec<f64> = (0..8).map(|_| rng.random_range(0.0..10.0)).collect();
+        let picks = rng.sample_indices(50, 5);
+        (v, floats, picks)
+    };
+    assert_eq!(run(), run());
+}

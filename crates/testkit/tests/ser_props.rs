@@ -1,0 +1,91 @@
+//! Property tests for the JSON substrate, driven by the crate's own
+//! `check` harness: arbitrary values survive render → parse, tricky
+//! strings escape correctly, and non-finite floats are rejected rather
+//! than emitted as invalid JSON.
+
+use most_testkit::check::{floats, ints, just, one_of, select, tuple2, vecs, Check, Gen};
+use most_testkit::ser::{Json, JsonError};
+
+/// Strings over a pool heavy in characters that need escaping.
+fn arb_string() -> Gen<String> {
+    let pool: Vec<char> = ('\u{20}'..='\u{7e}')
+        .chain(['"', '\\', '/', '\u{8}', '\u{c}', '\n', '\r', '\t'])
+        .chain(['\u{0}', '\u{1f}', 'é', 'Ω', '\u{2028}', '🚗'])
+        .collect();
+    vecs(select(&pool), 0..12).map(|cs| cs.into_iter().collect())
+}
+
+/// Arbitrary `Json` values, nesting bounded by `depth`.
+fn arb_json(depth: u32) -> Gen<Json> {
+    let leaf = one_of(vec![
+        just(Json::Null),
+        one_of(vec![just(Json::Bool(true)), just(Json::Bool(false))]),
+        ints(i64::MIN..i64::MAX).map(Json::Int),
+        floats(-1e9..1e9).map(Json::Float),
+        arb_string().map(Json::Str),
+    ]);
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_json(depth - 1);
+    one_of(vec![
+        leaf,
+        vecs(inner.clone(), 0..4).map(Json::Arr),
+        vecs(tuple2(arb_string(), inner), 0..4).map(Json::Obj),
+    ])
+}
+
+#[test]
+fn render_parse_round_trips() {
+    Check::new("ser::render_parse_round_trips").cases(400).run(&arb_json(3), |v| {
+        let text = v.render().expect("finite values render");
+        let back = Json::parse(&text).expect("rendered JSON parses");
+        assert_eq!(&back, v, "text was {text}");
+        // Rendering is a pure function: re-render is identical.
+        assert_eq!(back.render().expect("renders"), text);
+    });
+}
+
+#[test]
+fn escaped_strings_round_trip() {
+    Check::new("ser::escaped_strings_round_trip").cases(400).run(&arb_string(), |s| {
+        let v = Json::Str(s.clone());
+        let text = v.render().expect("strings render");
+        // The payload between the quotes must be pure ASCII-printable or
+        // escape sequences — never raw control characters.
+        assert!(
+            !text.chars().any(|c| (c as u32) < 0x20),
+            "raw control char in {text:?}"
+        );
+        assert_eq!(Json::parse(&text).expect("parses"), v);
+    });
+}
+
+#[test]
+fn non_finite_floats_are_rejected() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Json::Float(bad).render(), Err(JsonError::NonFiniteFloat));
+        // Also when buried inside a structure.
+        let nested = Json::Arr(vec![Json::Obj(vec![("x".into(), Json::Float(bad))])]);
+        assert_eq!(nested.render(), Err(JsonError::NonFiniteFloat));
+    }
+    // And the parser refuses the non-standard spellings.
+    for text in ["NaN", "Infinity", "-Infinity", "[nan]"] {
+        assert!(Json::parse(text).is_err(), "{text} must not parse");
+    }
+}
+
+#[test]
+fn deep_nesting_round_trips() {
+    // A comb of alternating arrays and objects 64 levels deep.
+    let mut v = Json::Int(1);
+    for i in 0..64 {
+        v = if i % 2 == 0 {
+            Json::Arr(vec![v])
+        } else {
+            Json::Obj(vec![("k".into(), v)])
+        };
+    }
+    let text = v.render().expect("renders");
+    assert_eq!(Json::parse(&text).expect("parses"), v);
+}

@@ -4,8 +4,7 @@
 
 use most_core::Database;
 use most_spatial::{Point, Velocity};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use most_testkit::rng::Rng;
 
 /// One aircraft.
 #[derive(Debug, Clone)]
@@ -30,7 +29,7 @@ pub fn around_airport(
     inbound_fraction: f64,
     seed: u64,
 ) -> Vec<Aircraft> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
             let angle = rng.random_range(0.0..std::f64::consts::TAU);

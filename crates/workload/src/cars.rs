@@ -4,8 +4,7 @@ use crate::update_process::{sample_velocity, update_schedule};
 use most_core::Database;
 use most_spatial::{Point, Trajectory, Velocity};
 use most_temporal::Tick;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use most_testkit::rng::Rng;
 
 /// One generated vehicle.
 #[derive(Debug, Clone)]
@@ -63,7 +62,7 @@ impl CarScenario {
 
     /// Generates the car plans.
     pub fn generate(&self) -> Vec<CarPlan> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         (0..self.count)
             .map(|_| {
                 let start = Point::new(

@@ -6,8 +6,7 @@
 
 use most_core::Database;
 use most_spatial::{Point, Velocity};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use most_testkit::rng::Rng;
 
 /// A generated convoy scenario.
 #[derive(Debug, Clone)]
@@ -28,7 +27,7 @@ pub fn generate(
     spread: f64,
     seed: u64,
 ) -> ConvoyScenario {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut vehicles = Vec::new();
     for c in 0..convoys {
         let leader = Point::new(

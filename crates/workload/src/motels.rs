@@ -4,8 +4,7 @@
 
 use most_core::Database;
 use most_spatial::{Point, Velocity};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use most_testkit::rng::Rng;
 
 /// One motel.
 #[derive(Debug, Clone)]
@@ -21,7 +20,7 @@ pub struct Motel {
 /// Generates `count` motels scattered within `offset` of a straight
 /// west–east highway of the given `length`.
 pub fn highway_motels(count: usize, length: f64, offset: f64, seed: u64) -> Vec<Motel> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..count)
         .map(|_| Motel {
             location: Point::new(
@@ -29,7 +28,7 @@ pub fn highway_motels(count: usize, length: f64, offset: f64, seed: u64) -> Vec<
                 rng.random_range(-offset..offset),
             ),
             price: rng.random_range(40.0..180.0),
-            availability: rng.random_range(0..40),
+            availability: rng.random_range(0i64..40),
         })
         .collect()
 }

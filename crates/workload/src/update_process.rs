@@ -7,18 +7,17 @@
 
 use most_spatial::Velocity;
 use most_temporal::{Duration, Tick};
-use rand::rngs::StdRng;
-use rand::Rng;
+use most_testkit::rng::Rng;
 
 /// Samples an inter-update gap with the given mean (≥ 1 tick).
-pub fn sample_gap(rng: &mut StdRng, mean: f64) -> Duration {
+pub fn sample_gap(rng: &mut Rng, mean: f64) -> Duration {
     let u: f64 = rng.random_range(1e-12..1.0);
     let gap = -u.ln() * mean;
     gap.max(1.0).round() as Duration
 }
 
 /// Samples a velocity with uniform direction and speed in `[lo, hi]`.
-pub fn sample_velocity(rng: &mut StdRng, lo: f64, hi: f64) -> Velocity {
+pub fn sample_velocity(rng: &mut Rng, lo: f64, hi: f64) -> Velocity {
     let angle = rng.random_range(0.0..std::f64::consts::TAU);
     let speed = rng.random_range(lo..=hi);
     Velocity::new(angle.cos() * speed, angle.sin() * speed)
@@ -27,7 +26,7 @@ pub fn sample_velocity(rng: &mut StdRng, lo: f64, hi: f64) -> Velocity {
 /// Generates an update schedule over `[1, until]` with mean gap
 /// `mean_gap`: `(tick, new velocity)` pairs in ascending order.
 pub fn update_schedule(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     until: Tick,
     mean_gap: f64,
     speed_lo: f64,
@@ -47,11 +46,10 @@ pub fn update_schedule(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
+    
     #[test]
     fn gaps_positive_and_mean_roughly_right() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 5000;
         let mean = 40.0;
         let total: u64 = (0..n).map(|_| sample_gap(&mut rng, mean)).sum();
@@ -61,7 +59,7 @@ mod tests {
 
     #[test]
     fn velocities_in_speed_band() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..200 {
             let v = sample_velocity(&mut rng, 1.0, 3.0);
             let s = v.speed();
@@ -71,7 +69,7 @@ mod tests {
 
     #[test]
     fn schedules_sorted_and_bounded() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let sched = update_schedule(&mut rng, 1000, 50.0, 0.5, 2.0);
         assert!(!sched.is_empty());
         assert!(sched.windows(2).all(|w| w[0].0 < w[1].0));
@@ -80,8 +78,8 @@ mod tests {
 
     #[test]
     fn seeded_reproducibility() {
-        let a = update_schedule(&mut StdRng::seed_from_u64(9), 500, 30.0, 1.0, 2.0);
-        let b = update_schedule(&mut StdRng::seed_from_u64(9), 500, 30.0, 1.0, 2.0);
+        let a = update_schedule(&mut Rng::seed_from_u64(9), 500, 30.0, 1.0, 2.0);
+        let b = update_schedule(&mut Rng::seed_from_u64(9), 500, 30.0, 1.0, 2.0);
         assert_eq!(a, b);
     }
 }

@@ -31,7 +31,6 @@ use most_core::{CoreError, Database};
 use most_dbms::value::Value;
 use most_ftl::{explain_query, Query};
 use most_spatial::{Point, Polygon, Velocity};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -45,11 +44,12 @@ pub struct Session {
 /// On-disk form of a session: the database (spatial index excluded) plus
 /// the name bindings.  Persistent queries are intentionally not saved —
 /// they are anchored to a live evaluation session.
-#[derive(Serialize, Deserialize)]
 struct SessionSnapshot {
     db: Database,
     names: BTreeMap<String, u64>,
 }
+
+most_testkit::json_struct!(SessionSnapshot { db, names });
 
 /// Outcome of one command.
 pub enum Outcome {
@@ -337,7 +337,7 @@ impl Session {
     fn cmd_save(&mut self, line: &str) -> Result<String, String> {
         let path = nth_word(line, 1)?;
         let snapshot = SessionSnapshot { db: self.db.clone(), names: self.names.clone() };
-        let json = serde_json::to_string(&snapshot)
+        let json = most_testkit::ser::to_json_string(&snapshot)
             .map_err(|e| format!("serialize failed: {e}"))?;
         std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         Ok(format!(
@@ -351,8 +351,8 @@ impl Session {
         let path = nth_word(line, 1)?;
         let json =
             std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        let snapshot: SessionSnapshot =
-            serde_json::from_str(&json).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+        let snapshot: SessionSnapshot = most_testkit::ser::from_json_str(&json)
+            .map_err(|e| format!("cannot parse `{path}`: {e}"))?;
         self.db = snapshot.db;
         self.names = snapshot.names;
         self.persistent.clear();

@@ -3,11 +3,11 @@
 //! always serves the same display a fresh evaluation would — and never
 //! rewrites history it has already served.
 
+use most_testkit::check::{ints, one_of, tuple2, tuple3, vecs, Check, Gen};
 use moving_objects::core::Database;
 use moving_objects::dbms::value::Value;
 use moving_objects::ftl::Query;
 use moving_objects::spatial::{Point, Polygon, Velocity};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -15,16 +15,13 @@ enum Step {
     Update { obj: usize, vx: i32, vy: i32 },
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1..40u64).prop_map(Step::Advance),
-            (0..4usize, -6i32..6, -6i32..6).prop_map(|(obj, vx, vy)| Step::Update {
-                obj,
-                vx,
-                vy
-            }),
-        ],
+fn arb_steps() -> Gen<Vec<Step>> {
+    vecs(
+        one_of(vec![
+            ints(1..40u64).map(Step::Advance),
+            tuple3(ints(0..4usize), ints(-6i32..6), ints(-6i32..6))
+                .map(|(obj, vx, vy)| Step::Update { obj, vx, vy }),
+        ]),
         1..25,
     )
 }
@@ -45,106 +42,107 @@ fn build_db() -> (Database, Vec<u64>) {
     (db, ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn maintained_answer_matches_fresh_evaluation() {
+    Check::new("continuous::maintained_answer_matches_fresh_evaluation")
+        .cases(32)
+        .run(&arb_steps(), |steps| {
+            let (mut db, ids) = build_db();
+            let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+            let cq = db.register_continuous(q.clone()).unwrap();
+            // Record what was displayed at each tick as it is served.
+            let mut served: Vec<(u64, Vec<Vec<Value>>)> = Vec::new();
+            served.push((0, db.continuous_display(cq, 0).unwrap()));
 
-    #[test]
-    fn maintained_answer_matches_fresh_evaluation(steps in arb_steps()) {
-        let (mut db, ids) = build_db();
-        let q = Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
-        let cq = db.register_continuous(q.clone()).unwrap();
-        // Record what was displayed at each tick as it is served.
-        let mut served: Vec<(u64, Vec<Vec<Value>>)> = Vec::new();
-        served.push((0, db.continuous_display(cq, 0).unwrap()));
-
-        for step in &steps {
-            match *step {
-                Step::Advance(n) => {
-                    for _ in 0..n {
-                        db.advance_clock(1);
-                        let t = db.now();
-                        served.push((t, db.continuous_display(cq, t).unwrap()));
-                    }
-                }
-                Step::Update { obj, vx, vy } => {
-                    db.update_motion(
-                        ids[obj],
-                        Velocity::new(vx as f64 * 0.5, vy as f64 * 0.5),
-                    )
-                    .unwrap();
-                }
-            }
-        }
-
-        // 1. Future equivalence: from now on, the maintained answer equals a
-        //    freshly registered one at every probed tick.
-        let now = db.now();
-        let fresh = db.instantaneous(&q).unwrap();
-        let maintained = db.continuous_answer(cq).unwrap().clone();
-        for probe in [now, now + 1, now + 7, now + 50, now + 300] {
-            let a: Vec<_> = maintained.at_tick(probe).iter().map(|t| t.values.clone()).collect();
-            let b: Vec<_> = fresh.at_tick(probe).iter().map(|t| t.values.clone()).collect();
-            prop_assert_eq!(a, b, "tick {}", probe);
-        }
-
-        // 2. History stability: ticks already served still display the same
-        //    instantiations from the maintained answer.
-        for (t, shown) in &served {
-            let replay: Vec<_> = maintained
-                .at_tick(*t)
-                .iter()
-                .map(|tup| tup.values.clone())
-                .collect();
-            prop_assert_eq!(&replay, shown, "already-served tick {}", t);
-        }
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The incremental per-object refresh must be observationally identical
-    /// to the paper-literal full re-evaluation, for single-object and pair
-    /// queries alike, across arbitrary update interleavings (including
-    /// object insertion mid-stream).
-    #[test]
-    fn incremental_refresh_equals_full_refresh(steps in arb_steps(), insert_at in 0..20usize) {
-        use moving_objects::core::database::RefreshMode;
-        let queries = [
-            "RETRIEVE o WHERE INSIDE(o, P)",
-            "RETRIEVE o, n WHERE o <> n AND DIST(o, n) <= 40",
-        ];
-        for q_src in queries {
-            let q = Query::parse(q_src).unwrap();
-            let run = |mode: RefreshMode| {
-                let (mut db, ids) = build_db();
-                db.set_refresh_mode(mode);
-                let cq = db.register_continuous(q.clone()).unwrap();
-                for (i, step) in steps.iter().enumerate() {
-                    if i == insert_at {
-                        // Insertion is an explicit update too.
-                        db.insert_moving_object(
-                            "cars",
-                            Point::new(-30.0, -30.0),
-                            Velocity::new(0.4, 0.4),
-                        );
-                    }
-                    match *step {
-                        Step::Advance(n) => db.advance_clock(n),
-                        Step::Update { obj, vx, vy } => {
-                            db.update_motion(
-                                ids[obj],
-                                Velocity::new(vx as f64 * 0.5, vy as f64 * 0.5),
-                            )
-                            .unwrap();
+            for step in steps {
+                match *step {
+                    Step::Advance(n) => {
+                        for _ in 0..n {
+                            db.advance_clock(1);
+                            let t = db.now();
+                            served.push((t, db.continuous_display(cq, t).unwrap()));
                         }
                     }
+                    Step::Update { obj, vx, vy } => {
+                        db.update_motion(
+                            ids[obj],
+                            Velocity::new(vx as f64 * 0.5, vy as f64 * 0.5),
+                        )
+                        .unwrap();
+                    }
                 }
-                db.continuous_answer(cq).unwrap().clone()
-            };
-            let full = run(RefreshMode::Full);
-            let incremental = run(RefreshMode::Incremental);
-            prop_assert_eq!(full, incremental, "query {}", q_src);
-        }
-    }
+            }
+
+            // 1. Future equivalence: from now on, the maintained answer equals a
+            //    freshly registered one at every probed tick.
+            let now = db.now();
+            let fresh = db.instantaneous(&q).unwrap();
+            let maintained = db.continuous_answer(cq).unwrap().clone();
+            for probe in [now, now + 1, now + 7, now + 50, now + 300] {
+                let a: Vec<_> =
+                    maintained.at_tick(probe).iter().map(|t| t.values.clone()).collect();
+                let b: Vec<_> = fresh.at_tick(probe).iter().map(|t| t.values.clone()).collect();
+                assert_eq!(a, b, "tick {probe}");
+            }
+
+            // 2. History stability: ticks already served still display the same
+            //    instantiations from the maintained answer.
+            for (t, shown) in &served {
+                let replay: Vec<_> = maintained
+                    .at_tick(*t)
+                    .iter()
+                    .map(|tup| tup.values.clone())
+                    .collect();
+                assert_eq!(&replay, shown, "already-served tick {t}");
+            }
+        });
+}
+
+/// The incremental per-object refresh must be observationally identical
+/// to the paper-literal full re-evaluation, for single-object and pair
+/// queries alike, across arbitrary update interleavings (including
+/// object insertion mid-stream).
+#[test]
+fn incremental_refresh_equals_full_refresh() {
+    Check::new("continuous::incremental_refresh_equals_full_refresh")
+        .cases(32)
+        .run(&tuple2(arb_steps(), ints(0..20usize)), |(steps, insert_at)| {
+            use moving_objects::core::database::RefreshMode;
+            let queries = [
+                "RETRIEVE o WHERE INSIDE(o, P)",
+                "RETRIEVE o, n WHERE o <> n AND DIST(o, n) <= 40",
+            ];
+            for q_src in queries {
+                let q = Query::parse(q_src).unwrap();
+                let run = |mode: RefreshMode| {
+                    let (mut db, ids) = build_db();
+                    db.set_refresh_mode(mode);
+                    let cq = db.register_continuous(q.clone()).unwrap();
+                    for (i, step) in steps.iter().enumerate() {
+                        if i == *insert_at {
+                            // Insertion is an explicit update too.
+                            db.insert_moving_object(
+                                "cars",
+                                Point::new(-30.0, -30.0),
+                                Velocity::new(0.4, 0.4),
+                            );
+                        }
+                        match *step {
+                            Step::Advance(n) => db.advance_clock(n),
+                            Step::Update { obj, vx, vy } => {
+                                db.update_motion(
+                                    ids[obj],
+                                    Velocity::new(vx as f64 * 0.5, vy as f64 * 0.5),
+                                )
+                                .unwrap();
+                            }
+                        }
+                    }
+                    db.continuous_answer(cq).unwrap().clone()
+                };
+                let full = run(RefreshMode::Full);
+                let incremental = run(RefreshMode::Incremental);
+                assert_eq!(full, incremental, "query {q_src}");
+            }
+        });
 }

@@ -9,7 +9,7 @@ use most_bench::Scale;
 #[test]
 fn full_suite_runs_and_every_table_has_rows() {
     let tables = run_all(Scale::Quick);
-    assert_eq!(tables.len(), 12);
+    assert_eq!(tables.len(), 13);
     for t in &tables {
         assert!(!t.rows.is_empty(), "{} has no rows", t.id);
         assert!(!t.headers.is_empty(), "{} has no headers", t.id);
@@ -24,8 +24,25 @@ fn full_suite_runs_and_every_table_has_rows() {
     let ids: Vec<&str> = tables.iter().map(|t| t.id.as_str()).collect();
     assert_eq!(
         ids,
-        vec!["F1", "E1", "E2", "E3", "E4", "E4b", "E5", "E6", "E6b", "E7", "E8", "E9"]
+        vec![
+            "F1", "E1", "E2", "E3", "E4", "E4b", "E5", "E6", "E6b", "E7", "E8", "E9", "MICRO"
+        ]
     );
+}
+
+#[test]
+fn quick_report_is_deterministic_after_stabilize() {
+    // The binary stabilizes wall-clock columns under --quick; the rendered
+    // output of two runs must then be identical.
+    let render = || {
+        let mut out = String::new();
+        for mut t in run_all(Scale::Quick) {
+            t.stabilize();
+            out.push_str(&t.to_string());
+        }
+        out
+    };
+    assert_eq!(render(), render());
 }
 
 #[test]

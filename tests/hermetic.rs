@@ -1,0 +1,124 @@
+//! Hermeticity guard: the workspace must build with zero registry
+//! dependencies, forever.  This test parses every `Cargo.toml` in the
+//! workspace and fails if any dependency entry could reach a registry —
+//! i.e. is not a `path =` dependency or a `workspace = true` reference
+//! to one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ exists") {
+        let dir = entry.expect("readable entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() > 5, "expected a workspace full of crates, found {out:?}");
+    out
+}
+
+/// Returns the dependency lines of `text`, as (section, line) pairs —
+/// every non-comment `name = ...` or `name.key = ...` line inside a
+/// `[...dependencies...]` section, with multi-line inline tables folded.
+fn dependency_lines(text: &str) -> Vec<(String, String)> {
+    let mut section = String::new();
+    let mut out = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = raw.split_once('#').map_or(raw, |(code, _)| code).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_owned();
+            continue;
+        }
+        if !section.contains("dependencies") {
+            continue;
+        }
+        // Fold `name = {` ... `}` spans (inline tables split over lines).
+        let mut entry = line.to_owned();
+        while entry.matches('{').count() > entry.matches('}').count() {
+            let cont = lines.next().expect("unterminated inline table");
+            entry.push(' ');
+            entry.push_str(cont.split_once('#').map_or(cont, |(code, _)| code).trim());
+        }
+        out.push((section.clone(), entry));
+    }
+    out
+}
+
+#[test]
+fn every_dependency_is_path_or_workspace() {
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest).expect("manifest is readable");
+        for (section, entry) in dependency_lines(&text) {
+            let hermetic = entry.contains("path =")
+                || entry.contains("path=")
+                || entry.contains("workspace = true")
+                || entry.contains("workspace=true")
+                || entry.ends_with(".workspace = true");
+            assert!(
+                hermetic,
+                "{}: [{}] has a non-path dependency: `{}` — the workspace \
+                 must stay hermetic (no registry access in CI)",
+                manifest.display(),
+                section,
+                entry
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_dependencies_all_point_into_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let mut seen = 0;
+    for (section, entry) in dependency_lines(&text) {
+        if section != "workspace.dependencies" {
+            continue;
+        }
+        seen += 1;
+        let path = entry
+            .split("path =")
+            .nth(1)
+            .and_then(|rest| rest.split('"').nth(1))
+            .unwrap_or_else(|| panic!("no path in `{entry}`"));
+        assert!(
+            root.join(path).join("Cargo.toml").is_file(),
+            "workspace dependency path `{path}` has no manifest"
+        );
+        assert!(path.starts_with("crates/"), "`{path}` escapes crates/");
+    }
+    assert!(seen >= 9, "expected all most-* crates listed, saw {seen}");
+}
+
+#[test]
+fn no_banned_external_crate_names_anywhere() {
+    // The six crates this workspace replaced; a future PR must not
+    // reintroduce them under any section.
+    const BANNED: &[&str] = &["rand", "serde", "serde_json", "proptest", "criterion", "parking_lot"];
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest).expect("manifest is readable");
+        for (section, entry) in dependency_lines(&text) {
+            let name = entry
+                .split(['=', '.'])
+                .next()
+                .map(str::trim)
+                .unwrap_or_default();
+            assert!(
+                !BANNED.contains(&name),
+                "{}: [{}] declares banned external crate `{}`",
+                manifest.display(),
+                section,
+                name
+            );
+        }
+    }
+}

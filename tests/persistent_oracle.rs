@@ -3,12 +3,15 @@
 //! per-tick oracle, for random update sequences and random anchor ticks —
 //! this pins the origin-shifting and the piecewise series construction in
 //! `most-core/src/snapshot.rs`.
+//!
+//! Previously-failing cases are pinned by `tests/persistent_oracle.seeds`
+//! (one generator seed per line) and replayed before novel cases.
 
+use most_testkit::check::{ints, one_of, tuple2, tuple3, vecs, Check, Gen};
 use moving_objects::core::{AttrFunction, Database};
 use moving_objects::ftl::semantics::naive_answer;
 use moving_objects::ftl::{evaluate_query, Query};
 use moving_objects::spatial::{Point, Polygon, Velocity};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Ev {
@@ -18,16 +21,17 @@ enum Ev {
     Fuel { obj: usize, level: u32, rate: i32 },
 }
 
-fn arb_events() -> impl Strategy<Value = Vec<Ev>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1..30u64).prop_map(Ev::Advance),
-            (0..3usize, -4i32..4, -4i32..4)
-                .prop_map(|(obj, vx, vy)| Ev::Motion { obj, vx, vy }),
-            (0..3usize, 40..200u32).prop_map(|(obj, price)| Ev::Price { obj, price }),
-            (0..3usize, 50..150u32, -4i32..0)
-                .prop_map(|(obj, level, rate)| Ev::Fuel { obj, level, rate }),
-        ],
+fn arb_events() -> Gen<Vec<Ev>> {
+    vecs(
+        one_of(vec![
+            ints(1..30u64).map(Ev::Advance),
+            tuple3(ints(0..3usize), ints(-4i32..4), ints(-4i32..4))
+                .map(|(obj, vx, vy)| Ev::Motion { obj, vx, vy }),
+            tuple2(ints(0..3usize), ints(40..200u32))
+                .map(|(obj, price)| Ev::Price { obj, price }),
+            tuple3(ints(0..3usize), ints(50..150u32), ints(-4i32..0))
+                .map(|(obj, level, rate)| Ev::Fuel { obj, level, rate }),
+        ]),
         0..15,
     )
 }
@@ -40,50 +44,51 @@ const QUERIES: &[&str] = &[
     "RETRIEVE o WHERE [p <- o.PRICE] Eventually (o.PRICE <= p - 30)",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn recorded_context_matches_oracle(events in arb_events(), origin_pick in 0..4u64) {
-        let mut db = Database::new(80);
-        let ids = [
-            db.insert_moving_object("cars", Point::new(-40.0, 0.0), Velocity::new(1.0, 0.0)),
-            db.insert_moving_object("cars", Point::new(40.0, 10.0), Velocity::new(-1.0, 0.0)),
-            db.insert_moving_object("cars", Point::new(0.0, -30.0), Velocity::new(0.0, 1.0)),
-        ];
-        db.add_region("P", Polygon::rectangle(-20.0, -20.0, 20.0, 20.0));
-        for (i, &id) in ids.iter().enumerate() {
-            db.set_static(id, "PRICE", (100.0 + i as f64 * 20.0).into()).unwrap();
-            db.set_dynamic_scalar(id, "FUEL", Some(120.0), Some(AttrFunction::Linear(-1.0)))
-                .unwrap();
-        }
-        for ev in &events {
-            match *ev {
-                Ev::Advance(n) => db.advance_clock(n),
-                Ev::Motion { obj, vx, vy } => db
-                    .update_motion(ids[obj], Velocity::new(vx as f64 * 0.5, vy as f64 * 0.5))
-                    .unwrap(),
-                Ev::Price { obj, price } => db
-                    .set_static(ids[obj], "PRICE", (price as f64).into())
-                    .unwrap(),
-                Ev::Fuel { obj, level, rate } => db
-                    .set_dynamic_scalar(
-                        ids[obj],
-                        "FUEL",
-                        Some(level as f64),
-                        Some(AttrFunction::Linear(rate as f64 * 0.5)),
-                    )
-                    .unwrap(),
+#[test]
+fn recorded_context_matches_oracle() {
+    Check::new("persistent::recorded_context_matches_oracle")
+        .cases(24)
+        .regressions("tests/persistent_oracle.seeds")
+        .run(&tuple2(arb_events(), ints(0..4u64)), |(events, origin_pick)| {
+            let mut db = Database::new(80);
+            let ids = [
+                db.insert_moving_object("cars", Point::new(-40.0, 0.0), Velocity::new(1.0, 0.0)),
+                db.insert_moving_object("cars", Point::new(40.0, 10.0), Velocity::new(-1.0, 0.0)),
+                db.insert_moving_object("cars", Point::new(0.0, -30.0), Velocity::new(0.0, 1.0)),
+            ];
+            db.add_region("P", Polygon::rectangle(-20.0, -20.0, 20.0, 20.0));
+            for (i, &id) in ids.iter().enumerate() {
+                db.set_static(id, "PRICE", (100.0 + i as f64 * 20.0).into()).unwrap();
+                db.set_dynamic_scalar(id, "FUEL", Some(120.0), Some(AttrFunction::Linear(-1.0)))
+                    .unwrap();
             }
-        }
-        // Anchor somewhere in the recorded past (including now).
-        let origin = (db.now() * origin_pick) / 4;
-        let ctx = db.recorded_context(origin);
-        for src in QUERIES {
-            let q = Query::parse(src).unwrap();
-            let fast = evaluate_query(&ctx, &q).expect("interval algorithm");
-            let slow = naive_answer(&ctx, &q).expect("oracle");
-            prop_assert_eq!(fast, slow, "query {} anchored at {}", src, origin);
-        }
-    }
+            for ev in events {
+                match *ev {
+                    Ev::Advance(n) => db.advance_clock(n),
+                    Ev::Motion { obj, vx, vy } => db
+                        .update_motion(ids[obj], Velocity::new(vx as f64 * 0.5, vy as f64 * 0.5))
+                        .unwrap(),
+                    Ev::Price { obj, price } => db
+                        .set_static(ids[obj], "PRICE", (price as f64).into())
+                        .unwrap(),
+                    Ev::Fuel { obj, level, rate } => db
+                        .set_dynamic_scalar(
+                            ids[obj],
+                            "FUEL",
+                            Some(level as f64),
+                            Some(AttrFunction::Linear(rate as f64 * 0.5)),
+                        )
+                        .unwrap(),
+                }
+            }
+            // Anchor somewhere in the recorded past (including now).
+            let origin = (db.now() * origin_pick) / 4;
+            let ctx = db.recorded_context(origin);
+            for src in QUERIES {
+                let q = Query::parse(src).unwrap();
+                let fast = evaluate_query(&ctx, &q).expect("interval algorithm");
+                let slow = naive_answer(&ctx, &q).expect("oracle");
+                assert_eq!(fast, slow, "query {src} anchored at {origin}");
+            }
+        });
 }

@@ -1,40 +1,46 @@
 //! The mostql command processor must never panic: arbitrary input produces
 //! either output or an error string, and the session stays usable.
 
+use most_testkit::check::{select, vecs, Check, Gen};
 use moving_objects::repl::{Outcome, Session};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Arbitrary printable-ish lines (up to 60 chars).
+fn arb_line() -> Gen<String> {
+    let pool: Vec<char> = ('\u{20}'..='\u{7e}')
+        .chain(['\t', 'é', 'Ω', '🚙'])
+        .collect();
+    vecs(select(&pool), 0..61).map(|cs| cs.into_iter().collect())
+}
 
-    #[test]
-    fn arbitrary_lines_never_panic(lines in prop::collection::vec("\\PC{0,60}", 0..8)) {
-        let mut s = Session::new(1_000);
-        for line in &lines {
-            let _ = s.execute(line);
-        }
-        // Still functional afterwards.
-        match s.execute("NOW") {
-            Outcome::Text(t) => prop_assert!(t.starts_with("t = ")),
-            Outcome::Quit => prop_assert!(false, "NOW must not quit"),
-        }
-    }
+#[test]
+fn arbitrary_lines_never_panic() {
+    Check::new("repl::arbitrary_lines_never_panic").cases(256).run(
+        &vecs(arb_line(), 0..8),
+        |lines| {
+            let mut s = Session::new(1_000);
+            for line in lines {
+                let _ = s.execute(line);
+            }
+            // Still functional afterwards.
+            match s.execute("NOW") {
+                Outcome::Text(t) => assert!(t.starts_with("t = ")),
+                Outcome::Quit => panic!("NOW must not quit"),
+            }
+        },
+    );
+}
 
-    #[test]
-    fn command_soup_never_panics(
-        parts in prop::collection::vec(
-            prop_oneof![
-                Just("CREATE"), Just("SET"), Just("MOVE"), Just("DROP"),
-                Just("REGION"), Just("TICK"), Just("SHOW"), Just("CANCEL"),
-                Just("RETRIEVE"), Just("CONTINUOUS"), Just("EXPLAIN"),
-                Just("NEAREST"), Just("a"), Just("a.P"), Just("AT"),
-                Just("VEL"), Just("RECT"), Just("("), Just(")"), Just(","),
-                Just("="), Just("1"), Just("-2.5"), Just("cq0"), Just("WHERE"),
-                Just("o"), Just("INSIDE"), Just("true"),
-            ],
-            0..12
-        )
-    ) {
+#[test]
+fn command_soup_never_panics() {
+    let parts = vecs(
+        select(&[
+            "CREATE", "SET", "MOVE", "DROP", "REGION", "TICK", "SHOW", "CANCEL", "RETRIEVE",
+            "CONTINUOUS", "EXPLAIN", "NEAREST", "a", "a.P", "AT", "VEL", "RECT", "(", ")", ",",
+            "=", "1", "-2.5", "cq0", "WHERE", "o", "INSIDE", "true",
+        ]),
+        0..12,
+    );
+    Check::new("repl::command_soup_never_panics").cases(256).run(&parts, |parts| {
         let mut s = Session::new(1_000);
         // Seed some state so lookups can succeed sometimes.
         let _ = s.execute("CREATE a AT (0, 0) VEL (1, 0)");
@@ -43,7 +49,7 @@ proptest! {
         let _ = s.execute(&line);
         match s.execute("OBJECTS") {
             Outcome::Text(_) => {}
-            Outcome::Quit => prop_assert!(false, "OBJECTS must not quit"),
+            Outcome::Quit => panic!("OBJECTS must not quit"),
         }
-    }
+    });
 }

@@ -1,19 +1,20 @@
 //! Serialization round-trips: queries, answers, values, geometry and
 //! interval sets all survive JSON — the wire format a MOST deployment
 //! would ship between the server and moving clients (Section 5.2).
+//!
+//! Serialization is provided by the in-repo `most-testkit::ser` module
+//! (`ToJson`/`FromJson`), not an external serde stack.
 
+use most_testkit::ser::{from_json_str, to_json_string, FromJson, ToJson};
 use moving_objects::dbms::value::Value;
 use moving_objects::ftl::answer::{Answer, AnswerTuple};
 use moving_objects::ftl::{Formula, Query};
 use moving_objects::spatial::{MovingPoint, Point, Polygon, Trajectory, Velocity};
 use moving_objects::temporal::{Interval, IntervalSet};
 
-fn round_trip<T>(v: &T) -> T
-where
-    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
-{
-    let json = serde_json::to_string(v).expect("serializes");
-    serde_json::from_str(&json).expect("deserializes")
+fn round_trip<T: ToJson + FromJson>(v: &T) -> T {
+    let json = to_json_string(v).expect("serializes");
+    from_json_str(&json).expect("deserializes")
 }
 
 #[test]
@@ -132,4 +133,41 @@ fn interval_sets_round_trip_normalized() {
     let back: IntervalSet = round_trip(&s);
     assert_eq!(back, s);
     assert!(back.is_normalized());
+
+    // Decoding an un-normalized (overlapping, out-of-order) interval list
+    // re-normalizes rather than trusting the wire.
+    let raw = r#"[{"begin":7,"end":12},{"begin":0,"end":3},{"begin":2,"end":5}]"#;
+    let decoded: IntervalSet = from_json_str(raw).expect("decodes");
+    assert!(decoded.is_normalized());
+    assert_eq!(
+        decoded,
+        IntervalSet::from_intervals([Interval::new(0, 5), Interval::new(7, 12)])
+    );
+}
+
+#[test]
+fn moving_point_round_trips_via_named_fields() {
+    let mp = MovingPoint::new(Point::new(-8.0, 2.5), 11, Velocity::new(0.25, -1.5));
+    let json = to_json_string(&mp).expect("serializes");
+    // The wire format is a stable named-field object, not a tuple.
+    for key in ["\"anchor\"", "\"since\"", "\"velocity\""] {
+        assert!(json.contains(key), "{json} missing {key}");
+    }
+    assert_eq!(round_trip(&mp), mp);
+}
+
+#[test]
+fn invalid_payloads_are_rejected_not_panicking() {
+    // Interval with begin > end.
+    assert!(from_json_str::<Interval>(r#"{"begin":9,"end":3}"#).is_err());
+    // Polygon with fewer than three vertices.
+    assert!(from_json_str::<Polygon>(r#"[{"x":0.0,"y":0.0},{"x":1.0,"y":0.0}]"#).is_err());
+    // Trajectory with non-increasing leg anchors.
+    let legs = r#"[
+        {"anchor":{"x":0.0,"y":0.0},"since":5,"velocity":{"dx":1.0,"dy":0.0}},
+        {"anchor":{"x":1.0,"y":0.0},"since":5,"velocity":{"dx":0.0,"dy":0.0}}
+    ]"#;
+    assert!(from_json_str::<Trajectory>(legs).is_err());
+    // Unknown enum variant tag.
+    assert!(from_json_str::<Value>(r#"{"Complex":[1,2]}"#).is_err());
 }
