@@ -1,15 +1,35 @@
 //! The experiment runner: regenerates every table of EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [all|fig1|e1|e2|e3|e4|e4b|e5|e6|e6b|e7|e8|e9|micro] [--quick]
+//! experiments [all|fig1|e1|e2|e3|e4|e4b|e5|e6|e6b|e7|e8|e9|e10|micro] [--quick]
 //! ```
 //!
 //! Under `--quick` the wall-clock columns are replaced by a placeholder so
 //! the full report is byte-identical across runs (every other cell is
 //! derived from seeded deterministic workloads); CI diffs the output.
+//!
+//! The perf-tracked tables (E3, E10) are additionally written as
+//! machine-readable `BENCH_<id>.json` files in the working directory, so
+//! the performance trajectory can be compared across PRs without scraping
+//! markdown.
 
 use most_bench::experiments::{run_all, run_one};
-use most_bench::Scale;
+use most_bench::{Scale, Table};
+use most_testkit::ser::to_json_string;
+
+/// Experiment ids whose tables are persisted as `BENCH_<id>.json`.
+const TRACKED: &[&str] = &["E3", "E10"];
+
+fn write_tracked_json(t: &Table) {
+    if !TRACKED.contains(&t.id.as_str()) {
+        return;
+    }
+    let path = format!("BENCH_{}.json", t.id.to_ascii_lowercase());
+    let body = to_json_string(t).expect("table serializes");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +50,7 @@ fn main() {
                 Some(t) => out.push(t),
                 None => {
                     eprintln!(
-                        "unknown experiment `{w}` (expected fig1, e1..e9, e4b, e6b, micro, all)"
+                        "unknown experiment `{w}` (expected fig1, e1..e10, e4b, e6b, micro, all)"
                     );
                     std::process::exit(2);
                 }
@@ -44,6 +64,7 @@ fn main() {
         }
     }
     for t in tables {
+        write_tracked_json(&t);
         println!("{t}");
     }
 }

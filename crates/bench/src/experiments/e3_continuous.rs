@@ -97,11 +97,14 @@ pub fn run(scale: Scale) -> Table {
         }
     }
     table.note(
-        "Claimed shape: MOST performs 1 + (#updates) evaluations regardless of the \
-         window length; per-tick re-evaluation performs one per tick.  All displays \
-         are asserted identical tick by tick.  The incremental regime (extension) \
-         re-evaluates only the changed object's instantiations, pushing the \
-         crossover far beyond one update per tick.",
+        "Claimed shape: MOST performs at most 1 + (#updates) evaluations regardless \
+         of the window length; per-tick re-evaluation performs one per tick.  The \
+         evaluations column counts answer-CHANGING evaluations (a refresh whose \
+         merged answer is byte-identical past the boundary is a no-op and no longer \
+         miscounts the metric), so the full-refresh row can sit well under \
+         1 + #updates.  All displays are asserted identical tick by tick.  The \
+         incremental regime (extension) re-evaluates only the changed object's \
+         instantiations, pushing the crossover far beyond one update per tick.",
     );
     table.mark_measured(&["time", "speedup vs per-tick"]);
     table
@@ -122,8 +125,11 @@ mod tests {
             let full_evals: f64 = chunk[1][3].parse().unwrap();
             let incr_evals: f64 = chunk[2][3].parse().unwrap();
             assert_eq!(naive_evals, window);
-            assert_eq!(full_evals, 1.0 + updates);
-            assert_eq!(incr_evals, 1.0 + updates);
+            // `evaluations` counts answer-changing evaluations only: at most
+            // one per update on top of the registration evaluation.
+            assert!(full_evals >= 1.0);
+            assert!(full_evals <= 1.0 + updates);
+            assert!(incr_evals <= 1.0 + updates);
             assert!(full_evals <= naive_evals + updates);
         }
         // With no updates at all, exactly one evaluation served everything.

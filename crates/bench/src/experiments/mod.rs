@@ -10,6 +10,7 @@ pub mod e6b_transmission;
 pub mod e7_index_ablation;
 pub mod e8_rebuild_period;
 pub mod e9_index_pruning;
+pub mod e10_refresh;
 pub mod fig1_query_types;
 pub mod micro;
 
@@ -30,12 +31,13 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e7_index_ablation::run(scale),
         e8_rebuild_period::run(scale),
         e9_index_pruning::run(scale),
+        e10_refresh::run(scale),
         micro::run(scale),
     ]
 }
 
-/// Runs one experiment by id (`fig1`, `e1` ... `e8`); `None` for an unknown
-/// id.
+/// Runs one experiment by id (`fig1`, `e1` ... `e10`); `None` for an
+/// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
         "fig1" => fig1_query_types::run(),
@@ -50,6 +52,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e7" => e7_index_ablation::run(scale),
         "e8" => e8_rebuild_period::run(scale),
         "e9" => e9_index_pruning::run(scale),
+        "e10" => e10_refresh::run(scale),
         "micro" => micro::run(scale),
         _ => return None,
     })

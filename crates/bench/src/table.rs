@@ -1,5 +1,6 @@
 //! Result tables: the harness's output format.
 
+use most_testkit::ser::{Json, ToJson};
 use std::fmt;
 
 /// A result table (rendered as GitHub-flavoured markdown).
@@ -98,6 +99,19 @@ impl Table {
     /// A numeric cell by header name and row index (tests).
     pub fn cell_f64(&self, row: usize, header: &str) -> Option<f64> {
         self.cell(row, header)?.parse().ok()
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_owned(), self.id.to_json()),
+            ("title".to_owned(), self.title.to_json()),
+            ("headers".to_owned(), self.headers.to_json()),
+            ("rows".to_owned(), self.rows.to_json()),
+            ("notes".to_owned(), self.notes.to_json()),
+            ("measured".to_owned(), self.measured.to_json()),
+        ])
     }
 }
 

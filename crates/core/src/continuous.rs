@@ -12,6 +12,7 @@
 //! the tuple `(o, 5, 7)` into `(o, 6, 7)` — only the part of the answer
 //! from the update time onwards changes).
 
+use crate::deps::DepSet;
 use most_dbms::value::Value;
 use most_ftl::answer::{Answer, AnswerTuple};
 use most_ftl::Query;
@@ -27,6 +28,15 @@ pub struct CqEntry {
     pub entered_at: Tick,
     /// Materialized answer, in **global** ticks.
     pub answer: Answer,
+    /// Statically-extracted dependency set ([`DepSet::of_query`]); the
+    /// refresh engine skips updates that cannot affect it.
+    pub deps: DepSet,
+    /// Answer-changing refresh evaluations applied to this entry.
+    pub refreshes: u64,
+    /// Refreshes skipped for this entry by dependency filtering.
+    pub skipped: u64,
+    /// Cumulative wall-clock nanoseconds spent re-evaluating this entry.
+    pub refresh_nanos: u64,
 }
 
 /// Registry of live continuous queries.
@@ -34,11 +44,18 @@ pub struct CqEntry {
 pub struct ContinuousRegistry {
     next: u64,
     entries: BTreeMap<u64, CqEntry>,
-    /// Total number of full evaluations performed (initial + refresh) —
-    /// the E3 cost metric.
+    /// Number of evaluations that *changed* a materialized answer
+    /// (initial registration + answer-changing refreshes) — the E3 cost
+    /// metric.
     pub evaluations: u64,
     /// Incremental (per-object) refreshes performed.
     pub incremental_refreshes: u64,
+    /// Refreshes skipped outright because the triggering updates were
+    /// outside the query's dependency set (no evaluation performed).
+    pub skipped_refreshes: u64,
+    /// Refresh evaluations that ran but produced a merged answer identical
+    /// to the materialized one (evaluation cost paid, no view change).
+    pub noop_refreshes: u64,
 }
 
 impl ContinuousRegistry {
@@ -47,11 +64,25 @@ impl ContinuousRegistry {
         ContinuousRegistry::default()
     }
 
-    /// Registers an evaluated query; returns its id.
+    /// Registers an evaluated query; returns its id.  The dependency set
+    /// is extracted here, once, so every later update pays only a set
+    /// lookup.
     pub fn register(&mut self, query: Query, entered_at: Tick, answer: Answer) -> u64 {
         let id = self.next;
         self.next += 1;
-        self.entries.insert(id, CqEntry { query, entered_at, answer });
+        let deps = DepSet::of_query(&query);
+        self.entries.insert(
+            id,
+            CqEntry {
+                query,
+                entered_at,
+                answer,
+                deps,
+                refreshes: 0,
+                skipped: 0,
+                refresh_nanos: 0,
+            },
+        );
         self.evaluations += 1;
         id
     }
@@ -82,25 +113,49 @@ impl ContinuousRegistry {
         self.entries.iter().map(|(k, v)| (*k, v))
     }
 
-    /// Applies an incremental refresh for one changed object.
+    /// Applies an incremental refresh for one changed object.  `nanos` is
+    /// the wall-clock cost of the per-object re-evaluation.
     pub fn refresh_incremental(
         &mut self,
         id: u64,
         boundary: Tick,
         changed: &Value,
         fresh: Answer,
+        nanos: u64,
     ) {
         if let Some(entry) = self.entries.get_mut(&id) {
             entry.answer = merge_incremental(&entry.answer, boundary, changed, &fresh);
+            entry.refresh_nanos += nanos;
             self.incremental_refreshes += 1;
         }
     }
 
-    /// Replaces an entry's answer after a refresh evaluation.
-    pub fn refresh(&mut self, id: u64, boundary: Tick, new_answer: Answer) {
+    /// Replaces an entry's answer after a refresh evaluation.  `nanos` is
+    /// the wall-clock cost of the evaluation that produced `new_answer`.
+    ///
+    /// Bumps `evaluations` only when the merged answer actually differs
+    /// from the materialized one; a refresh whose merge is byte-identical
+    /// past the boundary counts as a `noop_refreshes` instead, so the E3
+    /// metric reports answer-*changing* evaluations.
+    pub fn refresh(&mut self, id: u64, boundary: Tick, new_answer: Answer, nanos: u64) {
         if let Some(entry) = self.entries.get_mut(&id) {
-            entry.answer = merge_answers(&entry.answer, &new_answer, boundary);
-            self.evaluations += 1;
+            let merged = merge_answers(&entry.answer, &new_answer, boundary);
+            entry.refresh_nanos += nanos;
+            if merged == entry.answer {
+                self.noop_refreshes += 1;
+            } else {
+                entry.answer = merged;
+                entry.refreshes += 1;
+                self.evaluations += 1;
+            }
+        }
+    }
+
+    /// Records that a refresh of `id` was skipped by dependency filtering.
+    pub fn note_skipped(&mut self, id: u64) {
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.skipped += 1;
+            self.skipped_refreshes += 1;
         }
     }
 
@@ -199,8 +254,23 @@ pub fn merge_answers(old: &Answer, new: &Answer, boundary: Tick) -> Answer {
     )
 }
 
-most_testkit::json_struct!(CqEntry { query, entered_at, answer });
-most_testkit::json_struct!(ContinuousRegistry { next, entries, evaluations, incremental_refreshes });
+most_testkit::json_struct!(CqEntry {
+    query,
+    entered_at,
+    answer,
+    deps,
+    refreshes,
+    skipped,
+    refresh_nanos
+});
+most_testkit::json_struct!(ContinuousRegistry {
+    next,
+    entries,
+    evaluations,
+    incremental_refreshes,
+    skipped_refreshes,
+    noop_refreshes
+});
 
 #[cfg(test)]
 mod tests {
@@ -268,14 +338,88 @@ mod tests {
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.evaluations, 1);
         assert!(reg.get(id).is_some());
-        reg.refresh(id, 5, answer(&[(1, &[(5, 20)])]));
+        reg.refresh(id, 5, answer(&[(1, &[(5, 20)])]), 7);
         assert_eq!(reg.evaluations, 2);
+        assert_eq!(reg.noop_refreshes, 0);
+        let entry = reg.get(id).unwrap();
+        assert_eq!(entry.refreshes, 1);
+        assert_eq!(entry.refresh_nanos, 7);
         assert_eq!(
-            reg.get(id).unwrap().answer.intervals_for(&[Value::Id(1)]).unwrap(),
+            entry.answer.intervals_for(&[Value::Id(1)]).unwrap(),
             &IntervalSet::singleton(Interval::new(0, 20))
         );
         assert!(reg.cancel(id));
         assert!(!reg.cancel(id));
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn refresh_identical_answer_is_a_noop_not_an_evaluation() {
+        let mut reg = ContinuousRegistry::new();
+        let q = Query::parse("RETRIEVE o WHERE true").unwrap();
+        let id = reg.register(q, 0, answer(&[(1, &[(0, 10)])]));
+        // Re-evaluating at tick 4 yields the same future: merged answer is
+        // byte-identical, so this refresh must not count as an evaluation.
+        reg.refresh(id, 4, answer(&[(1, &[(4, 10)])]), 3);
+        assert_eq!(reg.evaluations, 1, "noop refresh must not bump evaluations");
+        assert_eq!(reg.noop_refreshes, 1);
+        let entry = reg.get(id).unwrap();
+        assert_eq!(entry.refreshes, 0);
+        assert_eq!(entry.refresh_nanos, 3, "evaluation cost is still recorded");
+        // A later, answer-changing refresh counts again.
+        reg.refresh(id, 6, answer(&[(1, &[(6, 15)])]), 2);
+        assert_eq!(reg.evaluations, 2);
+        assert_eq!(reg.noop_refreshes, 1);
+    }
+
+    #[test]
+    fn note_skipped_tracks_entry_and_registry() {
+        let mut reg = ContinuousRegistry::new();
+        let q = Query::parse("RETRIEVE o WHERE o.PRICE <= 100").unwrap();
+        let id = reg.register(q, 0, answer(&[]));
+        reg.note_skipped(id);
+        reg.note_skipped(id);
+        reg.note_skipped(9999); // unknown id: ignored
+        assert_eq!(reg.skipped_refreshes, 2);
+        assert_eq!(reg.get(id).unwrap().skipped, 2);
+        assert!(!reg.get(id).unwrap().deps.position);
+        assert!(reg.get(id).unwrap().deps.attrs.contains("PRICE"));
+    }
+
+    #[test]
+    fn merge_boundary_equal_to_entry_time_replaces_everything() {
+        // boundary == entered_at (0 here): nothing was served yet, the new
+        // answer wins wholesale.
+        let old = answer(&[(1, &[(0, 5)]), (2, &[(3, 9)])]);
+        let new = answer(&[(3, &[(0, 4)])]);
+        let merged = merge_answers(&old, &new, 0);
+        assert_eq!(merged.ids(), vec![3]);
+    }
+
+    #[test]
+    fn merge_incremental_empty_fresh_deletes_future_of_changed() {
+        let changed = Value::Id(1);
+        let old = answer(&[(1, &[(2, 9)]), (2, &[(2, 9)])]);
+        let fresh = answer(&[]);
+        let merged = merge_incremental(&old, 4, &changed, &fresh);
+        // Changed object keeps only its served past [2,3].
+        assert_eq!(
+            merged.intervals_for(&[Value::Id(1)]).unwrap(),
+            &IntervalSet::singleton(Interval::new(2, 3))
+        );
+        // Unchanged object is untouched.
+        assert_eq!(
+            merged.intervals_for(&[Value::Id(2)]).unwrap(),
+            &IntervalSet::singleton(Interval::new(2, 9))
+        );
+    }
+
+    #[test]
+    fn merge_incremental_at_zero_boundary_drops_changed_past() {
+        let changed = Value::Id(1);
+        let old = answer(&[(1, &[(0, 9)])]);
+        let fresh = answer(&[]);
+        let merged = merge_incremental(&old, 0, &changed, &fresh);
+        assert!(merged.intervals_for(&[Value::Id(1)]).is_none());
     }
 }

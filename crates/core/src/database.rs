@@ -3,6 +3,7 @@
 
 use crate::class::{AttrKind, ClassDef};
 use crate::continuous::ContinuousRegistry;
+use crate::deps::UpdateKind;
 use crate::dynamic::AttrFunction;
 use crate::error::{CoreError, CoreResult};
 use crate::object::MovingObject;
@@ -24,6 +25,48 @@ pub struct MotionUpdate {
     pub position: Point,
     /// New motion vector.
     pub velocity: Velocity,
+}
+
+/// One explicit update, for batched application via
+/// [`Database::apply_updates`]: a whole batch shares a single refresh pass
+/// (and, through [`crate::shared::SharedDatabase::apply_updates`], a single
+/// lock acquisition).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Change an object's motion vector (position continues).
+    Motion {
+        /// Target object.
+        id: u64,
+        /// New motion vector.
+        velocity: Velocity,
+    },
+    /// Full sensor report: position and motion vector.
+    Position {
+        /// Target object.
+        id: u64,
+        /// The report.
+        update: MotionUpdate,
+    },
+    /// Set a static attribute.
+    Static {
+        /// Target object.
+        id: u64,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: Value,
+    },
+    /// Set / update a scalar dynamic attribute's sub-attributes.
+    DynamicScalar {
+        /// Target object.
+        id: u64,
+        /// Attribute name.
+        attr: String,
+        /// New `value` sub-attribute (kept when `None`).
+        value: Option<f64>,
+        /// New `function` sub-attribute (kept when `None`).
+        function: Option<AttrFunction>,
+    },
 }
 
 /// How continuous queries are kept fresh on explicit updates.
@@ -87,6 +130,11 @@ pub struct Database {
     spatial_index: Option<SpatialIndexState>,
     /// Cost counters.
     pub stats: DbStats,
+    // Refresh-engine knobs (runtime tuning, not part of the persisted
+    // state: a loaded database starts at the defaults).
+    refresh_filtering: bool,
+    refresh_workers: usize,
+    eval_workers: usize,
 }
 
 most_testkit::json_enum!(RefreshMode { Full, Incremental });
@@ -125,6 +173,9 @@ impl most_testkit::ser::FromJson for Database {
             triggers: most_testkit::ser::FromJson::from_json(j.field("triggers")?)?,
             spatial_index: None,
             stats: most_testkit::ser::FromJson::from_json(j.field("stats")?)?,
+            refresh_filtering: true,
+            refresh_workers: 1,
+            eval_workers: 1,
         })
     }
 }
@@ -153,6 +204,9 @@ impl Database {
             triggers: TriggerRegistry::new(),
             spatial_index: None,
             stats: DbStats::default(),
+            refresh_filtering: true,
+            refresh_workers: 1,
+            eval_workers: 1,
         }
     }
 
@@ -184,6 +238,42 @@ impl Database {
     /// The current refresh mode.
     pub fn refresh_mode(&self) -> RefreshMode {
         self.refresh_mode
+    }
+
+    /// Enables/disables dependency-set filtering of refreshes (on by
+    /// default).  With filtering off, every explicit update re-evaluates
+    /// every registered query — the paper's literal reading.
+    pub fn set_refresh_filtering(&mut self, on: bool) {
+        self.refresh_filtering = on;
+    }
+
+    /// Whether dependency-set filtering is enabled.
+    pub fn refresh_filtering(&self) -> bool {
+        self.refresh_filtering
+    }
+
+    /// Sets how many worker threads a refresh pass may use to re-evaluate
+    /// queries concurrently (1 = serial, the default).
+    pub fn set_refresh_workers(&mut self, workers: usize) {
+        self.refresh_workers = workers.max(1);
+    }
+
+    /// The refresh worker count.
+    pub fn refresh_workers(&self) -> usize {
+        self.refresh_workers
+    }
+
+    /// Sets how many worker threads a *single* evaluation may use to shard
+    /// its per-object candidate loops (1 = serial, the default).  Refresh
+    /// passes that already shard across queries evaluate each query
+    /// serially to avoid nested thread pools.
+    pub fn set_eval_workers(&mut self, workers: usize) {
+        self.eval_workers = workers.max(1);
+    }
+
+    /// The per-evaluation worker count.
+    pub fn eval_workers(&self) -> usize {
+        self.eval_workers
     }
 
     // ------------------------------------------------------------------
@@ -219,7 +309,8 @@ impl Database {
             // answers.  Evaluation cannot newly fail here — the queries
             // evaluated successfully at registration and the domain only
             // gained an object.
-            self.after_update(id).expect("continuous refresh after insert");
+            self.after_updates(&[(id, UpdateKind::Domain)])
+                .expect("continuous refresh after insert");
             self.stats.updates -= 1; // inserts are not counted as updates
         }
         id
@@ -235,7 +326,8 @@ impl Database {
         self.next_id += 1;
         self.objects.insert(id, MovingObject::plain(id, class));
         if !self.continuous.is_empty() {
-            self.after_update(id).expect("continuous refresh after insert");
+            self.after_updates(&[(id, UpdateKind::Domain)])
+                .expect("continuous refresh after insert");
             self.stats.updates -= 1; // inserts are not counted as updates
         }
         id
@@ -271,7 +363,7 @@ impl Database {
         if let Some(ix) = &mut self.spatial_index {
             ix.index.remove(id);
         }
-        self.after_update(id)
+        self.after_updates(&[(id, UpdateKind::Domain)])
     }
 
     /// Registers a named region (polygon) for `INSIDE` / `OUTSIDE`.
@@ -319,6 +411,81 @@ impl Database {
     /// current trajectory ("the computer can automatically update the
     /// motion vector when it senses a change in speed or direction").
     pub fn update_motion(&mut self, id: u64, velocity: Velocity) -> CoreResult<()> {
+        self.apply_motion(id, velocity)?;
+        self.after_updates(&[(id, UpdateKind::Motion)])
+    }
+
+    /// Explicitly sets both position and motion vector (a full sensor
+    /// report).
+    pub fn update_position(&mut self, id: u64, update: MotionUpdate) -> CoreResult<()> {
+        self.apply_position(id, update)?;
+        self.after_updates(&[(id, UpdateKind::Motion)])
+    }
+
+    /// Sets a static attribute.
+    pub fn set_static(&mut self, id: u64, name: &str, value: Value) -> CoreResult<()> {
+        self.apply_static(id, name, value)?;
+        self.after_updates(&[(id, UpdateKind::Attr(name.to_owned()))])
+    }
+
+    /// Sets / updates a scalar dynamic attribute (e.g. FUEL): either
+    /// sub-attribute may be changed, per Section 2.1.
+    pub fn set_dynamic_scalar(
+        &mut self,
+        id: u64,
+        name: &str,
+        value: Option<f64>,
+        function: Option<AttrFunction>,
+    ) -> CoreResult<()> {
+        self.apply_dynamic_scalar(id, name, value, function)?;
+        self.after_updates(&[(id, UpdateKind::Attr(name.to_owned()))])
+    }
+
+    /// Applies a whole batch of explicit updates under **one** refresh
+    /// pass: the batch mutates first, then continuous queries refresh once
+    /// against the final state — equivalent to per-update refreshes at the
+    /// same clock tick (every refresh merges at the same boundary, and the
+    /// last merge of a sequence at one boundary wins), but paying one
+    /// dependency-filter walk and one (possibly parallel) evaluation sweep.
+    ///
+    /// On an invalid op the batch stops at the first error: prior ops stay
+    /// applied (matching their individual-call semantics), a refresh runs
+    /// for them, and the first error is returned.
+    pub fn apply_updates(&mut self, ops: &[UpdateOp]) -> CoreResult<()> {
+        let mut applied: Vec<(u64, UpdateKind)> = Vec::with_capacity(ops.len());
+        let mut first_err = None;
+        for op in ops {
+            let changed = match op {
+                UpdateOp::Motion { id, velocity } => self
+                    .apply_motion(*id, *velocity)
+                    .map(|()| (*id, UpdateKind::Motion)),
+                UpdateOp::Position { id, update } => self
+                    .apply_position(*id, *update)
+                    .map(|()| (*id, UpdateKind::Motion)),
+                UpdateOp::Static { id, attr, value } => self
+                    .apply_static(*id, attr, value.clone())
+                    .map(|()| (*id, UpdateKind::Attr(attr.clone()))),
+                UpdateOp::DynamicScalar { id, attr, value, function } => self
+                    .apply_dynamic_scalar(*id, attr, *value, *function)
+                    .map(|()| (*id, UpdateKind::Attr(attr.clone()))),
+            };
+            match changed {
+                Ok(change) => applied.push(change),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let refreshed = self.after_updates(&applied);
+        match first_err {
+            Some(e) => Err(e),
+            None => refreshed,
+        }
+    }
+
+    /// Motion-vector mutation without the refresh hook.
+    fn apply_motion(&mut self, id: u64, velocity: Velocity) -> CoreResult<()> {
         let now = self.clock;
         let obj = self.objects.get_mut(&id).ok_or(CoreError::UnknownObject(id))?;
         let position = obj
@@ -331,12 +498,11 @@ impl Database {
         if let Some(ix) = &mut self.spatial_index {
             ix.index.update(id, now - ix.epoch, position, velocity);
         }
-        self.after_update(id)
+        Ok(())
     }
 
-    /// Explicitly sets both position and motion vector (a full sensor
-    /// report).
-    pub fn update_position(&mut self, id: u64, update: MotionUpdate) -> CoreResult<()> {
+    /// Position-report mutation without the refresh hook.
+    fn apply_position(&mut self, id: u64, update: MotionUpdate) -> CoreResult<()> {
         let now = self.clock;
         let obj = self.objects.get_mut(&id).ok_or(CoreError::UnknownObject(id))?;
         if obj.trajectory().is_none() {
@@ -350,11 +516,11 @@ impl Database {
             ix.index
                 .update(id, now - ix.epoch, update.position, update.velocity);
         }
-        self.after_update(id)
+        Ok(())
     }
 
-    /// Sets a static attribute.
-    pub fn set_static(&mut self, id: u64, name: &str, value: Value) -> CoreResult<()> {
+    /// Static-attribute mutation without the refresh hook.
+    fn apply_static(&mut self, id: u64, name: &str, value: Value) -> CoreResult<()> {
         let now = self.clock;
         let obj = self.objects.get_mut(&id).ok_or(CoreError::UnknownObject(id))?;
         let class = self
@@ -368,12 +534,11 @@ impl Database {
             });
         }
         obj.set_static(now, name, value);
-        self.after_update(id)
+        Ok(())
     }
 
-    /// Sets / updates a scalar dynamic attribute (e.g. FUEL): either
-    /// sub-attribute may be changed, per Section 2.1.
-    pub fn set_dynamic_scalar(
+    /// Dynamic-attribute mutation without the refresh hook.
+    fn apply_dynamic_scalar(
         &mut self,
         id: u64,
         name: &str,
@@ -393,33 +558,79 @@ impl Database {
             });
         }
         obj.set_dynamic(now, name, value, function);
-        self.after_update(id)
+        Ok(())
     }
 
-    /// Refresh hook run after every explicit update: continuous queries are
-    /// the materialized views that may now be stale (Section 2.3).
-    /// `changed` names the updated/inserted/removed object so the
-    /// incremental mode can restrict re-evaluation to it.
-    fn after_update(&mut self, changed: u64) -> CoreResult<()> {
-        self.stats.updates += 1;
+    /// Refresh hook run after every explicit update batch: continuous
+    /// queries are the materialized views that may now be stale
+    /// (Section 2.3).  Each change names the updated/inserted/removed
+    /// object and the [`UpdateKind`] the dependency filter tests.
+    ///
+    /// The pass runs in three steps: (1) dependency filtering — queries
+    /// whose [`DepSet`](crate::deps::DepSet) no change can affect are
+    /// skipped outright (`skipped_refreshes`); (2) evaluation — the
+    /// remaining queries re-evaluate, sharded over
+    /// [`Database::refresh_workers`] threads in [`RefreshMode::Full`];
+    /// (3) merge — answers merge serially at the clock-tick boundary.
+    fn after_updates(&mut self, changes: &[(u64, UpdateKind)]) -> CoreResult<()> {
+        self.stats.updates += changes.len() as u64;
+        if changes.is_empty() || self.continuous.is_empty() {
+            return Ok(());
+        }
         let boundary = self.clock;
+        // Step 1: dependency filtering.
+        let mut to_refresh: Vec<(u64, Query)> = Vec::new();
         for id in self.continuous.ids() {
-            let query = self
-                .continuous
-                .get(id)
-                .expect("id from ids() snapshot")
-                .query
-                .clone();
-            let incremental = self.refresh_mode == RefreshMode::Incremental
-                && !formula_mentions_fixed_objects(&query.formula);
-            if incremental {
-                let fresh = self.evaluate_pinned(&query, changed)?;
-                self.continuous
-                    .refresh_incremental(id, boundary, &Value::Id(changed), fresh);
+            let relevant = {
+                let entry = self.continuous.get(id).expect("id from ids() snapshot");
+                !self.refresh_filtering
+                    || changes.iter().any(|(_, kind)| entry.deps.affected_by(kind))
+            };
+            if relevant {
+                let query = self
+                    .continuous
+                    .get(id)
+                    .expect("id from ids() snapshot")
+                    .query
+                    .clone();
+                to_refresh.push((id, query));
             } else {
-                let fresh = self.evaluate_global(&query)?;
-                self.continuous.refresh(id, boundary, fresh);
+                self.continuous.note_skipped(id);
             }
+        }
+        // Step 2/3 for the incremental mode: per changed object, restricted
+        // re-evaluation against the final batch state (each pinned
+        // evaluation sees all mutations, so the per-object merges commute).
+        let mut full: Vec<(u64, Query)> = Vec::new();
+        for (id, query) in to_refresh {
+            if self.refresh_mode == RefreshMode::Incremental
+                && !formula_mentions_fixed_objects(&query.formula)
+            {
+                let mut ids: Vec<u64> = changes.iter().map(|(oid, _)| *oid).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                for oid in ids {
+                    let start = std::time::Instant::now();
+                    let fresh = self.evaluate_pinned(&query, oid)?;
+                    let nanos = start.elapsed().as_nanos() as u64;
+                    self.continuous
+                        .refresh_incremental(id, boundary, &Value::Id(oid), fresh, nanos);
+                }
+            } else {
+                full.push((id, query));
+            }
+        }
+        // Step 2/3 for full refreshes: evaluate (possibly in parallel),
+        // then merge serially.
+        let results = crate::refresh::evaluate_refresh_set(
+            self,
+            &full,
+            self.refresh_workers,
+            self.eval_workers,
+        );
+        for (id, result, nanos) in results {
+            let fresh = result?;
+            self.continuous.refresh(id, boundary, fresh, nanos);
         }
         Ok(())
     }
@@ -489,7 +700,14 @@ impl Database {
     /// Evaluates a query on the implicit future history starting now and
     /// returns the answer in **global** clock ticks.
     fn evaluate_global(&self, q: &Query) -> CoreResult<Answer> {
-        let ctx = self.current_context();
+        self.evaluate_global_with(q, self.eval_workers)
+    }
+
+    /// [`Database::evaluate_global`] with an explicit per-evaluation worker
+    /// count — the refresh engine passes 1 when it already shards across
+    /// queries, to avoid nested thread pools.
+    pub(crate) fn evaluate_global_with(&self, q: &Query, eval_workers: usize) -> CoreResult<Answer> {
+        let ctx = self.current_context().with_eval_workers(eval_workers);
         let local = evaluate_query(&ctx, q)?;
         Ok(shift_answer(local, self.clock))
     }
@@ -563,6 +781,21 @@ impl Database {
     /// Incremental (per-object) refreshes performed so far.
     pub fn incremental_refreshes(&self) -> u64 {
         self.continuous.incremental_refreshes
+    }
+
+    /// Refreshes skipped by dependency-set filtering so far.
+    pub fn skipped_refreshes(&self) -> u64 {
+        self.continuous.skipped_refreshes
+    }
+
+    /// Refresh evaluations that ran but did not change any answer.
+    pub fn noop_refreshes(&self) -> u64 {
+        self.continuous.noop_refreshes
+    }
+
+    /// Read access to the continuous registry (per-entry refresh stats).
+    pub fn continuous_registry(&self) -> &ContinuousRegistry {
+        &self.continuous
     }
 
     // ------------------------------------------------------------------

@@ -26,17 +26,20 @@
 pub mod class;
 pub mod continuous;
 pub mod database;
+pub mod deps;
 pub mod dynamic;
 pub mod error;
 pub mod object;
 pub mod persistent;
+mod refresh;
 pub mod rewrite;
 pub mod shared;
 pub mod snapshot;
 pub mod trigger;
 
 pub use class::ClassDef;
-pub use database::{Database, MotionUpdate, RefreshMode};
+pub use database::{Database, MotionUpdate, RefreshMode, UpdateOp};
+pub use deps::{DepSet, UpdateKind};
 pub use dynamic::{AttrFunction, DynamicAttribute};
 pub use error::{CoreError, CoreResult};
 pub use object::MovingObject;

@@ -1,0 +1,122 @@
+//! Parallel refresh evaluation for the continuous-query engine.
+//!
+//! After dependency filtering (`Database::after_updates`), the queries
+//! that must re-evaluate are independent of one another: each reads the
+//! database immutably and produces a fresh [`Answer`].  This module fans
+//! that evaluation work across [`std::thread::scope`] workers; merging
+//! back into the registry stays serial in the caller (it mutates shared
+//! state and is cheap compared to evaluation).
+//!
+//! Worker shards evaluate their queries with `eval_workers = 1`: the two
+//! parallelism levels (across queries here, across candidate objects in
+//! `most_ftl::eval`) are never nested, so the thread count stays bounded
+//! by whichever level is active.
+
+use crate::database::Database;
+use crate::error::CoreResult;
+use most_ftl::answer::Answer;
+use most_ftl::Query;
+
+/// Re-evaluates every query in `queries` against the current database
+/// state, using up to `workers` threads.  Returns, per query, its id, the
+/// evaluation result, and the evaluation's wall-clock cost in
+/// nanoseconds.  Result order matches input order regardless of worker
+/// count, so the caller's serial merge is deterministic.
+pub(crate) fn evaluate_refresh_set(
+    db: &Database,
+    queries: &[(u64, Query)],
+    workers: usize,
+    eval_workers: usize,
+) -> Vec<(u64, CoreResult<Answer>, u64)> {
+    let workers = workers.max(1).min(queries.len().max(1));
+    if workers <= 1 {
+        return queries
+            .iter()
+            .map(|(id, q)| {
+                let (result, nanos) = timed_eval(db, q, eval_workers);
+                (*id, result, nanos)
+            })
+            .collect();
+    }
+    let chunk = queries.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(queries.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .iter()
+                        .map(|(id, q)| {
+                            let (result, nanos) = timed_eval(db, q, 1);
+                            (*id, result, nanos)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("refresh worker panicked"));
+        }
+    });
+    out
+}
+
+fn timed_eval(db: &Database, q: &Query, eval_workers: usize) -> (CoreResult<Answer>, u64) {
+    let start = std::time::Instant::now();
+    let result = db.evaluate_global_with(q, eval_workers);
+    (result, start.elapsed().as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use most_spatial::{Point, Polygon, Velocity};
+
+    fn db_with_cars(n: u64) -> Database {
+        let mut db = Database::new(300);
+        for i in 0..n {
+            db.insert_moving_object(
+                "cars",
+                Point::new(i as f64 * 5.0, 0.0),
+                Velocity::new(1.0, 0.0),
+            );
+        }
+        db.add_region("P", Polygon::rectangle(100.0, -10.0, 150.0, 10.0));
+        db
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let db = db_with_cars(40);
+        let queries: Vec<(u64, Query)> = (0..8)
+            .map(|i| {
+                let q = if i % 2 == 0 {
+                    Query::parse("RETRIEVE o WHERE Eventually within 200 INSIDE(o, P)")
+                } else {
+                    Query::parse("RETRIEVE o WHERE OUTSIDE(o, P)")
+                };
+                (i, q.unwrap())
+            })
+            .collect();
+        let serial = evaluate_refresh_set(&db, &queries, 1, 1);
+        for workers in [2, 4, 8, 16] {
+            let parallel = evaluate_refresh_set(&db, &queries, workers, 1);
+            assert_eq!(parallel.len(), serial.len());
+            for ((sid, sres, _), (pid, pres, _)) in serial.iter().zip(&parallel) {
+                assert_eq!(sid, pid, "result order must match input order");
+                assert_eq!(
+                    sres.as_ref().unwrap(),
+                    pres.as_ref().unwrap(),
+                    "answers must not depend on worker count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_is_fine() {
+        let db = db_with_cars(1);
+        assert!(evaluate_refresh_set(&db, &[], 4, 1).is_empty());
+    }
+}

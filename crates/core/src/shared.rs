@@ -11,7 +11,7 @@
 //! [`Database::instantaneous_readonly`], which does not bump the stats
 //! counter — so readers never contend with each other.
 
-use crate::database::Database;
+use crate::database::{Database, UpdateOp};
 use crate::error::CoreResult;
 use most_dbms::value::Value;
 use most_ftl::answer::Answer;
@@ -73,6 +73,15 @@ impl SharedDatabase {
     /// queries as usual).
     pub fn update_motion(&self, id: u64, velocity: Velocity) -> CoreResult<()> {
         self.inner.write().expect("database lock poisoned").update_motion(id, velocity)
+    }
+
+    /// Applies a whole batch of updates under **one** write-lock
+    /// acquisition and one continuous-query refresh pass
+    /// ([`Database::apply_updates`]).  With per-update calls, a batch of
+    /// `n` sensor reports costs `n` lock round-trips and `n` refresh
+    /// sweeps; here it costs one of each.
+    pub fn apply_updates(&self, ops: &[UpdateOp]) -> CoreResult<()> {
+        self.inner.write().expect("database lock poisoned").apply_updates(ops)
     }
 }
 
@@ -142,6 +151,48 @@ mod tests {
             d.add_region("Q", Polygon::rectangle(0.0, 0.0, 1.0, 1.0));
         });
         assert!(other.read(|d| d.region("Q").is_some()));
+    }
+
+    #[test]
+    fn batched_updates_take_one_refresh_pass() {
+        let (db, car) = shared();
+        let q = Query::parse("RETRIEVE o WHERE Eventually within 500 INSIDE(o, P)").unwrap();
+        let cq = db.write(|d| d.register_continuous(q)).unwrap();
+        let baseline = db.read(|d| d.continuous_evaluations());
+        db.apply_updates(&[
+            UpdateOp::Motion { id: car, velocity: Velocity::new(2.0, 0.0) },
+            UpdateOp::Motion { id: car, velocity: Velocity::new(3.0, 0.0) },
+            UpdateOp::Static { id: car, attr: "PRICE".into(), value: Value::from(9.0) },
+        ])
+        .unwrap();
+        db.read(|d| {
+            // One refresh pass for the whole batch: at most one evaluation
+            // (answer-changing or not) on top of the baseline.
+            assert!(d.continuous_evaluations() + d.noop_refreshes() <= baseline + 1);
+            assert_eq!(d.stats.updates, 3);
+            // The final velocity is the last one in the batch.
+            let now = d.now();
+            assert_eq!(d.object(car).unwrap().velocity_at(now), Some(Velocity::new(3.0, 0.0)));
+        });
+        let _ = cq;
+    }
+
+    #[test]
+    fn batched_updates_stop_at_first_error() {
+        let (db, car) = shared();
+        let err = db
+            .apply_updates(&[
+                UpdateOp::Motion { id: car, velocity: Velocity::zero() },
+                UpdateOp::Motion { id: 999, velocity: Velocity::zero() },
+                UpdateOp::Motion { id: car, velocity: Velocity::new(5.0, 5.0) },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, crate::error::CoreError::UnknownObject(999)));
+        db.read(|d| {
+            // The first op applied; the one after the failure did not.
+            assert_eq!(d.object(car).unwrap().velocity_at(d.now()), Some(Velocity::zero()));
+            assert_eq!(d.stats.updates, 1);
+        });
     }
 
     #[test]

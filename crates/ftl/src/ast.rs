@@ -126,6 +126,19 @@ impl Term {
         }
     }
 
+    /// Pre-order walk over the term and every subterm.
+    pub fn visit(&self, f: &mut impl FnMut(&Term)) {
+        f(self);
+        match self {
+            Term::Var(_) | Term::Const(_) | Term::Time | Term::Point(..) => {}
+            Term::Attr(b, _) => b.visit(f),
+            Term::Dist(a, b) | Term::Arith(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+        }
+    }
+
     /// Returns the term with variable `x` replaced by a constant.
     pub fn pin(&self, x: &str, v: &Value) -> Term {
         match self {
@@ -265,6 +278,63 @@ impl Formula {
                 bound.pop();
             }
         }
+    }
+
+    /// Pre-order walk over the formula and every subformula (terms are not
+    /// descended into — pair with [`Formula::visit_terms`] /
+    /// [`Term::visit`] for that).  This is the visitor that static analyses
+    /// such as `most-core`'s dependency-set extraction are built on.
+    pub fn visit(&self, f: &mut impl FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::Bool(_)
+            | Formula::Cmp(..)
+            | Formula::Inside(..)
+            | Formula::Outside(..)
+            | Formula::InsideMoving(..)
+            | Formula::OutsideMoving(..)
+            | Formula::WithinSphere(..) => {}
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Until(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::UntilWithin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Not(a)
+            | Formula::Nexttime(a)
+            | Formula::Eventually(a)
+            | Formula::Always(a)
+            | Formula::EventuallyWithin(_, a)
+            | Formula::EventuallyAfter(_, a)
+            | Formula::AlwaysFor(_, a) => a.visit(f),
+            Formula::Assign(_, _, body) => body.visit(f),
+        }
+    }
+
+    /// Calls `f` once for every top-level term of every atom in the
+    /// formula (including assignment source terms).  Use [`Term::visit`] on
+    /// each to reach subterms.
+    pub fn visit_terms(&self, f: &mut impl FnMut(&Term)) {
+        self.visit(&mut |g| match g {
+            Formula::Cmp(_, a, b) => {
+                f(a);
+                f(b);
+            }
+            Formula::Inside(t, _) | Formula::Outside(t, _) => f(t),
+            Formula::InsideMoving(t, _, a) | Formula::OutsideMoving(t, _, a) => {
+                f(t);
+                f(a);
+            }
+            Formula::WithinSphere(_, ts) => {
+                for t in ts {
+                    f(t);
+                }
+            }
+            Formula::Assign(_, term, _) => f(term),
+            _ => {}
+        });
     }
 
     /// Whether the formula is conjunctive (no negation / disjunction) — the

@@ -53,9 +53,9 @@ pub fn evaluate_query(ctx: &dyn EvalContext, q: &Query) -> FtlResult<Answer> {
     };
     let projected = rel.expand(&q.targets, domain)?;
     let tuples = projected
-        .rows()
-        .iter()
-        .map(|(vals, set)| AnswerTuple { values: vals.clone(), intervals: set.clone() })
+        .into_rows()
+        .into_iter()
+        .map(|(values, intervals)| AnswerTuple { values, intervals })
         .collect();
     Ok(Answer::new(q.targets.clone(), tuples))
 }
@@ -469,65 +469,132 @@ fn atom_object_vars(terms: &[&Term], obj_vars: &BTreeSet<String>) -> Vec<String>
     out
 }
 
+/// Candidate count below which the single-variable loop stays serial even
+/// when the context offers workers (thread spawn would dominate).
+const PARALLEL_MIN_CANDIDATES: usize = 16;
+
 /// [`atom_relation`] with an explicit candidate id set (index pruning).
 fn atom_relation_over(
     ctx: &dyn EvalContext,
     vars: &[String],
     ids: &[u64],
-    eval_one: impl Fn(&Env) -> FtlResult<IntervalSet>,
+    eval_one: impl Fn(&Env) -> FtlResult<IntervalSet> + Sync,
 ) -> FtlResult<VarRelation> {
-    let _ = ctx;
-    let mut rows = Vec::new();
-    for &id in ids {
-        let mut env = Env::new();
-        if let Some(name) = vars.first() {
-            env.bind(name.clone(), Value::Id(id));
+    match vars.first() {
+        Some(var) => {
+            let rows = single_var_rows(var, ids, ctx.eval_workers(), &eval_one)?;
+            Ok(VarRelation::new(vars.to_vec(), rows))
         }
-        let set = eval_one(&env)?;
-        if !set.is_empty() {
-            rows.push((vec![Value::Id(id)], set));
+        None => {
+            let set = eval_one(&Env::new())?;
+            Ok(VarRelation::nullary(set))
         }
     }
-    Ok(VarRelation::new(vars.to_vec(), rows))
 }
 
 /// Builds an atom's relation by enumerating instantiations of its object
-/// variables over the active domain.
+/// variables over the active domain.  Each binding is evaluated
+/// independently of every other (the atom routines read only the
+/// environment and the context), which both removes per-binding allocation
+/// churn — one reused [`Env`], rows built in place — and lets the
+/// single-variable case shard candidate objects over scoped worker threads
+/// when [`EvalContext::eval_workers`] allows.
 fn atom_relation(
     ctx: &dyn EvalContext,
     vars: &[String],
-    eval_one: impl Fn(&Env) -> FtlResult<IntervalSet>,
+    eval_one: impl Fn(&Env) -> FtlResult<IntervalSet> + Sync,
 ) -> FtlResult<VarRelation> {
     let ids = ctx.object_ids();
-    let mut rows = Vec::new();
-    let mut inst: Vec<Value> = Vec::with_capacity(vars.len());
-    fn rec(
-        ids: &[u64],
-        vars: &[String],
-        inst: &mut Vec<Value>,
-        rows: &mut Vec<(Vec<Value>, IntervalSet)>,
-        eval_one: &impl Fn(&Env) -> FtlResult<IntervalSet>,
-    ) -> FtlResult<()> {
-        if inst.len() == vars.len() {
-            let mut env = Env::new();
-            for (name, v) in vars.iter().zip(inst.iter()) {
-                env.bind(name.clone(), v.clone());
+    match vars.len() {
+        0 => {
+            let set = eval_one(&Env::new())?;
+            Ok(VarRelation::nullary(set))
+        }
+        1 => {
+            let rows = single_var_rows(&vars[0], &ids, ctx.eval_workers(), &eval_one)?;
+            Ok(VarRelation::new(vars.to_vec(), rows))
+        }
+        k => {
+            // Odometer over the k-fold product of the domain, last variable
+            // fastest (the same lexicographic order the old recursion
+            // produced).  One Env is rebound in place per instantiation.
+            let mut rows = Vec::new();
+            if ids.is_empty() {
+                return Ok(VarRelation::new(vars.to_vec(), rows));
             }
+            let mut idx = vec![0usize; k];
+            let mut env = Env::new();
+            loop {
+                for (name, &i) in vars.iter().zip(idx.iter()) {
+                    env.set(name, Value::Id(ids[i]));
+                }
+                let set = eval_one(&env)?;
+                if !set.is_empty() {
+                    rows.push((idx.iter().map(|&i| Value::Id(ids[i])).collect(), set));
+                }
+                let mut d = k;
+                loop {
+                    if d == 0 {
+                        return Ok(VarRelation::new(vars.to_vec(), rows));
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < ids.len() {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+        }
+    }
+}
+
+/// The single-variable candidate loop: one row per object with a non-empty
+/// interval set.  With `workers > 1` and enough candidates, contiguous id
+/// shards evaluate on scoped threads — disjoint objects never share state,
+/// so the shards are independent and the concatenation (re-sorted by
+/// [`VarRelation::new`]) is identical to the serial result.
+type Rows = Vec<(Vec<Value>, IntervalSet)>;
+
+fn single_var_rows(
+    var: &str,
+    ids: &[u64],
+    workers: usize,
+    eval_one: &(impl Fn(&Env) -> FtlResult<IntervalSet> + Sync),
+) -> FtlResult<Rows> {
+    let serial = |shard: &[u64]| -> FtlResult<Rows> {
+        let mut env = Env::new();
+        let mut rows = Vec::new();
+        for &id in shard {
+            env.set(var, Value::Id(id));
             let set = eval_one(&env)?;
             if !set.is_empty() {
-                rows.push((inst.clone(), set));
+                rows.push((vec![Value::Id(id)], set));
             }
-            return Ok(());
         }
-        for &id in ids {
-            inst.push(Value::Id(id));
-            rec(ids, vars, inst, rows, eval_one)?;
-            inst.pop();
-        }
-        Ok(())
+        Ok(rows)
+    };
+    let workers = workers.max(1).min(ids.len());
+    if workers <= 1 || ids.len() < PARALLEL_MIN_CANDIDATES {
+        return serial(ids);
     }
-    rec(&ids, vars, &mut inst, &mut rows, &eval_one)?;
-    Ok(VarRelation::new(vars.to_vec(), rows))
+    let chunk = ids.len().div_ceil(workers);
+    let results: Vec<FtlResult<Rows>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .map(|shard| s.spawn(move || serial(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("atom worker panicked"))
+                .collect()
+        });
+    let mut rows = Vec::new();
+    for r in results {
+        rows.extend(r?);
+    }
+    Ok(rows)
 }
 
 /// Resolves a point term (object variable / POINT literal) to its motion.

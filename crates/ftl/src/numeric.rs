@@ -74,6 +74,16 @@ pub enum TermForm {
     Values(Vec<(Interval, Value)>),
 }
 
+/// Whether `name` is one of the motion sub-attributes (`X`, `Y`, `VX`,
+/// `VY`, `SPEED`) that the evaluator reads from an object's trajectory
+/// rather than from a stored static/dynamic attribute.  Dependency
+/// analysis (`most-core`'s `deps` module) classifies `o.NAME` terms with
+/// this predicate: motion names depend on position updates, every other
+/// name on attribute updates of that name.
+pub fn is_motion_attr(name: &str) -> bool {
+    matches!(name, "X" | "Y" | "VX" | "VY" | "SPEED")
+}
+
 /// Builds the [`TermForm`] of `term` under `env` (object variables bound to
 /// ids; assignment-bound variables already pinned to constants).
 pub fn build_form(ctx: &dyn EvalContext, env: &Env, term: &Term) -> FtlResult<TermForm> {
@@ -125,7 +135,7 @@ fn build_attr_form(
     h: Horizon,
 ) -> FtlResult<TermForm> {
     match attr {
-        "X" | "Y" | "VX" | "VY" | "SPEED" => {
+        _ if is_motion_attr(attr) => {
             let Some(traj) = ctx.trajectory(id) else {
                 return Ok(TermForm::Invariant(Value::Null));
             };

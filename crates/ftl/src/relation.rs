@@ -71,6 +71,14 @@ impl VarRelation {
         &self.rows
     }
 
+    /// Consumes the relation, returning its rows.  Callers that turn the
+    /// final projection into an [`Answer`](crate::answer::Answer) take
+    /// ownership here instead of cloning every value vector and interval
+    /// set out of the evaluation map.
+    pub fn into_rows(self) -> Vec<(Vec<Value>, IntervalSet)> {
+        self.rows
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()

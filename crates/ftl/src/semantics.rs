@@ -40,6 +40,20 @@ impl Env {
         self.bindings.insert(var.into(), value)
     }
 
+    /// Rebinds `var` in place, reusing the existing key allocation when the
+    /// variable is already bound.  The atom evaluator rebinds the same
+    /// handful of variables once per candidate object, so avoiding a fresh
+    /// `String` per binding removes the dominant allocation of the
+    /// enumeration loop.
+    pub fn set(&mut self, var: &str, value: Value) {
+        match self.bindings.get_mut(var) {
+            Some(slot) => *slot = value,
+            None => {
+                self.bindings.insert(var.to_owned(), value);
+            }
+        }
+    }
+
     /// Restores `var` to `previous` (or unbinds when `None`).
     pub fn restore(&mut self, var: &str, previous: Option<Value>) {
         match previous {

@@ -3,7 +3,7 @@
 //! always serves the same display a fresh evaluation would — and never
 //! rewrites history it has already served.
 
-use most_testkit::check::{ints, one_of, tuple2, tuple3, vecs, Check, Gen};
+use most_testkit::check::{ints, one_of, tuple2, tuple3, tuple4, vecs, Check, Gen};
 use moving_objects::core::Database;
 use moving_objects::dbms::value::Value;
 use moving_objects::ftl::Query;
@@ -145,4 +145,90 @@ fn incremental_refresh_equals_full_refresh() {
                 assert_eq!(full, incremental, "query {q_src}");
             }
         });
+}
+
+// ---------------------------------------------------------------------
+// Merge idempotence (ISSUE 2 satellite): re-applying the same refresh
+// result at the same boundary must be a no-op — the property behind the
+// registry's "byte-identical answer ⇒ noop_refreshes" accounting.
+// ---------------------------------------------------------------------
+
+mod merge_props {
+    use super::*;
+    use moving_objects::core::continuous::{merge_answers, merge_incremental};
+    use moving_objects::ftl::answer::{Answer, AnswerTuple};
+    use moving_objects::temporal::{Interval, IntervalSet};
+    use std::collections::BTreeMap;
+
+    /// Random single-variable answers over ids 1..=5 (duplicate ids fold
+    /// into one row via interval-set union, as real answers are keyed).
+    fn arb_answer() -> Gen<Answer> {
+        vecs(
+            tuple2(ints(1..6u64), vecs(tuple2(ints(0..60u64), ints(0..15u64)), 0..4)),
+            0..5,
+        )
+        .map(|rows| {
+            let mut by_id: BTreeMap<u64, IntervalSet> = BTreeMap::new();
+            for (id, spans) in rows {
+                let set = IntervalSet::from_intervals(
+                    spans.into_iter().map(|(s, len)| Interval::new(s, s + len)),
+                );
+                let slot = by_id.entry(id).or_insert_with(IntervalSet::empty);
+                *slot = slot.union(&set);
+            }
+            Answer::new(
+                vec!["o".to_owned()],
+                by_id
+                    .into_iter()
+                    .map(|(id, intervals)| AnswerTuple { values: vec![Value::Id(id)], intervals })
+                    .collect(),
+            )
+        })
+    }
+
+    #[test]
+    fn merge_answers_is_idempotent_at_the_same_boundary() {
+        Check::new("continuous::merge_answers_is_idempotent_at_the_same_boundary")
+            .cases(64)
+            .run(
+                &tuple3(arb_answer(), arb_answer(), ints(0..70u64)),
+                |(old, new, boundary)| {
+                    let merged = merge_answers(old, new, *boundary);
+                    let again = merge_answers(&merged, new, *boundary);
+                    assert_eq!(again, merged, "boundary {boundary}");
+                },
+            );
+    }
+
+    #[test]
+    fn merge_incremental_is_idempotent_at_the_same_boundary() {
+        // A per-object refresh result only ever binds the changed object
+        // (merge_incremental's contract), so `fresh` is generated as the
+        // changed id's row alone — possibly empty (object left the answer).
+        Check::new("continuous::merge_incremental_is_idempotent_at_the_same_boundary")
+            .cases(64)
+            .run(
+                &tuple4(
+                    arb_answer(),
+                    ints(1..6u64),
+                    vecs(tuple2(ints(0..60u64), ints(0..15u64)), 0..4),
+                    ints(0..70u64),
+                ),
+                |(old, changed_id, fresh_spans, boundary)| {
+                    let changed = Value::Id(*changed_id);
+                    let fresh = Answer::new(
+                        vec!["o".to_owned()],
+                        vec![AnswerTuple {
+                            values: vec![changed.clone()],
+                            intervals: IntervalSet::from_intervals(
+                                fresh_spans.iter().map(|&(s, len)| Interval::new(s, s + len)),
+                            ),
+                        }],
+                    );
+                    let merged = merge_incremental(old, *boundary, &changed, &fresh);
+                    let again = merge_incremental(&merged, *boundary, &changed, &fresh);
+                    assert_eq!(again, merged, "boundary {boundary}");
+                },
+            );
+    }
 }
