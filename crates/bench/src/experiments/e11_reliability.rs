@@ -1,0 +1,228 @@
+//! E11 — reliability under injected faults: raw vs reliable transport.
+//!
+//! Section 5.2's delivery discussion assumes messages either arrive after
+//! a fixed latency or are lost to disconnection; real wireless links also
+//! lose, duplicate and reorder packets while both ends are "connected".
+//! This experiment injects seeded probabilistic loss (a [`FaultPlan`]) into
+//! the two distributed pipelines — delayed `Answer(CQ)` delivery to a
+//! moving client, and one-shot query-shipped object queries — and measures
+//! what the reliable transport (acks + retransmission + store-and-forward)
+//! buys back, and at what traffic overhead.
+
+use crate::table::fmt_f64;
+use crate::{Scale, Table};
+use most_mobile::strategy::{object_query_over, ObjectPredicate, Shipping};
+use most_mobile::transmission::{delayed_over, AnswerRow};
+use most_mobile::{FaultPlan, FleetSim, Network, RetryPolicy, Transport};
+use most_spatial::Point;
+use most_temporal::Interval;
+use most_testkit::rng::Rng;
+use most_workload::cars::CarScenario;
+
+const SERVER: u64 = 100;
+const CLIENT: u64 = 200;
+
+/// A fast retry policy (short backoff, never abandons) so retransmissions
+/// complete within the scoring horizon.
+fn policy() -> RetryPolicy {
+    RetryPolicy { base_backoff: 2, max_backoff: 8, ..RetryPolicy::unbounded() }
+}
+
+fn random_answer(n: usize, horizon: u64, rng: &mut Rng) -> Vec<AnswerRow> {
+    (0..n as u64)
+        .map(|id| {
+            let b = rng.random_range(0..horizon - 20);
+            let len = rng.random_range(5u64..60).min(horizon - b);
+            (id, Interval::new(b, b + len))
+        })
+        .collect()
+}
+
+/// A network with the experiment's fixed client offline windows, plus a
+/// seeded loss plan when `loss > 0`.
+fn delivery_net(horizon: u64, loss: f64) -> Network {
+    let mut net = Network::new(1);
+    // Two fixed disconnection windows: delayed-mode tuples whose begin
+    // falls inside are lost raw but stored-and-forwarded reliably.
+    net.add_offline_window(CLIENT, horizon / 4, horizon / 4 + 30);
+    net.add_offline_window(CLIENT, horizon / 2, horizon / 2 + 25);
+    if loss > 0.0 {
+        net.set_faults(FaultPlan::new(11).with_loss(loss));
+    }
+    net
+}
+
+fn fleet(n: usize, horizon: u64, seed: u64) -> FleetSim {
+    let scenario = CarScenario {
+        count: n,
+        area: 400.0,
+        speed: (0.5, 2.0),
+        mean_update_gap: 1e18,
+        horizon,
+        seed,
+    };
+    let mut sim = FleetSim::new();
+    sim.add_node(0, Point::origin(), most_spatial::Velocity::zero(), 0.0, vec![]);
+    for (i, p) in scenario.generate().into_iter().enumerate() {
+        sim.add_node(i as u64 + 1, p.start, p.velocity, p.price, p.updates);
+    }
+    sim
+}
+
+/// Loss sweep × transport for both pipelines; in-run assertions double as
+/// the CI smoke gate (`experiments -- e11 --quick`).
+pub fn run(scale: Scale) -> Table {
+    let horizon = scale.pick(300u64, 600u64);
+    let tuples = scale.pick(30usize, 120usize);
+    let nodes = scale.pick(20usize, 60usize);
+    let until = horizon + 120; // slack so retransmissions can land
+    let mut table = Table::new(
+        "E11",
+        "fault injection: raw vs reliable transport (loss sweep)",
+        &[
+            "scenario",
+            "loss",
+            "transport",
+            "messages",
+            "bytes",
+            "undelivered",
+            "display-error ticks",
+            "retransmissions",
+        ],
+    );
+
+    // Part 1: delayed Answer(CQ) delivery to a moving client.
+    let mut rng = Rng::seed_from_u64(17);
+    let answer = random_answer(tuples, horizon, &mut rng);
+    for loss in [0.0, 0.1, 0.3] {
+        let mut raw = None;
+        for transport in [Transport::Raw, Transport::Reliable(policy())] {
+            let mut net = delivery_net(horizon, loss);
+            let r = delayed_over(&mut net, transport, SERVER, CLIENT, &answer, &answer, 0, until);
+            let label = match transport {
+                Transport::Raw => "raw",
+                Transport::Reliable(_) => "reliable",
+            };
+            table.row(vec![
+                "Answer(CQ) delayed".into(),
+                fmt_f64(loss),
+                label.into(),
+                r.messages.to_string(),
+                r.bytes.to_string(),
+                r.lost.to_string(),
+                r.display_error_ticks.to_string(),
+                r.retransmissions.to_string(),
+            ]);
+            match transport {
+                Transport::Raw => {
+                    if loss >= 0.1 {
+                        assert!(r.lost > 0, "raw at {loss} loss must drop tuples");
+                        assert!(r.display_error_ticks > 0, "raw at {loss} loss must err");
+                    }
+                    raw = Some(r);
+                }
+                Transport::Reliable(_) => {
+                    let raw = raw.as_ref().expect("raw ran first");
+                    assert_eq!(r.lost, 0, "reliable delivery must be lossless");
+                    assert!(
+                        r.display_error_ticks <= raw.display_error_ticks,
+                        "reliable must not err more than raw"
+                    );
+                    if loss == 0.1 {
+                        assert!(
+                            r.bytes <= 3 * raw.bytes,
+                            "reliability overhead {} > 3x raw {} at 10% loss",
+                            r.bytes,
+                            raw.bytes
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Part 2: one-shot query shipping over a lossy network, with explicit
+    // partial-answer completeness.
+    let sim = fleet(nodes, horizon, 1);
+    let pred = ObjectPredicate::ReachesPointWithin {
+        target: Point::origin(),
+        radius: 50.0,
+        within: horizon,
+    };
+    for loss in [0.0, 0.1, 0.3] {
+        for transport in [Transport::Raw, Transport::Reliable(policy())] {
+            let mut net = Network::new(1);
+            if loss > 0.0 {
+                net.set_faults(FaultPlan::new(7).with_loss(loss));
+            }
+            let before = net.stats;
+            let o = object_query_over(&sim, &mut net, 0, &pred, Shipping::Query, transport, 150);
+            let label = match transport {
+                Transport::Raw => "raw",
+                Transport::Reliable(_) => "reliable",
+            };
+            table.row(vec![
+                "object query (QS)".into(),
+                fmt_f64(loss),
+                label.into(),
+                (net.stats.messages - before.messages).to_string(),
+                (net.stats.bytes - before.bytes).to_string(),
+                o.missing.len().to_string(),
+                "-".into(),
+                o.retransmissions.to_string(),
+            ]);
+            match transport {
+                Transport::Raw => {
+                    if loss >= 0.3 {
+                        assert!(!o.complete, "raw at {loss} loss must be incomplete");
+                    }
+                }
+                Transport::Reliable(_) => {
+                    assert!(o.complete, "reliable query must complete at {loss} loss");
+                }
+            }
+        }
+    }
+
+    table.note(
+        "Claimed shape: raw transport at >=10% loss drops answer tuples (nonzero \
+         display error) and leaves object queries incomplete at 30% loss; the \
+         reliable transport delivers everything (undelivered = 0, queries \
+         complete) at the cost of retransmissions and acks, staying within 3x \
+         raw bytes at 10% loss.",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivery_rows(t: &Table) -> Vec<usize> {
+        (0..t.rows.len()).filter(|&r| t.cell(r, "scenario") == Some("Answer(CQ) delayed")).collect()
+    }
+
+    #[test]
+    fn reliable_rows_are_lossless() {
+        let t = run(Scale::Quick);
+        for r in 0..t.rows.len() {
+            if t.cell(r, "transport") == Some("reliable") {
+                assert_eq!(t.cell(r, "undelivered"), Some("0"), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_display_error_grows_with_loss_and_overhead_is_bounded() {
+        let t = run(Scale::Quick);
+        let rows = delivery_rows(&t);
+        // Rows come in (raw, reliable) pairs per loss level.
+        let err = |r: usize| t.cell_f64(r, "display-error ticks").unwrap();
+        assert!(err(rows[4]) > err(rows[0]), "raw error must grow with loss");
+        let raw_bytes = t.cell_f64(rows[2], "bytes").unwrap();
+        let rel_bytes = t.cell_f64(rows[3], "bytes").unwrap();
+        assert!(rel_bytes <= 3.0 * raw_bytes, "overhead {rel_bytes} > 3x {raw_bytes}");
+        let retrans = t.cell_f64(rows[3], "retransmissions").unwrap();
+        assert!(retrans > 0.0, "10% loss must force retransmissions");
+    }
+}

@@ -11,6 +11,7 @@ pub mod e7_index_ablation;
 pub mod e8_rebuild_period;
 pub mod e9_index_pruning;
 pub mod e10_refresh;
+pub mod e11_reliability;
 pub mod fig1_query_types;
 pub mod micro;
 
@@ -32,11 +33,12 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e8_rebuild_period::run(scale),
         e9_index_pruning::run(scale),
         e10_refresh::run(scale),
+        e11_reliability::run(scale),
         micro::run(scale),
     ]
 }
 
-/// Runs one experiment by id (`fig1`, `e1` ... `e10`); `None` for an
+/// Runs one experiment by id (`fig1`, `e1` ... `e11`); `None` for an
 /// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
@@ -53,6 +55,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e8" => e8_rebuild_period::run(scale),
         "e9" => e9_index_pruning::run(scale),
         "e10" => e10_refresh::run(scale),
+        "e11" => e11_reliability::run(scale),
         "micro" => micro::run(scale),
         _ => return None,
     })

@@ -9,8 +9,12 @@
 //! simulator measures exactly (see DESIGN.md, substitutions):
 //!
 //! * [`message`] / [`network`] — a discrete-tick message-passing network
-//!   with per-message byte accounting, fixed latency and per-node
-//!   disconnection windows;
+//!   with per-message byte accounting, fixed latency, per-node
+//!   disconnection windows, and a seeded [`network::FaultPlan`]
+//!   (probabilistic loss, duplication, jitter/reordering, partitions);
+//! * [`reliable`] — a reliable transport over the raw network: per-peer
+//!   sequence numbers, acks, retransmission with exponential backoff,
+//!   duplicate suppression, store-and-forward for disconnected peers;
 //! * [`sim`] — a fleet of mobile nodes, each holding exactly its own
 //!   object ("each object resides in the computer on the moving vehicle it
 //!   represents, but nowhere else") with scheduled motion-vector updates;
@@ -27,11 +31,13 @@
 
 pub mod message;
 pub mod network;
+pub mod reliable;
 pub mod sim;
 pub mod strategy;
 pub mod transmission;
 
 pub use message::{Message, Payload};
-pub use network::{NetStats, Network};
+pub use network::{FaultPlan, NetStats, Network};
+pub use reliable::{ReliableEndpoint, ReliableMesh, RetryPolicy, Transport};
 pub use sim::{FleetSim, NodeInfo};
-pub use strategy::{ObjectPredicate, QueryClass, RelPredicate};
+pub use strategy::{ObjectPredicate, QueryClass, QueryOutcome, RelPredicate, Shipping};

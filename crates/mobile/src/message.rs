@@ -4,7 +4,7 @@ use most_spatial::{Point, Velocity};
 use most_temporal::Tick;
 
 /// A message payload; sizes approximate a compact wire encoding and drive
-/// the byte accounting of experiments E6/E6b.
+/// the byte accounting of experiments E6/E6b/E11.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// A query shipped to a remote computer (query shipping).
@@ -36,6 +36,20 @@ pub enum Payload {
     },
     /// Cancels a continuous query.
     Cancel,
+    /// A reliable-transport data frame wrapping an application payload
+    /// ([`crate::reliable`]).
+    Frame {
+        /// Per-`(sender, recipient)` transport sequence number.
+        seq: u64,
+        /// The application payload carried by the frame.
+        inner: Box<Payload>,
+    },
+    /// Acknowledges receipt of the reliable frame `seq`
+    /// ([`crate::reliable`]).
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 impl Payload {
@@ -47,6 +61,8 @@ impl Payload {
             Payload::MatchStatus { .. } => 17,
             Payload::AnswerBlock { tuples } => 16 + 24 * tuples.len() as u64,
             Payload::Cancel => 8,
+            Payload::Frame { inner, .. } => 8 + inner.size_bytes(),
+            Payload::Ack { .. } => 12,
         }
     }
 }
@@ -60,6 +76,11 @@ pub struct Message {
     pub to: u64,
     /// Tick at which the message was sent.
     pub sent_at: Tick,
+    /// Monotone network-assigned send sequence number: a unique,
+    /// strictly increasing id per *physical copy* put in flight.  Breaks
+    /// delivery-order ties once duplication/retransmission can put two
+    /// copies of the same logical message in flight.
+    pub seq: u64,
     /// Payload.
     pub payload: Payload,
 }
@@ -84,5 +105,13 @@ mod tests {
         let small = Payload::AnswerBlock { tuples: vec![(1, 0, 5)] };
         let big = Payload::AnswerBlock { tuples: vec![(1, 0, 5); 10] };
         assert!(big.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn transport_frames_pay_a_fixed_header() {
+        let inner = Payload::MatchStatus { id: 3, matches: true };
+        let framed = Payload::Frame { seq: 9, inner: Box::new(inner.clone()) };
+        assert_eq!(framed.size_bytes(), 8 + inner.size_bytes());
+        assert_eq!(Payload::Ack { seq: 9 }.size_bytes(), 12);
     }
 }

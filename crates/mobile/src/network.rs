@@ -1,5 +1,5 @@
-//! The simulated wireless network: fixed latency, per-node disconnection
-//! windows, exact message/byte accounting.
+//! The simulated wireless network: latency, per-node disconnection
+//! windows, seeded fault injection, exact message/byte accounting.
 //!
 //! Disconnection is first-class because the paper's Section 5.2 trade-off
 //! hinges on "the probability that an update to Answer(CQ) can be
@@ -7,9 +7,17 @@
 //! recipient is offline at delivery time is lost (counted in
 //! [`NetStats::dropped`]) — the pessimistic model that makes the
 //! immediate-vs-delayed comparison interesting.
+//!
+//! On top of the offline-window model, a [`FaultPlan`] layers
+//! *probabilistic* faults driven by a seeded `most-testkit` RNG:
+//! in-transit message loss, duplication, latency jitter (which reorders
+//! deliveries) and node partitions.  Every fault decision is a pure
+//! function of the plan's seed and the send sequence, so any experiment
+//! is replayable from a single `u64`.
 
 use crate::message::{Message, Payload};
 use most_temporal::{Interval, IntervalSet, Tick};
+use most_testkit::rng::Rng;
 use std::collections::BTreeMap;
 
 /// Cumulative traffic counters.
@@ -19,8 +27,77 @@ pub struct NetStats {
     pub messages: u64,
     /// Bytes sent.
     pub bytes: u64,
-    /// Messages lost to disconnection.
+    /// Messages lost to disconnection (recipient offline at delivery).
     pub dropped: u64,
+    /// Message copies lost in transit to injected loss or a partition cut.
+    pub lost: u64,
+    /// Extra copies injected by fault-plan duplication.
+    pub duplicated: u64,
+    /// Deliveries that arrived behind a later send from the same sender
+    /// (jitter-induced reordering).
+    pub reordered: u64,
+}
+
+/// A deterministic fault-injection plan: probabilistic loss, duplication
+/// and latency jitter driven by a seeded RNG, plus scheduled node
+/// partitions.  Layered on top of the offline-window model by
+/// [`Network::set_faults`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    loss: f64,
+    duplication: f64,
+    jitter: Tick,
+    partitions: Vec<(Vec<u64>, Interval)>,
+}
+
+impl FaultPlan {
+    /// A no-fault plan seeded with `seed`; compose with the `with_*`
+    /// builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, loss: 0.0, duplication: 0.0, jitter: 0, partitions: Vec::new() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Probability (clamped to `[0, 1]`) that any message copy is lost in
+    /// transit.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability (clamped to `[0, 1]`) that a send injects a second
+    /// copy of the message.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplication = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Maximum extra delivery latency in ticks; each copy draws a uniform
+    /// extra delay in `0..=max_extra`, which reorders deliveries.
+    pub fn with_jitter(mut self, max_extra: Tick) -> Self {
+        self.jitter = max_extra;
+        self
+    }
+
+    /// Isolates `group` from every other node during `[from, to]`: any
+    /// message crossing the partition boundary at its delivery tick is
+    /// cut (counted in [`NetStats::lost`]).
+    pub fn with_partition(mut self, group: &[u64], from: Tick, to: Tick) -> Self {
+        self.partitions.push((group.to_vec(), Interval::new(from, to)));
+        self
+    }
+
+    /// Whether the link `a -> b` is severed by a partition at tick `t`.
+    fn cuts(&self, a: u64, b: u64, t: Tick) -> bool {
+        self.partitions.iter().any(|(group, window)| {
+            window.contains(t) && (group.contains(&a) != group.contains(&b))
+        })
+    }
 }
 
 /// The simulated network.
@@ -31,12 +108,35 @@ pub struct Network {
     offline: BTreeMap<u64, IntervalSet>,
     /// Traffic counters.
     pub stats: NetStats,
+    per_node: BTreeMap<u64, NetStats>,
+    faults: Option<(FaultPlan, Rng)>,
+    next_seq: u64,
+    /// Highest delivered seq per `(from, to)` link, for reorder accounting.
+    last_delivered: BTreeMap<(u64, u64), u64>,
 }
 
 impl Network {
     /// A network with the given one-way latency in ticks.
     pub fn new(latency: Tick) -> Self {
         Network { latency, ..Network::default() }
+    }
+
+    /// The configured one-way latency.
+    pub fn latency(&self) -> Tick {
+        self.latency
+    }
+
+    /// Installs a fault plan; its RNG is (re)seeded from the plan's seed,
+    /// so installing the same plan before replaying the same send
+    /// sequence reproduces the identical fault schedule.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        let rng = Rng::seed_from_u64(plan.seed);
+        self.faults = Some((plan, rng));
+    }
+
+    /// Removes any installed fault plan (offline windows remain).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// Declares an offline window for a node (global ticks).
@@ -50,27 +150,80 @@ impl Network {
         self.offline.get(&node).is_none_or(|s| !s.contains(t))
     }
 
-    /// Sends a message at tick `now`; it is delivered (or dropped) at
-    /// `now + latency`.
-    pub fn send(&mut self, from: u64, to: u64, payload: Payload, now: Tick) {
-        self.stats.messages += 1;
-        self.stats.bytes += payload.size_bytes();
-        self.in_flight
-            .push((now + self.latency, Message { from, to, sent_at: now, payload }));
+    /// Per-node traffic breakdown: `messages`/`bytes` count traffic *sent
+    /// by* `node`; `dropped`/`lost`/`duplicated`/`reordered` count events
+    /// on traffic *addressed to* `node`.
+    pub fn node_stats(&self, node: u64) -> NetStats {
+        self.per_node.get(&node).copied().unwrap_or_default()
     }
 
-    /// Broadcast helper: sends the payload to every node in `nodes` except
-    /// the sender.
-    pub fn broadcast(&mut self, from: u64, nodes: &[u64], payload: Payload, now: Tick) {
-        for &to in nodes {
-            if to != from {
-                self.send(from, to, payload.clone(), now);
+    /// Sends a message at tick `now`; it is delivered (or dropped) at
+    /// `now + latency` plus any fault-plan jitter.
+    pub fn send(&mut self, from: u64, to: u64, payload: Payload, now: Tick) {
+        let bytes = payload.size_bytes();
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        let sender = self.per_node.entry(from).or_default();
+        sender.messages += 1;
+        sender.bytes += bytes;
+
+        // Fault decisions, in a fixed draw order per send so the fault
+        // schedule is a pure function of (seed, send sequence):
+        // duplication first, then (loss, jitter) per copy.
+        let mut copies: Vec<(Tick, bool)> = Vec::with_capacity(2); // (deliver_at, lost)
+        match &mut self.faults {
+            None => copies.push((now + self.latency, false)),
+            Some((plan, rng)) => {
+                let n_copies = if rng.random_bool(plan.duplication) { 2 } else { 1 };
+                for _ in 0..n_copies {
+                    let lost = rng.random_bool(plan.loss);
+                    let extra = rng.below(plan.jitter + 1);
+                    copies.push((now + self.latency + extra, lost));
+                }
             }
+        }
+        if copies.len() > 1 {
+            self.stats.duplicated += copies.len() as u64 - 1;
+            self.per_node.entry(to).or_default().duplicated += copies.len() as u64 - 1;
+        }
+        for (deliver_at, in_transit_loss) in copies {
+            if in_transit_loss {
+                self.stats.lost += 1;
+                self.per_node.entry(to).or_default().lost += 1;
+                continue;
+            }
+            self.next_seq += 1;
+            self.in_flight.push((
+                deliver_at,
+                Message { from, to, sent_at: now, seq: self.next_seq, payload: payload.clone() },
+            ));
         }
     }
 
+    /// Broadcast helper: sends the payload to every node in `nodes`
+    /// except the sender, moving (not cloning) the payload into the final
+    /// send.  Returns the number of recipients, so callers don't have to
+    /// recompute `nodes.len() - 1`.
+    pub fn broadcast(&mut self, from: u64, nodes: &[u64], payload: Payload, now: Tick) -> u64 {
+        let Some(last_idx) = nodes.iter().rposition(|&to| to != from) else {
+            return 0;
+        };
+        let mut sent = 0u64;
+        for &to in &nodes[..last_idx] {
+            if to != from {
+                self.send(from, to, payload.clone(), now);
+                sent += 1;
+            }
+        }
+        self.send(from, nodes[last_idx], payload, now);
+        sent + 1
+    }
+
     /// Delivers every message due at or before `now`; messages to offline
-    /// recipients are dropped.
+    /// recipients are dropped, messages crossing an active partition are
+    /// cut.  Delivery order is `(sent_at, from, seq)` — the monotone
+    /// per-send `seq` breaks ties between copies of the same logical
+    /// message.
     pub fn deliver_due(&mut self, now: Tick) -> Vec<Message> {
         let mut delivered = Vec::new();
         let mut remaining = Vec::with_capacity(self.in_flight.len());
@@ -78,14 +231,31 @@ impl Network {
         for (at, msg) in in_flight {
             if at > now {
                 remaining.push((at, msg));
-            } else if self.is_connected(msg.to, at) {
-                delivered.push(msg);
-            } else {
+            } else if !self.is_connected(msg.to, at) {
                 self.stats.dropped += 1;
+                self.per_node.entry(msg.to).or_default().dropped += 1;
+            } else if self
+                .faults
+                .as_ref()
+                .is_some_and(|(plan, _)| plan.cuts(msg.from, msg.to, at))
+            {
+                self.stats.lost += 1;
+                self.per_node.entry(msg.to).or_default().lost += 1;
+            } else {
+                delivered.push(msg);
             }
         }
         self.in_flight = remaining;
-        delivered.sort_by_key(|m| (m.sent_at, m.from));
+        delivered.sort_by_key(|m| (m.sent_at, m.from, m.seq));
+        for m in &delivered {
+            let high = self.last_delivered.entry((m.from, m.to)).or_insert(0);
+            if m.seq < *high {
+                self.stats.reordered += 1;
+                self.per_node.entry(m.to).or_default().reordered += 1;
+            } else {
+                *high = m.seq;
+            }
+        }
         delivered
     }
 
@@ -122,6 +292,7 @@ mod tests {
         net.send(1, 2, Payload::Cancel, 5);
         assert!(net.deliver_due(6).is_empty());
         assert_eq!(net.stats.dropped, 1);
+        assert_eq!(net.node_stats(2).dropped, 1);
         // Sent at 10, delivered at 11 after reconnection: arrives.
         net.send(1, 2, Payload::Cancel, 10);
         assert_eq!(net.deliver_due(11).len(), 1);
@@ -130,11 +301,15 @@ mod tests {
     #[test]
     fn broadcast_skips_sender() {
         let mut net = Network::new(0);
-        net.broadcast(1, &[1, 2, 3, 4], Payload::Cancel, 0);
+        let sent = net.broadcast(1, &[1, 2, 3, 4], Payload::Cancel, 0);
+        assert_eq!(sent, 3);
         assert_eq!(net.stats.messages, 3);
         let msgs = net.deliver_due(0);
         assert_eq!(msgs.len(), 3);
         assert!(msgs.iter().all(|m| m.to != 1));
+        // A broadcast with no recipients sends nothing.
+        assert_eq!(net.broadcast(1, &[1], Payload::Cancel, 0), 0);
+        assert_eq!(net.stats.messages, 3);
     }
 
     #[test]
@@ -145,5 +320,92 @@ mod tests {
         assert!(!net.is_connected(7, 1));
         assert!(net.is_connected(7, 5));
         assert!(!net.is_connected(7, 11));
+    }
+
+    #[test]
+    fn seq_breaks_delivery_ties() {
+        let mut net = Network::new(0);
+        net.send(1, 2, Payload::Cancel, 0);
+        net.send(1, 2, Payload::Cancel, 0);
+        let msgs = net.deliver_due(0);
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].seq < msgs[1].seq, "same (sent_at, from) orders by seq");
+    }
+
+    #[test]
+    fn fault_loss_is_deterministic_and_counted() {
+        let run = || {
+            let mut net = Network::new(0);
+            net.set_faults(FaultPlan::new(7).with_loss(0.5));
+            for _ in 0..100 {
+                net.send(1, 2, Payload::Cancel, 0);
+            }
+            (net.deliver_due(0).len(), net.stats.lost)
+        };
+        let (delivered_a, lost_a) = run();
+        let (delivered_b, lost_b) = run();
+        assert_eq!(delivered_a, delivered_b, "same seed, same fate");
+        assert_eq!(lost_a, lost_b);
+        assert_eq!(delivered_a as u64 + lost_a, 100);
+        assert!(lost_a > 20 && lost_a < 80, "loss ~50%, got {lost_a}");
+    }
+
+    #[test]
+    fn duplication_injects_extra_copies() {
+        let mut net = Network::new(0);
+        net.set_faults(FaultPlan::new(3).with_duplication(1.0));
+        net.send(1, 2, Payload::Cancel, 0);
+        let msgs = net.deliver_due(0);
+        assert_eq!(msgs.len(), 2, "always-duplicate plan delivers two copies");
+        assert_eq!(net.stats.duplicated, 1);
+        assert_eq!(net.node_stats(2).duplicated, 1);
+        // Logical send accounting is unchanged.
+        assert_eq!(net.stats.messages, 1);
+    }
+
+    #[test]
+    fn jitter_reorders_and_is_counted() {
+        let mut net = Network::new(1);
+        net.set_faults(FaultPlan::new(11).with_jitter(6));
+        for _ in 0..40 {
+            net.send(1, 2, Payload::Cancel, 0);
+        }
+        // Drain tick by tick; jitter spreads arrivals over [1, 7].
+        let mut seqs = Vec::new();
+        for t in 0..=10 {
+            seqs.extend(net.deliver_due(t).into_iter().map(|m| m.seq));
+        }
+        assert_eq!(seqs.len(), 40);
+        assert!(seqs.windows(2).any(|w| w[0] > w[1]), "jitter must reorder");
+        assert!(net.stats.reordered > 0);
+        assert_eq!(net.node_stats(2).reordered, net.stats.reordered);
+    }
+
+    #[test]
+    fn partitions_cut_crossing_messages_only() {
+        let mut net = Network::new(0);
+        net.set_faults(FaultPlan::new(0).with_partition(&[1, 2], 10, 20));
+        // Inside the group: unaffected.
+        net.send(1, 2, Payload::Cancel, 15);
+        // Crossing the boundary during the window: cut.
+        net.send(1, 3, Payload::Cancel, 15);
+        // Crossing outside the window: unaffected.
+        net.send(1, 3, Payload::Cancel, 25);
+        let msgs = net.deliver_due(30);
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(net.stats.lost, 1);
+        assert_eq!(net.node_stats(3).lost, 1);
+    }
+
+    #[test]
+    fn per_node_send_accounting() {
+        let mut net = Network::new(0);
+        net.send(1, 2, Payload::Cancel, 0);
+        net.send(1, 2, Payload::Cancel, 0);
+        net.send(2, 1, Payload::Cancel, 0);
+        assert_eq!(net.node_stats(1).messages, 2);
+        assert_eq!(net.node_stats(1).bytes, 16);
+        assert_eq!(net.node_stats(2).messages, 1);
+        assert_eq!(net.node_stats(9), NetStats::default());
     }
 }

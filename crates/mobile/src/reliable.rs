@@ -1,0 +1,481 @@
+//! Reliable delivery over the lossy [`Network`]: per-peer sequence
+//! numbers, acks, retransmission with exponential backoff and a retry
+//! cap, duplicate suppression on receive, and store-and-forward for
+//! disconnected recipients.
+//!
+//! The paper's Section 5.2 *delayed* approach silently loses any
+//! `Answer(CQ)` tuple whose begin falls into an offline window; this
+//! layer makes the delayed-propagation case operational instead of
+//! counting it as loss.  A [`ReliableEndpoint`] wraps application
+//! payloads into [`Payload::Frame`]s carrying a per-peer sequence
+//! number; the receiver acks every frame (even duplicates, so a lost
+//! ack cannot retransmit forever), suppresses duplicates, and releases
+//! payloads to the application **in per-peer send order, exactly once**.
+//! Unacked frames retransmit with exponential backoff; while the peer
+//! is disconnected the frame is *held* (store-and-forward — the paper's
+//! "transmitted when M reconnects" oracle) without burning a retry.
+//!
+//! Exactly-once argument (chaos-property-tested in
+//! `tests/reliable_chaos.rs`, documented in DESIGN.md §7): *at-least
+//! once* — a frame stays in the sender's unacked map until an ack
+//! arrives, and every retransmission eventually reaches any eventually
+//! connected peer when loss < 1 and retries are unbounded; *at-most
+//! once, in order* — the receiver releases seq `s` from a peer only
+//! when `s` equals that peer's next-expected counter, which then
+//! advances past `s` forever.
+
+use crate::message::{Message, Payload};
+use crate::network::Network;
+use most_temporal::Tick;
+use std::collections::BTreeMap;
+
+/// Retransmission policy of a [`ReliableEndpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Ticks to wait for an ack before the first retransmission.
+    pub base_backoff: Tick,
+    /// Ceiling on the (doubling) backoff.
+    pub max_backoff: Tick,
+    /// Retransmissions allowed per frame before it is abandoned
+    /// (`u32::MAX` ≈ retry forever; see [`RetryPolicy::unbounded`]).
+    /// Deferrals while the peer is offline do not count.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { base_backoff: 4, max_backoff: 64, max_retries: 32 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never abandons a frame — required for the
+    /// exactly-once guarantee under arbitrary loss rates < 1.
+    pub fn unbounded() -> Self {
+        RetryPolicy { max_retries: u32::MAX, ..RetryPolicy::default() }
+    }
+}
+
+/// Which transport a strategy or transmission simulation runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Bare [`Network`] sends: whatever the fault plan and offline
+    /// windows lose stays lost.
+    Raw,
+    /// [`ReliableEndpoint`]s at every node, with the given policy.
+    Reliable(RetryPolicy),
+}
+
+/// Cumulative counters of one endpoint (or a mesh, summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Application payloads accepted for sending.
+    pub accepted: u64,
+    /// Application payloads released in order to the application.
+    pub delivered: u64,
+    /// Data frames put on the wire (first sends + retransmissions).
+    pub transmissions: u64,
+    /// Retransmissions only.
+    pub retransmissions: u64,
+    /// Acks sent (duplicates are re-acked).
+    pub acks_sent: u64,
+    /// Received frames suppressed as duplicates.
+    pub duplicates_suppressed: u64,
+    /// Transmission attempts deferred because the peer was offline
+    /// (store-and-forward holds).
+    pub deferrals: u64,
+    /// Frames dropped after exhausting the retry cap.
+    pub abandoned: u64,
+}
+
+impl ReliableStats {
+    fn absorb(&mut self, other: &ReliableStats) {
+        self.accepted += other.accepted;
+        self.delivered += other.delivered;
+        self.transmissions += other.transmissions;
+        self.retransmissions += other.retransmissions;
+        self.acks_sent += other.acks_sent;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.deferrals += other.deferrals;
+        self.abandoned += other.abandoned;
+    }
+}
+
+/// An outgoing frame awaiting its ack.
+#[derive(Debug, Clone)]
+struct OutFrame {
+    payload: Payload,
+    /// Wire transmissions so far.
+    sends: u32,
+    next_attempt: Tick,
+    backoff: Tick,
+}
+
+/// One node's reliable transport endpoint.
+///
+/// Drive it with [`ReliableEndpoint::send`] for outgoing payloads,
+/// [`ReliableEndpoint::receive`] for every [`Message`] the network
+/// delivers to this node, and [`ReliableEndpoint::on_tick`] once per
+/// tick for retransmissions.  [`ReliableMesh`] bundles the three for a
+/// whole fleet.
+#[derive(Debug, Clone)]
+pub struct ReliableEndpoint {
+    node: u64,
+    policy: RetryPolicy,
+    /// Next outgoing seq per peer.
+    next_seq: BTreeMap<u64, u64>,
+    /// Unacked outgoing frames, keyed `(peer, seq)`.
+    unacked: BTreeMap<(u64, u64), OutFrame>,
+    /// Next in-order seq expected per peer.
+    next_expected: BTreeMap<u64, u64>,
+    /// Out-of-order receive buffer, keyed `(peer, seq)`.
+    held: BTreeMap<(u64, u64), Payload>,
+    /// Counters.
+    pub stats: ReliableStats,
+}
+
+impl ReliableEndpoint {
+    /// An endpoint for `node` with the default [`RetryPolicy`].
+    pub fn new(node: u64) -> Self {
+        ReliableEndpoint::with_policy(node, RetryPolicy::default())
+    }
+
+    /// An endpoint for `node` with an explicit policy.
+    pub fn with_policy(node: u64, policy: RetryPolicy) -> Self {
+        ReliableEndpoint {
+            node,
+            policy,
+            next_seq: BTreeMap::new(),
+            unacked: BTreeMap::new(),
+            next_expected: BTreeMap::new(),
+            held: BTreeMap::new(),
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// Outgoing frames still awaiting an ack.
+    pub fn pending(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Whether nothing is awaiting an ack.
+    pub fn is_idle(&self) -> bool {
+        self.unacked.is_empty()
+    }
+
+    /// Accepts `payload` for reliable delivery to `to` and attempts the
+    /// first transmission immediately (or holds it if `to` is offline).
+    pub fn send(&mut self, net: &mut Network, to: u64, payload: Payload, now: Tick) {
+        let seq_slot = self.next_seq.entry(to).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        self.stats.accepted += 1;
+        self.unacked.insert(
+            (to, seq),
+            OutFrame { payload, sends: 0, next_attempt: now, backoff: self.policy.base_backoff },
+        );
+        self.attempt(net, to, seq, now);
+    }
+
+    /// One transmission attempt of an unacked frame: defers (without
+    /// burning a retry) while the peer is offline, otherwise puts a
+    /// [`Payload::Frame`] on the wire and backs off exponentially.
+    fn attempt(&mut self, net: &mut Network, to: u64, seq: u64, now: Tick) {
+        let Some(frame) = self.unacked.get_mut(&(to, seq)) else { return };
+        if !net.is_connected(to, now) {
+            // Store-and-forward: hold until the peer reconnects, polling
+            // every tick.  This is the §5.2 "transmitted when M
+            // reconnects" oracle — the sender knows the peer's
+            // connectivity, as the paper's server knows M's.
+            frame.next_attempt = now + 1;
+            self.stats.deferrals += 1;
+            return;
+        }
+        if frame.sends > 0 {
+            self.stats.retransmissions += 1;
+        }
+        self.stats.transmissions += 1;
+        frame.sends += 1;
+        frame.next_attempt = now + frame.backoff;
+        frame.backoff = (frame.backoff * 2).min(self.policy.max_backoff);
+        let wire = Payload::Frame { seq, inner: Box::new(frame.payload.clone()) };
+        net.send(self.node, to, wire, now);
+    }
+
+    /// Retransmits every due unacked frame; abandons frames that have
+    /// exhausted the retry cap.  Call once per tick.
+    pub fn on_tick(&mut self, net: &mut Network, now: Tick) {
+        let due: Vec<(u64, u64)> = self
+            .unacked
+            .iter()
+            .filter(|(_, f)| f.next_attempt <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for (to, seq) in due {
+            let exhausted = self
+                .unacked
+                .get(&(to, seq))
+                .is_some_and(|f| f.sends > self.policy.max_retries);
+            if exhausted {
+                self.unacked.remove(&(to, seq));
+                self.stats.abandoned += 1;
+            } else {
+                self.attempt(net, to, seq, now);
+            }
+        }
+    }
+
+    /// Processes one delivered message addressed to this node.  Returns
+    /// the application payloads released *in per-peer order* by this
+    /// delivery, as `(peer, payload)` pairs.  Non-transport payloads
+    /// pass through unchanged (raw traffic can share the network).
+    pub fn receive(&mut self, net: &mut Network, msg: Message, now: Tick) -> Vec<(u64, Payload)> {
+        debug_assert_eq!(msg.to, self.node, "message routed to the wrong endpoint");
+        match msg.payload {
+            Payload::Ack { seq } => {
+                self.unacked.remove(&(msg.from, seq));
+                Vec::new()
+            }
+            Payload::Frame { seq, inner } => {
+                // Always (re-)ack, even duplicates: the sender keeps
+                // retransmitting until *an* ack survives the network.
+                net.send(self.node, msg.from, Payload::Ack { seq }, now);
+                self.stats.acks_sent += 1;
+                let expected = self.next_expected.entry(msg.from).or_insert(0);
+                if seq < *expected || self.held.contains_key(&(msg.from, seq)) {
+                    self.stats.duplicates_suppressed += 1;
+                    return Vec::new();
+                }
+                self.held.insert((msg.from, seq), *inner);
+                let mut released = Vec::new();
+                while let Some(payload) = self.held.remove(&(msg.from, *expected)) {
+                    released.push((msg.from, payload));
+                    *expected += 1;
+                }
+                self.stats.delivered += released.len() as u64;
+                released
+            }
+            other => vec![(msg.from, other)],
+        }
+    }
+}
+
+/// An application-level delivery surfaced by [`ReliableMesh::tick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The node the payload was delivered at.
+    pub at: u64,
+    /// The sending node.
+    pub from: u64,
+    /// The application payload.
+    pub payload: Payload,
+}
+
+/// A fleet of [`ReliableEndpoint`]s plus the per-tick drive loop.
+#[derive(Debug, Clone)]
+pub struct ReliableMesh {
+    endpoints: BTreeMap<u64, ReliableEndpoint>,
+}
+
+impl ReliableMesh {
+    /// Endpoints for every node in `nodes`, sharing one policy.
+    pub fn new(nodes: &[u64], policy: RetryPolicy) -> Self {
+        ReliableMesh {
+            endpoints: nodes
+                .iter()
+                .map(|&n| (n, ReliableEndpoint::with_policy(n, policy)))
+                .collect(),
+        }
+    }
+
+    /// The endpoint of `node`, if it is part of the mesh.
+    pub fn endpoint(&self, node: u64) -> Option<&ReliableEndpoint> {
+        self.endpoints.get(&node)
+    }
+
+    /// Accepts `payload` at `from`'s endpoint for reliable delivery to
+    /// `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not part of the mesh.
+    pub fn send(&mut self, net: &mut Network, from: u64, to: u64, payload: Payload, now: Tick) {
+        self.endpoints
+            .get_mut(&from)
+            .expect("sender endpoint exists")
+            .send(net, to, payload, now);
+    }
+
+    /// One simulation tick: drains the network's due messages into the
+    /// endpoints, then runs every endpoint's retransmission timer.
+    /// Returns the application payloads released this tick.
+    pub fn tick(&mut self, net: &mut Network, now: Tick) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for msg in net.deliver_due(now) {
+            let at = msg.to;
+            if let Some(ep) = self.endpoints.get_mut(&at) {
+                for (from, payload) in ep.receive(net, msg, now) {
+                    out.push(Delivery { at, from, payload });
+                }
+            }
+        }
+        for ep in self.endpoints.values_mut() {
+            ep.on_tick(net, now);
+        }
+        out
+    }
+
+    /// Whether every endpoint has drained its unacked frames.
+    pub fn is_idle(&self) -> bool {
+        self.endpoints.values().all(ReliableEndpoint::is_idle)
+    }
+
+    /// Counters summed over every endpoint.
+    pub fn total_stats(&self) -> ReliableStats {
+        let mut total = ReliableStats::default();
+        for ep in self.endpoints.values() {
+            total.absorb(&ep.stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::FaultPlan;
+
+    fn payloads(n: u64) -> Vec<Payload> {
+        (0..n).map(|i| Payload::MatchStatus { id: i, matches: i % 2 == 0 }).collect()
+    }
+
+    /// Drives the mesh until idle (or `max` ticks); returns deliveries.
+    fn drain(mesh: &mut ReliableMesh, net: &mut Network, from: Tick, max: Tick) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for t in from..=max {
+            out.extend(mesh.tick(net, t));
+            if mesh.is_idle() && net.in_flight_count() == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lossless_delivery_is_in_order() {
+        let mut net = Network::new(1);
+        let mut mesh = ReliableMesh::new(&[1, 2], RetryPolicy::default());
+        for p in payloads(5) {
+            mesh.send(&mut net, 1, 2, p, 0);
+        }
+        let got = drain(&mut mesh, &mut net, 0, 50);
+        assert_eq!(got.len(), 5);
+        assert_eq!(
+            got.iter().map(|d| d.payload.clone()).collect::<Vec<_>>(),
+            payloads(5)
+        );
+        assert!(mesh.is_idle());
+        assert_eq!(mesh.total_stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn loss_triggers_retransmission_until_acked() {
+        let mut net = Network::new(1);
+        net.set_faults(FaultPlan::new(5).with_loss(0.5));
+        let mut mesh = ReliableMesh::new(&[1, 2], RetryPolicy::unbounded());
+        for p in payloads(10) {
+            mesh.send(&mut net, 1, 2, p, 0);
+        }
+        let got = drain(&mut mesh, &mut net, 0, 2_000);
+        assert_eq!(got.len(), 10, "every payload eventually delivered");
+        assert_eq!(
+            got.iter().map(|d| d.payload.clone()).collect::<Vec<_>>(),
+            payloads(10),
+            "in order, exactly once"
+        );
+        assert!(mesh.is_idle());
+        assert!(mesh.total_stats().retransmissions > 0, "50% loss must retransmit");
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut net = Network::new(1);
+        net.set_faults(FaultPlan::new(9).with_duplication(1.0));
+        let mut mesh = ReliableMesh::new(&[1, 2], RetryPolicy::default());
+        for p in payloads(4) {
+            mesh.send(&mut net, 1, 2, p, 0);
+        }
+        let got = drain(&mut mesh, &mut net, 0, 100);
+        assert_eq!(got.len(), 4, "each payload delivered exactly once");
+        assert!(mesh.total_stats().duplicates_suppressed >= 4);
+    }
+
+    #[test]
+    fn store_and_forward_rides_out_disconnection() {
+        let mut net = Network::new(1);
+        net.add_offline_window(2, 0, 30);
+        let mut mesh = ReliableMesh::new(&[1, 2], RetryPolicy::default());
+        mesh.send(&mut net, 1, 2, Payload::Cancel, 0);
+        // While offline nothing reaches node 2 and nothing is abandoned.
+        for t in 0..=30 {
+            assert!(mesh.tick(&mut net, t).is_empty());
+        }
+        let stats = mesh.total_stats();
+        assert!(stats.deferrals > 0, "attempts deferred while offline");
+        assert_eq!(stats.abandoned, 0);
+        // After reconnection the payload arrives.
+        let got = drain(&mut mesh, &mut net, 31, 80);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, Payload::Cancel);
+    }
+
+    #[test]
+    fn retry_cap_abandons_undeliverable_frames() {
+        let mut net = Network::new(1);
+        net.set_faults(FaultPlan::new(1).with_loss(1.0));
+        let policy = RetryPolicy { base_backoff: 1, max_backoff: 1, max_retries: 3 };
+        let mut mesh = ReliableMesh::new(&[1, 2], policy);
+        mesh.send(&mut net, 1, 2, Payload::Cancel, 0);
+        let got = drain(&mut mesh, &mut net, 0, 100);
+        assert!(got.is_empty());
+        let stats = mesh.total_stats();
+        assert_eq!(stats.abandoned, 1);
+        // 1 first send + max_retries retransmissions.
+        assert_eq!(stats.transmissions, 4);
+        assert!(mesh.is_idle(), "abandonment clears the unacked map");
+    }
+
+    #[test]
+    fn lost_acks_do_not_cause_duplicate_delivery() {
+        // Acks travel over the same lossy network; a lost ack makes the
+        // sender retransmit a frame the receiver already has, which must
+        // be suppressed and re-acked, never re-delivered.
+        let mut net = Network::new(1);
+        net.set_faults(FaultPlan::new(42).with_loss(0.4));
+        let mut mesh = ReliableMesh::new(&[1, 2], RetryPolicy::unbounded());
+        for p in payloads(12) {
+            mesh.send(&mut net, 1, 2, p, 0);
+        }
+        let got = drain(&mut mesh, &mut net, 0, 2_000);
+        assert_eq!(got.len(), 12, "exactly once despite lost acks");
+        assert_eq!(
+            got.iter().map(|d| d.payload.clone()).collect::<Vec<_>>(),
+            payloads(12)
+        );
+    }
+
+    #[test]
+    fn raw_payloads_pass_through() {
+        let mut net = Network::new(0);
+        let mut ep = ReliableEndpoint::new(2);
+        net.send(1, 2, Payload::Cancel, 0);
+        let msg = net.deliver_due(0).pop().unwrap();
+        let out = ep.receive(&mut net, msg, 0);
+        assert_eq!(out, vec![(1, Payload::Cancel)]);
+    }
+}

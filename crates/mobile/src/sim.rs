@@ -5,6 +5,7 @@
 //! a reasonable architecture in case there are very frequent updates to the
 //! attributes of the moving object" (Section 5.3).
 
+use crate::message::Payload;
 use most_spatial::{Point, Trajectory, Velocity};
 use most_temporal::Tick;
 use std::collections::BTreeMap;
@@ -23,6 +24,19 @@ pub struct NodeInfo {
     /// Scheduled future motion-vector changes `(tick, new velocity)` —
     /// the simulation's stand-in for the vehicle's actual driving.
     pub planned_updates: Vec<(Tick, Velocity)>,
+}
+
+impl NodeInfo {
+    /// The node's object as a wire payload: its recorded motion leg
+    /// sampled at `now` — what every ship-state strategy transmits.
+    pub fn state_payload(&self, now: Tick) -> Payload {
+        let leg = self.trajectory.leg_at(now);
+        Payload::State {
+            id: self.id,
+            position: leg.position_at_tick(now),
+            velocity: leg.velocity,
+        }
+    }
 }
 
 /// The fleet simulation: nodes plus a clock.  The network lives alongside

@@ -17,10 +17,12 @@
 
 use crate::message::Payload;
 use crate::network::Network;
+use crate::reliable::{ReliableMesh, Transport};
 use crate::sim::{FleetSim, NodeInfo};
 use most_spatial::predicates::{dist_within, inside_polygon, piecewise};
 use most_spatial::{MovingPoint, Point, Polygon, Rect};
 use most_temporal::{Duration, Horizon, Interval, IntervalSet, Tick};
+use std::collections::BTreeSet;
 
 /// Classification of a distributed query (Section 5.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,17 +161,7 @@ pub fn object_query_data_shipping(
             continue;
         }
         let node = sim.node(id).expect("fleet node");
-        let leg = node.trajectory.leg_at(now);
-        net.send(
-            id,
-            issuer,
-            Payload::State {
-                id,
-                position: leg.position_at_tick(now),
-                velocity: leg.velocity,
-            },
-            now,
-        );
+        net.send(id, issuer, node.state_payload(now), now);
     }
     // Issuer evaluates every received object.
     let mut out: Vec<u64> = ids
@@ -227,13 +219,7 @@ pub fn continuous_object_data_shipping(
             continue;
         }
         let node = sim.node(id).expect("fleet node");
-        let leg = node.trajectory.leg_at(start);
-        net.send(
-            id,
-            issuer,
-            Payload::State { id, position: leg.position_at_tick(start), velocity: leg.velocity },
-            start,
-        );
+        net.send(id, issuer, node.state_payload(start), start);
     }
     // Every motion-vector change ships the new state.
     let updates = sim.advance_to(until);
@@ -242,13 +228,7 @@ pub fn continuous_object_data_shipping(
             continue;
         }
         let node = sim.node(*id).expect("fleet node");
-        let leg = node.trajectory.leg_at(*at);
-        net.send(
-            *id,
-            issuer,
-            Payload::State { id: *id, position: leg.position_at_tick(*at), velocity: leg.velocity },
-            *at,
-        );
+        net.send(*id, issuer, node.state_payload(*at), *at);
     }
     ground_truth(sim, issuer, pred, start, until)
 }
@@ -299,13 +279,7 @@ pub fn relationship_query_centralized(
             continue;
         }
         let node = sim.node(id).expect("fleet node");
-        let leg = node.trajectory.leg_at(now);
-        net.send(
-            id,
-            issuer,
-            Payload::State { id, position: leg.position_at_tick(now), velocity: leg.velocity },
-            now,
-        );
+        net.send(id, issuer, node.state_payload(now), now);
     }
     let mut out = Vec::new();
     for (i, &a) in ids.iter().enumerate() {
@@ -318,6 +292,153 @@ pub fn relationship_query_centralized(
         }
     }
     out
+}
+
+/// Which of Section 5.3's object-query strategies ships what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shipping {
+    /// Data shipping: every node ships its object state to the issuer.
+    Data,
+    /// Query shipping: every node evaluates locally and replies with a
+    /// match status.
+    Query,
+}
+
+/// Outcome of a fault-aware distributed query: the answer *as far as the
+/// issuer can know it*, with explicit completeness reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Nodes whose arrived reply satisfies the predicate, ascending.
+    pub matches: Vec<u64>,
+    /// Number of nodes whose reply reached the issuer in time.
+    pub responded: u64,
+    /// Nodes whose reply never arrived before the timeout, ascending —
+    /// the paper's "probability that an update can be propagated" made
+    /// visible per node.
+    pub missing: Vec<u64>,
+    /// Whether every queried node responded (`missing.is_empty()`).
+    pub complete: bool,
+    /// Tick at which the issuer stopped waiting (last reply, or the
+    /// timeout deadline).
+    pub finished_at: Tick,
+    /// Transport retransmissions spent (0 under [`Transport::Raw`]).
+    pub retransmissions: u64,
+}
+
+/// One-shot object query over a *faulty* network: the request and the
+/// replies actually traverse the [`Network`] (loss, duplication, jitter,
+/// partitions, offline windows all apply), and the issuer waits at most
+/// `timeout` ticks past `sim.now()` for responses.
+///
+/// Unlike the zero-fault [`object_query_query_shipping`], every node
+/// replies under query shipping — a negative [`Payload::MatchStatus`]
+/// instead of silence — so the issuer can tell a lost reply from a
+/// non-match and report partial-answer completeness honestly; negative
+/// replies are still cheaper than shipped states (17 vs 48 bytes).
+/// Predicates are evaluated against the motion recorded at issue time,
+/// so a complete outcome equals the zero-fault answer.
+pub fn object_query_over(
+    sim: &FleetSim,
+    net: &mut Network,
+    issuer: u64,
+    pred: &ObjectPredicate,
+    shipping: Shipping,
+    transport: Transport,
+    timeout: Duration,
+) -> QueryOutcome {
+    let t0 = sim.now();
+    let ids = sim.node_ids();
+    let request = Payload::Query {
+        text: match shipping {
+            Shipping::Data => "SHIP-STATE".into(),
+            Shipping::Query => "EVAL-PRED".into(),
+        },
+    };
+    let mut mesh = match transport {
+        Transport::Raw => None,
+        Transport::Reliable(policy) => Some(ReliableMesh::new(&ids, policy)),
+    };
+    // Broadcast the request; `expected` is the broadcast's own recipient
+    // count, not a recomputed `nodes.len() - 1`.
+    let expected = match &mut mesh {
+        None => net.broadcast(issuer, &ids, request, t0),
+        Some(mesh) => {
+            let mut sent = 0u64;
+            for &id in &ids {
+                if id != issuer {
+                    mesh.send(net, issuer, id, request.clone(), t0);
+                    sent += 1;
+                }
+            }
+            sent
+        }
+    };
+
+    let mut outcome = QueryOutcome { finished_at: t0 + timeout, ..QueryOutcome::default() };
+    let mut responded: BTreeSet<u64> = BTreeSet::new();
+    let mut matches: BTreeSet<u64> = BTreeSet::new();
+    for t in t0..=t0 + timeout {
+        // Drain this tick's deliveries through the chosen transport.
+        let events: Vec<(u64, u64, Payload)> = match &mut mesh {
+            None => net
+                .deliver_due(t)
+                .into_iter()
+                .map(|m| (m.to, m.from, m.payload))
+                .collect(),
+            Some(mesh) => mesh
+                .tick(net, t)
+                .into_iter()
+                .map(|d| (d.at, d.from, d.payload))
+                .collect(),
+        };
+        for (at, _from, payload) in events {
+            if at == issuer {
+                match payload {
+                    Payload::State { id, .. } => {
+                        responded.insert(id);
+                        if pred.eval(sim.node(id).expect("fleet node"), t0) {
+                            matches.insert(id);
+                        }
+                    }
+                    Payload::MatchStatus { id, matches: m } => {
+                        responded.insert(id);
+                        if m {
+                            matches.insert(id);
+                        }
+                    }
+                    _ => {}
+                }
+            } else if matches!(payload, Payload::Query { .. }) {
+                // A remote node received the request: reply now.
+                let node = sim.node(at).expect("fleet node");
+                let reply = match shipping {
+                    Shipping::Data => node.state_payload(t0),
+                    Shipping::Query => {
+                        Payload::MatchStatus { id: at, matches: pred.eval(node, t0) }
+                    }
+                };
+                match &mut mesh {
+                    None => net.send(at, issuer, reply, t),
+                    Some(mesh) => mesh.send(net, at, issuer, reply, t),
+                }
+            }
+        }
+        if responded.len() as u64 == expected {
+            outcome.finished_at = t;
+            break;
+        }
+    }
+    outcome.matches = matches.into_iter().collect();
+    outcome.responded = responded.len() as u64;
+    outcome.missing = ids
+        .into_iter()
+        .filter(|&id| id != issuer && !responded.contains(&id))
+        .collect();
+    outcome.complete = outcome.missing.is_empty();
+    if let Some(mesh) = &mesh {
+        outcome.retransmissions = mesh.total_stats().retransmissions;
+    }
+    outcome
 }
 
 /// Ground-truth satisfaction over `[start, until]` using the *full*
@@ -479,6 +600,67 @@ mod tests {
         assert_eq!(pairs, vec![(1, 2)]);
         // All nodes shipped state to the issuer.
         assert_eq!(net.stats.messages as usize, (sim.len() - 1) * 2);
+    }
+
+    #[test]
+    fn faultless_over_matches_zero_fault_answer() {
+        let sim = fleet();
+        for shipping in [Shipping::Data, Shipping::Query] {
+            let mut net = Network::new(1);
+            let out = object_query_over(
+                &sim,
+                &mut net,
+                0,
+                &reach_pred(),
+                shipping,
+                Transport::Raw,
+                10,
+            );
+            assert_eq!(out.matches, vec![1, 3], "{shipping:?}");
+            assert!(out.complete);
+            assert_eq!(out.responded, 3);
+            assert!(out.missing.is_empty());
+            // Request one way + reply back: done at t0 + 2·latency.
+            assert_eq!(out.finished_at, 2);
+        }
+    }
+
+    #[test]
+    fn loss_surfaces_as_incomplete_answers() {
+        let sim = fleet();
+        let mut net = Network::new(1);
+        net.set_faults(crate::network::FaultPlan::new(13).with_loss(0.45));
+        let raw = object_query_over(
+            &sim,
+            &mut net,
+            0,
+            &reach_pred(),
+            Shipping::Query,
+            Transport::Raw,
+            20,
+        );
+        assert!(!raw.complete, "45% loss on 3 nodes must lose a reply");
+        assert!(!raw.missing.is_empty());
+        // The same fault regime over the reliable transport recovers the
+        // full answer.
+        let mut net = Network::new(1);
+        net.set_faults(crate::network::FaultPlan::new(13).with_loss(0.45));
+        let reliable = object_query_over(
+            &sim,
+            &mut net,
+            0,
+            &reach_pred(),
+            Shipping::Query,
+            crate::reliable::Transport::Reliable(crate::reliable::RetryPolicy {
+                base_backoff: 2,
+                max_backoff: 8,
+                max_retries: u32::MAX,
+            }),
+            200,
+        );
+        assert!(reliable.complete);
+        assert_eq!(reliable.matches, vec![1, 3]);
+        assert!(reliable.retransmissions > 0);
     }
 
     #[test]

@@ -11,6 +11,33 @@ use most_mobile::{FleetSim, Network};
 use most_spatial::{Point, Rect, Velocity};
 use most_testkit::check::{floats, ints, just, one_of, tuple2, tuple3, vecs, Check, Gen};
 
+#[test]
+fn offline_windows_union_matches_membership_oracle() {
+    // `add_offline_window` union-merges overlapping windows into an
+    // IntervalSet; `is_connected` must agree tick-for-tick with the naive
+    // oracle that just scans the raw window list.
+    Check::new("mobile::offline_window_oracle").cases(128).run(
+        &vecs(tuple2(ints(0..180u64), ints(0..60u64)), 0..8),
+        |windows| {
+            let mut net = Network::new(0);
+            for &(begin, len) in windows {
+                net.add_offline_window(7, begin, begin + len);
+            }
+            for t in 0..260u64 {
+                let oracle_offline =
+                    windows.iter().any(|&(begin, len)| begin <= t && t <= begin + len);
+                assert_eq!(
+                    net.is_connected(7, t),
+                    !oracle_offline,
+                    "tick {t} with windows {windows:?}"
+                );
+            }
+            // A node with no declared windows is always connected.
+            assert!(net.is_connected(8, 0) && net.is_connected(8, 259));
+        },
+    );
+}
+
 type NodeSpec = (f64, f64, f64, f64, Option<(u64, f64, f64)>);
 
 #[derive(Debug, Clone)]

@@ -1,0 +1,126 @@
+//! Chaos property test for the reliable transport: under any combination
+//! of probabilistic loss (≤ 50%), duplication, latency jitter, *finite*
+//! offline windows and *finite* partitions, a [`ReliableMesh`] with an
+//! unbounded retry policy delivers every application message **exactly
+//! once and in per-stream order** to every eventually-connected node, and
+//! the whole system drains to idle in bounded time.
+
+use most_mobile::{FaultPlan, Network, Payload, ReliableMesh, RetryPolicy};
+use most_testkit::check::{floats, ints, tuple2, tuple3, tuple4, vecs, Check, Gen};
+use std::collections::BTreeMap;
+
+/// Raw generated material; node indices are taken modulo the node count
+/// at build time so the script stays valid for any fleet size.
+#[derive(Debug, Clone)]
+struct ChaosSpec {
+    nodes: u64,                       // 2..=5
+    loss: f64,                        // 0..0.5
+    duplication: f64,                 // 0..0.3
+    jitter: u64,                      // 0..=3
+    windows: Vec<(u64, u64, u64)>,    // (node_raw, begin, len)
+    partition: Option<(u64, u64)>,    // (begin, len), splits even/odd ids
+    sends: Vec<(u64, u64, u64)>,      // (from_raw, to_raw, tick)
+    seed: u64,
+}
+
+fn arb_spec() -> Gen<ChaosSpec> {
+    let faults = tuple3(floats(0.0..0.5), floats(0.0..0.3), ints(0..4u64));
+    let windows = vecs(tuple3(ints(0..100u64), ints(1..100u64), ints(1..40u64)), 0..4);
+    let partition = vecs(tuple2(ints(10..60u64), ints(1..30u64)), 0..2)
+        .map(|v| v.first().copied());
+    let sends = vecs(tuple3(ints(0..100u64), ints(0..100u64), ints(0..50u64)), 1..12);
+    tuple4(
+        tuple2(ints(2..6u64), faults),
+        tuple2(windows, partition),
+        sends,
+        ints(0..1_000_000u64),
+    )
+    .map(|((nodes, (loss, duplication, jitter)), (windows, partition), sends, seed)| ChaosSpec {
+        nodes,
+        loss,
+        duplication,
+        jitter,
+        windows,
+        partition,
+        sends,
+        seed,
+    })
+}
+
+#[test]
+fn reliable_mesh_is_exactly_once_in_order_under_chaos() {
+    Check::new("mobile::reliable_mesh_chaos").cases(48).run(&arb_spec(), |spec| {
+        let ids: Vec<u64> = (0..spec.nodes).collect();
+        let mut net = Network::new(1);
+        for &(node_raw, begin, len) in &spec.windows {
+            net.add_offline_window(node_raw % spec.nodes, begin, begin + len);
+        }
+        let mut plan = FaultPlan::new(spec.seed)
+            .with_loss(spec.loss)
+            .with_duplication(spec.duplication)
+            .with_jitter(spec.jitter);
+        if let Some((begin, len)) = spec.partition {
+            let evens: Vec<u64> = ids.iter().copied().filter(|i| i % 2 == 0).collect();
+            plan = plan.with_partition(&evens, begin, begin + len);
+        }
+        net.set_faults(plan);
+
+        // The script: (from, to, tick, script index), self-sends dropped,
+        // stably ordered by tick so per-stream send order is well defined.
+        let mut script: Vec<(u64, u64, u64, u64)> = spec
+            .sends
+            .iter()
+            .enumerate()
+            .map(|(k, &(f, t, at))| (f % spec.nodes, t % spec.nodes, at, k as u64))
+            .filter(|&(f, t, _, _)| f != t)
+            .collect();
+        script.sort_by_key(|&(_, _, at, _)| at);
+        let mut expected: BTreeMap<(u64, u64), Vec<u64>> = BTreeMap::new();
+        for &(f, t, _, k) in &script {
+            expected.entry((f, t)).or_default().push(k);
+        }
+
+        // Unbounded retries: the exactly-once guarantee needs them, since
+        // any finite cap can be exhausted by an adversarial loss run.
+        let policy = RetryPolicy { base_backoff: 2, max_backoff: 16, ..RetryPolicy::unbounded() };
+        let mut mesh = ReliableMesh::new(&ids, policy);
+        let mut got: BTreeMap<(u64, u64), Vec<u64>> = BTreeMap::new();
+        let last_send = script.last().map_or(0, |&(_, _, at, _)| at);
+        let mut drained_at = None;
+        for t in 0..=20_000u64 {
+            for &(f, to, at, k) in script.iter().filter(|&&(_, _, at, _)| at == t) {
+                mesh.send(&mut net, f, to, Payload::MatchStatus { id: k, matches: true }, at);
+            }
+            for d in mesh.tick(&mut net, t) {
+                if let Payload::MatchStatus { id, .. } = d.payload {
+                    got.entry((d.from, d.at)).or_default().push(id);
+                }
+            }
+            if t > last_send && mesh.is_idle() {
+                drained_at = Some(t);
+                break;
+            }
+        }
+
+        let drained_at = drained_at.unwrap_or_else(|| {
+            panic!("mesh never drained: {} frames still unacked", {
+                let mut pending = 0;
+                for &id in &ids {
+                    pending += mesh.endpoint(id).expect("mesh node").pending();
+                }
+                pending
+            })
+        });
+
+        // Exactly once, in order, complete — per (from, to) stream.
+        assert_eq!(got, expected, "delivered streams must equal the send script");
+        assert_eq!(mesh.total_stats().abandoned, 0, "unbounded policy never abandons");
+
+        // Stray duplicated copies still in flight after drain must never
+        // surface as new application deliveries.
+        for t in drained_at + 1..drained_at + 40 {
+            let stray = mesh.tick(&mut net, t);
+            assert!(stray.is_empty(), "post-drain deliveries at {t}: {stray:?}");
+        }
+    });
+}
