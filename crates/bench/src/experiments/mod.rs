@@ -17,24 +17,38 @@ pub mod micro;
 
 use crate::{Scale, Table};
 
+/// Runs an experiment with a clean observability registry and snapshots
+/// the counters into the table's deterministic `metrics` block.
+///
+/// Counter values are pure functions of the workload (seeded, no
+/// wall-clock-derived counts), so the snapshot is byte-identical across
+/// same-seed runs — CI diffs it.  Histograms contribute only their
+/// sample *counts*, never timings.
+fn with_metrics(run: impl FnOnce() -> Table) -> Table {
+    most_obs::reset();
+    let mut t = run();
+    t.metrics = most_obs::metrics_kv();
+    t
+}
+
 /// Runs every experiment, in report order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
-        fig1_query_types::run(),
-        e1_update_cost::run(scale),
-        e2_index_access::run(scale),
-        e3_continuous::run(scale),
-        e4_ftl::run(scale),
-        e4_ftl::run_ablation(scale),
-        e5_rewrite::run(scale),
-        e6_distributed::run(scale),
-        e6b_transmission::run(scale),
-        e7_index_ablation::run(scale),
-        e8_rebuild_period::run(scale),
-        e9_index_pruning::run(scale),
-        e10_refresh::run(scale),
-        e11_reliability::run(scale),
-        micro::run(scale),
+        with_metrics(fig1_query_types::run),
+        with_metrics(|| e1_update_cost::run(scale)),
+        with_metrics(|| e2_index_access::run(scale)),
+        with_metrics(|| e3_continuous::run(scale)),
+        with_metrics(|| e4_ftl::run(scale)),
+        with_metrics(|| e4_ftl::run_ablation(scale)),
+        with_metrics(|| e5_rewrite::run(scale)),
+        with_metrics(|| e6_distributed::run(scale)),
+        with_metrics(|| e6b_transmission::run(scale)),
+        with_metrics(|| e7_index_ablation::run(scale)),
+        with_metrics(|| e8_rebuild_period::run(scale)),
+        with_metrics(|| e9_index_pruning::run(scale)),
+        with_metrics(|| e10_refresh::run(scale)),
+        with_metrics(|| e11_reliability::run(scale)),
+        with_metrics(|| micro::run(scale)),
     ]
 }
 
@@ -42,21 +56,21 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
 /// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
-        "fig1" => fig1_query_types::run(),
-        "e1" => e1_update_cost::run(scale),
-        "e2" => e2_index_access::run(scale),
-        "e3" => e3_continuous::run(scale),
-        "e4" => e4_ftl::run(scale),
-        "e4b" => e4_ftl::run_ablation(scale),
-        "e5" => e5_rewrite::run(scale),
-        "e6" => e6_distributed::run(scale),
-        "e6b" => e6b_transmission::run(scale),
-        "e7" => e7_index_ablation::run(scale),
-        "e8" => e8_rebuild_period::run(scale),
-        "e9" => e9_index_pruning::run(scale),
-        "e10" => e10_refresh::run(scale),
-        "e11" => e11_reliability::run(scale),
-        "micro" => micro::run(scale),
+        "fig1" => with_metrics(fig1_query_types::run),
+        "e1" => with_metrics(|| e1_update_cost::run(scale)),
+        "e2" => with_metrics(|| e2_index_access::run(scale)),
+        "e3" => with_metrics(|| e3_continuous::run(scale)),
+        "e4" => with_metrics(|| e4_ftl::run(scale)),
+        "e4b" => with_metrics(|| e4_ftl::run_ablation(scale)),
+        "e5" => with_metrics(|| e5_rewrite::run(scale)),
+        "e6" => with_metrics(|| e6_distributed::run(scale)),
+        "e6b" => with_metrics(|| e6b_transmission::run(scale)),
+        "e7" => with_metrics(|| e7_index_ablation::run(scale)),
+        "e8" => with_metrics(|| e8_rebuild_period::run(scale)),
+        "e9" => with_metrics(|| e9_index_pruning::run(scale)),
+        "e10" => with_metrics(|| e10_refresh::run(scale)),
+        "e11" => with_metrics(|| e11_reliability::run(scale)),
+        "micro" => with_metrics(|| micro::run(scale)),
         _ => return None,
     })
 }

@@ -18,6 +18,10 @@ pub struct Table {
     pub notes: Vec<String>,
     /// Headers of wall-clock-derived columns (see [`Table::stabilize`]).
     pub measured: Vec<String>,
+    /// Deterministic observability snapshot (`most_obs::metrics_kv`)
+    /// taken after the experiment ran: sorted `(counter, value)` pairs,
+    /// byte-identical across same-seed runs (never wall-clock values).
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl Table {
@@ -34,6 +38,7 @@ impl Table {
             rows: Vec::new(),
             notes: Vec::new(),
             measured: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -111,6 +116,15 @@ impl ToJson for Table {
             ("rows".to_owned(), self.rows.to_json()),
             ("notes".to_owned(), self.notes.to_json()),
             ("measured".to_owned(), self.measured.to_json()),
+            (
+                "metrics".to_owned(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -129,6 +143,12 @@ impl fmt::Display for Table {
         }
         for n in &self.notes {
             writeln!(f, "\n> {n}")?;
+        }
+        if !self.metrics.is_empty() {
+            writeln!(f, "\nmetrics:")?;
+            for (k, v) in &self.metrics {
+                writeln!(f, "  {k} = {v}")?;
+            }
         }
         Ok(())
     }

@@ -16,7 +16,7 @@ use crate::deps::DepSet;
 use most_dbms::value::Value;
 use most_ftl::answer::{Answer, AnswerTuple};
 use most_ftl::Query;
-use most_temporal::{Horizon, Interval, IntervalSet, Tick};
+use most_temporal::{Interval, IntervalSet, Tick};
 use std::collections::BTreeMap;
 
 /// A registered continuous query.
@@ -200,7 +200,10 @@ pub fn merge_incremental(
             rows.insert(tup.values.clone(), tup.intervals.clone());
         }
     }
-    let future = IntervalSet::singleton(Interval::new(boundary, Tick::MAX - 1));
+    // `[boundary, Tick::MAX]` — well-formed for every boundary, including
+    // `Tick::MAX` itself (`Tick::MAX - 1` as the end both excluded valid
+    // ticks and made the constructor panic at the top of the domain).
+    let future = IntervalSet::singleton(Interval::new(boundary, Tick::MAX));
     for tup in &fresh.tuples {
         debug_assert!(tup.values.contains(changed));
         let clipped = tup.intervals.intersect(&future);
@@ -234,9 +237,9 @@ pub fn merge_answers(old: &Answer, new: &Answer, boundary: Tick) -> Answer {
             }
         }
     }
-    // The future part must not extend below the boundary.
-    let future = IntervalSet::singleton(Interval::new(boundary, Tick::MAX - 1))
-        .clamp(Horizon::new(Tick::MAX - 1));
+    // The future part must not extend below the boundary; `[boundary,
+    // Tick::MAX]` is well-formed for every boundary, including `Tick::MAX`.
+    let future = IntervalSet::singleton(Interval::new(boundary, Tick::MAX));
     for tup in &new.tuples {
         let clipped = tup.intervals.intersect(&future);
         if clipped.is_empty() {
@@ -421,5 +424,48 @@ mod tests {
         let fresh = answer(&[]);
         let merged = merge_incremental(&old, 0, &changed, &fresh);
         assert!(merged.intervals_for(&[Value::Id(1)]).is_none());
+    }
+
+    #[test]
+    fn merge_at_tick_max_boundary_keeps_past_and_final_tick() {
+        // A boundary at the very top of the tick domain used to construct
+        // the inverted interval [MAX, MAX-1] and panic; it must instead
+        // keep the whole served past and take only tick MAX from `new`.
+        let old = answer(&[(1, &[(0, 5)])]);
+        let new = answer(&[(1, &[(Tick::MAX, Tick::MAX)]), (2, &[(0, 5)])]);
+        let merged = merge_answers(&old, &new, Tick::MAX);
+        assert_eq!(
+            merged.intervals_for(&[Value::Id(1)]).unwrap(),
+            &IntervalSet::from_intervals([
+                Interval::new(0, 5),
+                Interval::new(Tick::MAX, Tick::MAX),
+            ])
+        );
+        // Object 2's contribution lies entirely below the boundary: dropped.
+        assert!(merged.intervals_for(&[Value::Id(2)]).is_none());
+
+        let changed = Value::Id(1);
+        let fresh = answer(&[(1, &[(Tick::MAX, Tick::MAX)])]);
+        let inc = merge_incremental(&old, Tick::MAX, &changed, &fresh);
+        assert_eq!(
+            inc.intervals_for(&[Value::Id(1)]).unwrap(),
+            &IntervalSet::from_intervals([
+                Interval::new(0, 5),
+                Interval::new(Tick::MAX, Tick::MAX),
+            ])
+        );
+    }
+
+    #[test]
+    fn merge_future_window_includes_tick_max() {
+        // A fresh answer reaching Tick::MAX must not have its final tick
+        // shaved off by the future-window clip.
+        let old = answer(&[]);
+        let new = answer(&[(1, &[(10, Tick::MAX)])]);
+        let merged = merge_answers(&old, &new, 10);
+        assert_eq!(
+            merged.intervals_for(&[Value::Id(1)]).unwrap(),
+            &IntervalSet::singleton(Interval::new(10, Tick::MAX))
+        );
     }
 }

@@ -578,8 +578,10 @@ impl Database {
             return Ok(());
         }
         let boundary = self.clock;
+        most_obs::span!("refresh.eval");
         // Step 1: dependency filtering.
         let mut to_refresh: Vec<(u64, Query)> = Vec::new();
+        let mut skipped = 0u64;
         for id in self.continuous.ids() {
             let relevant = {
                 let entry = self.continuous.get(id).expect("id from ids() snapshot");
@@ -596,8 +598,12 @@ impl Database {
                 to_refresh.push((id, query));
             } else {
                 self.continuous.note_skipped(id);
+                skipped += 1;
             }
         }
+        most_obs::add("refresh.total", to_refresh.len() as u64 + skipped);
+        most_obs::add("refresh.skipped", skipped);
+        most_obs::add("refresh.evaluated", to_refresh.len() as u64);
         // Step 2/3 for the incremental mode: per changed object, restricted
         // re-evaluation against the final batch state (each pinned
         // evaluation sees all mutations, so the per-object merges commute).
@@ -613,6 +619,8 @@ impl Database {
                     let start = std::time::Instant::now();
                     let fresh = self.evaluate_pinned(&query, oid)?;
                     let nanos = start.elapsed().as_nanos() as u64;
+                    most_obs::inc("refresh.incremental");
+                    most_obs::observe("refresh.query_nanos", nanos);
                     self.continuous
                         .refresh_incremental(id, boundary, &Value::Id(oid), fresh, nanos);
                 }

@@ -30,35 +30,53 @@ pub(crate) fn evaluate_refresh_set(
 ) -> Vec<(u64, CoreResult<Answer>, u64)> {
     let workers = workers.max(1).min(queries.len().max(1));
     if workers <= 1 {
-        return queries
+        most_obs::add("refresh.shards", u64::from(!queries.is_empty()));
+        let out: Vec<_> = queries
             .iter()
             .map(|(id, q)| {
                 let (result, nanos) = timed_eval(db, q, eval_workers);
                 (*id, result, nanos)
             })
             .collect();
+        for (_, _, nanos) in &out {
+            most_obs::observe("refresh.query_nanos", *nanos);
+        }
+        return out;
     }
     let chunk = queries.len().div_ceil(workers);
     let mut out = Vec::with_capacity(queries.len());
+    let mut shard_nanos = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|shard| {
                 scope.spawn(move || {
-                    shard
+                    let start = std::time::Instant::now();
+                    let results = shard
                         .iter()
                         .map(|(id, q)| {
                             let (result, nanos) = timed_eval(db, q, 1);
                             (*id, result, nanos)
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    (results, start.elapsed().as_nanos() as u64)
                 })
             })
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("refresh worker panicked"));
+            let (results, nanos) = handle.join().expect("refresh worker panicked");
+            out.extend(results);
+            shard_nanos.push(nanos);
         }
     });
+    // Registry traffic stays out of the worker loops: one batch here.
+    most_obs::add("refresh.shards", shard_nanos.len() as u64);
+    for nanos in shard_nanos {
+        most_obs::observe("refresh.shard_nanos", nanos);
+    }
+    for (_, _, nanos) in &out {
+        most_obs::observe("refresh.query_nanos", *nanos);
+    }
     out
 }
 

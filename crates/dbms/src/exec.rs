@@ -140,6 +140,13 @@ pub fn execute_with_stats(catalog: &Catalog, q: &SelectQuery) -> DbResult<(Resul
         }
     }
 
+    // Registry traffic stays out of the scan loop: one batch per query.
+    most_obs::inc("dbms.queries");
+    most_obs::add("dbms.rows_scanned", stats.rows_scanned);
+    most_obs::add("dbms.rows_output", stats.rows_output);
+    if q.from.len() > 1 {
+        most_obs::add("dbms.rows_joined", stats.rows_scanned);
+    }
     Ok((
         ResultSet {
             columns: q.select.iter().map(|(n, _)| n.clone()).collect(),

@@ -290,29 +290,39 @@ fn eval_formula(
             ra.complement(h, domain)
         }
         Formula::Until(a, b) => {
+            most_obs::inc("ftl.temporal_ops");
             let ra = eval_formula(ctx, a, obj_vars)?;
             let rb = expand_for_until(ctx, &ra, eval_formula(ctx, b, obj_vars)?, obj_vars)?;
             Ok(ra.until_join(&rb))
         }
         Formula::UntilWithin(c, a, b) => {
+            most_obs::inc("ftl.temporal_ops");
             let ra = eval_formula(ctx, a, obj_vars)?;
             let rb = expand_for_until(ctx, &ra, eval_formula(ctx, b, obj_vars)?, obj_vars)?;
             Ok(ra.until_within_join(*c, &rb))
         }
         Formula::Nexttime(a) => {
+            most_obs::inc("ftl.temporal_ops");
             Ok(eval_formula(ctx, a, obj_vars)?.map_sets(|s| s.next_time(h)))
         }
         Formula::Eventually(a) => {
+            most_obs::inc("ftl.temporal_ops");
             Ok(eval_formula(ctx, a, obj_vars)?.map_sets(|s| s.eventually()))
         }
-        Formula::Always(a) => Ok(eval_formula(ctx, a, obj_vars)?.map_sets(|s| s.always(h))),
+        Formula::Always(a) => {
+            most_obs::inc("ftl.temporal_ops");
+            Ok(eval_formula(ctx, a, obj_vars)?.map_sets(|s| s.always(h)))
+        }
         Formula::EventuallyWithin(c, a) => {
+            most_obs::inc("ftl.temporal_ops");
             Ok(eval_formula(ctx, a, obj_vars)?.map_sets(|s| s.eventually_within(*c)))
         }
         Formula::EventuallyAfter(c, a) => {
+            most_obs::inc("ftl.temporal_ops");
             Ok(eval_formula(ctx, a, obj_vars)?.map_sets(|s| s.eventually_after(*c)))
         }
         Formula::AlwaysFor(c, a) => {
+            most_obs::inc("ftl.temporal_ops");
             Ok(eval_formula(ctx, a, obj_vars)?.map_sets(|s| s.always_for(*c, h)))
         }
         Formula::Assign(x, term, body) => {
@@ -480,6 +490,7 @@ fn atom_relation_over(
     ids: &[u64],
     eval_one: impl Fn(&Env) -> FtlResult<IntervalSet> + Sync,
 ) -> FtlResult<VarRelation> {
+    most_obs::inc("ftl.atoms");
     match vars.first() {
         Some(var) => {
             let rows = single_var_rows(var, ids, ctx.eval_workers(), &eval_one)?;
@@ -505,6 +516,7 @@ fn atom_relation(
     eval_one: impl Fn(&Env) -> FtlResult<IntervalSet> + Sync,
 ) -> FtlResult<VarRelation> {
     let ids = ctx.object_ids();
+    most_obs::inc("ftl.atoms");
     match vars.len() {
         0 => {
             let set = eval_one(&Env::new())?;
@@ -515,6 +527,7 @@ fn atom_relation(
             Ok(VarRelation::new(vars.to_vec(), rows))
         }
         k => {
+            most_obs::add("ftl.candidates", (ids.len() as u64).saturating_pow(k as u32));
             // Odometer over the k-fold product of the domain, last variable
             // fastest (the same lexicographic order the old recursion
             // produced).  One Env is rebound in place per instantiation.
@@ -562,6 +575,8 @@ fn single_var_rows(
     workers: usize,
     eval_one: &(impl Fn(&Env) -> FtlResult<IntervalSet> + Sync),
 ) -> FtlResult<Rows> {
+    // One registry batch per atom's candidate loop, never per candidate.
+    most_obs::add("ftl.candidates", ids.len() as u64);
     let serial = |shard: &[u64]| -> FtlResult<Rows> {
         let mut env = Env::new();
         let mut rows = Vec::new();

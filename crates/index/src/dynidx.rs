@@ -50,6 +50,15 @@ pub struct QueryStats {
     pub results: u64,
 }
 
+/// Mirrors one query's [`QueryStats`] into the observability registry —
+/// batched per query, never per node, so the hot path stays cheap.
+pub(crate) fn record_query_stats(stats: &QueryStats) {
+    most_obs::inc("index.queries");
+    most_obs::add("index.nodes_visited", stats.nodes_visited);
+    most_obs::add("index.candidates", stats.candidates);
+    most_obs::add("index.results", stats.results);
+}
+
 #[derive(Debug, Clone)]
 enum Structure {
     Quad(QuadTree),
@@ -272,6 +281,7 @@ impl DynamicAttributeIndex {
             })
             .collect();
         stats.results = out.len() as u64;
+        record_query_stats(&stats);
         (out, stats)
     }
 
@@ -307,6 +317,7 @@ impl DynamicAttributeIndex {
             }
         }
         stats.results = out.len() as u64;
+        record_query_stats(&stats);
         (out, stats)
     }
 

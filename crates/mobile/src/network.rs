@@ -27,6 +27,8 @@ pub struct NetStats {
     pub messages: u64,
     /// Bytes sent.
     pub bytes: u64,
+    /// Message copies delivered to a connected recipient.
+    pub delivered: u64,
     /// Messages lost to disconnection (recipient offline at delivery).
     pub dropped: u64,
     /// Message copies lost in transit to injected loss or a partition cut.
@@ -34,7 +36,9 @@ pub struct NetStats {
     /// Extra copies injected by fault-plan duplication.
     pub duplicated: u64,
     /// Deliveries that arrived behind a later send from the same sender
-    /// (jitter-induced reordering).
+    /// (jitter-induced reordering).  Disjoint from `lost`/`dropped` (only
+    /// delivered copies are classified) and never counts a duplicate copy
+    /// of an already-delivered send — copies share their send's seq.
     pub reordered: u64,
 }
 
@@ -186,18 +190,28 @@ impl Network {
             self.stats.duplicated += copies.len() as u64 - 1;
             self.per_node.entry(to).or_default().duplicated += copies.len() as u64 - 1;
         }
+        // One seq per *logical* send, shared by fault-injected duplicates:
+        // giving each physical copy its own seq made a late-arriving
+        // duplicate of an already-delivered message look like jitter
+        // reordering to the watermark below.
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let mut lost_copies = 0u64;
         for (deliver_at, in_transit_loss) in copies {
             if in_transit_loss {
-                self.stats.lost += 1;
-                self.per_node.entry(to).or_default().lost += 1;
+                lost_copies += 1;
                 continue;
             }
-            self.next_seq += 1;
             self.in_flight.push((
                 deliver_at,
-                Message { from, to, sent_at: now, seq: self.next_seq, payload: payload.clone() },
+                Message { from, to, sent_at: now, seq, payload: payload.clone() },
             ));
         }
+        self.stats.lost += lost_copies;
+        self.per_node.entry(to).or_default().lost += lost_copies;
+        most_obs::inc("net.messages");
+        most_obs::add("net.bytes", bytes);
+        most_obs::add("net.lost", lost_copies);
     }
 
     /// Broadcast helper: sends the payload to every node in `nodes`
@@ -222,16 +236,19 @@ impl Network {
     /// Delivers every message due at or before `now`; messages to offline
     /// recipients are dropped, messages crossing an active partition are
     /// cut.  Delivery order is `(sent_at, from, seq)` — the monotone
-    /// per-send `seq` breaks ties between copies of the same logical
-    /// message.
+    /// per-send `seq` orders distinct logical sends, while copies of the
+    /// same send share a seq (the stable sort keeps their send order).
     pub fn deliver_due(&mut self, now: Tick) -> Vec<Message> {
         let mut delivered = Vec::new();
         let mut remaining = Vec::with_capacity(self.in_flight.len());
         let in_flight = std::mem::take(&mut self.in_flight);
+        let mut dropped = 0u64;
+        let mut cut = 0u64;
         for (at, msg) in in_flight {
             if at > now {
                 remaining.push((at, msg));
             } else if !self.is_connected(msg.to, at) {
+                dropped += 1;
                 self.stats.dropped += 1;
                 self.per_node.entry(msg.to).or_default().dropped += 1;
             } else if self
@@ -239,6 +256,7 @@ impl Network {
                 .as_ref()
                 .is_some_and(|(plan, _)| plan.cuts(msg.from, msg.to, at))
             {
+                cut += 1;
                 self.stats.lost += 1;
                 self.per_node.entry(msg.to).or_default().lost += 1;
             } else {
@@ -247,15 +265,23 @@ impl Network {
         }
         self.in_flight = remaining;
         delivered.sort_by_key(|m| (m.sent_at, m.from, m.seq));
+        let mut reordered = 0u64;
         for m in &delivered {
+            self.stats.delivered += 1;
+            self.per_node.entry(m.to).or_default().delivered += 1;
             let high = self.last_delivered.entry((m.from, m.to)).or_insert(0);
             if m.seq < *high {
+                reordered += 1;
                 self.stats.reordered += 1;
                 self.per_node.entry(m.to).or_default().reordered += 1;
             } else {
                 *high = m.seq;
             }
         }
+        most_obs::add("net.delivered", delivered.len() as u64);
+        most_obs::add("net.dropped", dropped);
+        most_obs::add("net.lost", cut);
+        most_obs::add("net.reordered", reordered);
         delivered
     }
 

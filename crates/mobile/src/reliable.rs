@@ -194,12 +194,15 @@ impl ReliableEndpoint {
             // connectivity, as the paper's server knows M's.
             frame.next_attempt = now + 1;
             self.stats.deferrals += 1;
+            most_obs::inc("reliable.deferrals");
             return;
         }
         if frame.sends > 0 {
             self.stats.retransmissions += 1;
+            most_obs::inc("reliable.retransmissions");
         }
         self.stats.transmissions += 1;
+        most_obs::inc("reliable.transmissions");
         frame.sends += 1;
         frame.next_attempt = now + frame.backoff;
         frame.backoff = (frame.backoff * 2).min(self.policy.max_backoff);
@@ -246,18 +249,22 @@ impl ReliableEndpoint {
                 // retransmitting until *an* ack survives the network.
                 net.send(self.node, msg.from, Payload::Ack { seq }, now);
                 self.stats.acks_sent += 1;
+                most_obs::inc("reliable.acks_sent");
                 let expected = self.next_expected.entry(msg.from).or_insert(0);
                 if seq < *expected || self.held.contains_key(&(msg.from, seq)) {
                     self.stats.duplicates_suppressed += 1;
+                    most_obs::inc("reliable.duplicates_suppressed");
                     return Vec::new();
                 }
                 self.held.insert((msg.from, seq), *inner);
+                most_obs::gauge_max("reliable.held_depth", self.held.len() as u64);
                 let mut released = Vec::new();
                 while let Some(payload) = self.held.remove(&(msg.from, *expected)) {
                     released.push((msg.from, payload));
                     *expected += 1;
                 }
                 self.stats.delivered += released.len() as u64;
+                most_obs::add("reliable.delivered", released.len() as u64);
                 released
             }
             other => vec![(msg.from, other)],

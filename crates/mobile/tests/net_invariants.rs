@@ -1,0 +1,144 @@
+//! Regression and accounting-invariant tests for [`Network`]'s traffic
+//! counters ([`NetStats`]).
+//!
+//! The regression target: `send` used to allocate a fresh sequence
+//! number for *each physical copy* of a message, so a fault-injected
+//! duplicate arriving after its sibling was classified by the reorder
+//! watermark as jitter reordering — even when no two logical sends ever
+//! swapped places.  Copies of one logical send now share one seq, which
+//! keeps `reordered` (cross-send swaps) disjoint from `duplicated`
+//! (extra copies of one send).
+
+use most_mobile::{FaultPlan, NetStats, Network, Payload};
+
+/// Drains the network tick by tick over `ticks` and returns every
+/// delivered message count.
+fn drain(net: &mut Network, ticks: u64) -> u64 {
+    let mut delivered = 0u64;
+    for t in 0..=ticks {
+        delivered += net.deliver_due(t).len() as u64;
+    }
+    delivered
+}
+
+/// A late-arriving duplicate of an already-delivered send must not be
+/// counted as reordering.  Sends are spaced 100 ticks apart while
+/// jitter is at most 6, so no two *logical* sends can swap places —
+/// any nonzero `reordered` here is the duplicate-vs-sibling artifact.
+///
+/// Pre-fix (per-copy seq assignment) this fails: with always-on
+/// duplication and jitter, some send's second copy draws a smaller
+/// delay than its first and arrives ahead of it, and the first copy
+/// then trips the watermark.
+#[test]
+fn duplicate_copies_are_not_counted_as_reordered() {
+    let mut net = Network::new(1);
+    net.set_faults(FaultPlan::new(17).with_duplication(1.0).with_jitter(6));
+    let sends = 60u64;
+    for k in 0..sends {
+        net.send(1, 2, Payload::Cancel, k * 100);
+    }
+    let delivered = drain(&mut net, sends * 100 + 20);
+    assert_eq!(delivered, 2 * sends, "always-duplicate, lossless: every copy arrives");
+    assert_eq!(net.stats.duplicated, sends);
+    assert_eq!(
+        net.stats.reordered, 0,
+        "sends 100 ticks apart with jitter <= 6 cannot reorder; duplicates \
+         of one send must not trip the watermark"
+    );
+}
+
+/// Genuine cross-send reordering is still detected after the fix:
+/// distinct logical sends keep distinct seqs.
+#[test]
+fn cross_send_reordering_is_still_detected() {
+    let mut net = Network::new(1);
+    net.set_faults(FaultPlan::new(11).with_jitter(6));
+    for _ in 0..40 {
+        net.send(1, 2, Payload::Cancel, 0);
+    }
+    let delivered = drain(&mut net, 10);
+    assert_eq!(delivered, 40);
+    assert!(net.stats.reordered > 0, "jitter over simultaneous sends must reorder");
+}
+
+/// Physical-copy conservation: every copy created (logical sends plus
+/// injected duplicates) ends up in exactly one of delivered / dropped /
+/// lost / still-in-flight, at every observation point.
+#[test]
+fn physical_copy_conservation_holds_throughout() {
+    let mut net = Network::new(2);
+    net.set_faults(
+        FaultPlan::new(23)
+            .with_loss(0.3)
+            .with_duplication(0.5)
+            .with_jitter(4)
+            .with_partition(&[1, 3], 20, 40),
+    );
+    net.add_offline_window(2, 10, 15);
+    let check = |net: &Network, at: &str| {
+        let n = net.stats;
+        assert_eq!(
+            n.messages + n.duplicated,
+            n.delivered + n.dropped + n.lost + net.in_flight_count() as u64,
+            "conservation violated {at}: {n:?} + in_flight {}",
+            net.in_flight_count()
+        );
+    };
+    for t in 0..60u64 {
+        net.send(1, 2, Payload::Cancel, t);
+        net.send(1, 3, Payload::Cancel, t);
+        net.send(3, 2, Payload::Cancel, t);
+        net.deliver_due(t);
+        check(&net, "mid-run");
+    }
+    drain(&mut net, 200);
+    check(&net, "after drain");
+    assert_eq!(net.in_flight_count(), 0);
+    assert!(net.stats.delivered > 0 && net.stats.lost > 0 && net.stats.dropped > 0);
+}
+
+/// `broadcast`'s return value matches the logical-send counter delta,
+/// and the recipients' per-node delivered counts sum back to it on a
+/// fault-free network.
+#[test]
+fn broadcast_count_matches_per_node_sums() {
+    let mut net = Network::new(0);
+    let nodes = [1u64, 2, 3, 4, 5];
+    let before = net.stats.messages;
+    let sent = net.broadcast(1, &nodes, Payload::Cancel, 0);
+    assert_eq!(sent, nodes.len() as u64 - 1);
+    assert_eq!(net.stats.messages - before, sent);
+    net.deliver_due(0);
+    let delivered_sum: u64 = nodes.iter().map(|&n| net.node_stats(n).delivered).sum();
+    assert_eq!(delivered_sum, sent, "fault-free broadcast delivers to every recipient once");
+    assert_eq!(net.stats.delivered, sent);
+}
+
+/// Per-node breakdowns sum to the global counters under mixed faults.
+#[test]
+fn per_node_stats_sum_to_global() {
+    let mut net = Network::new(1);
+    net.set_faults(FaultPlan::new(7).with_loss(0.25).with_duplication(0.4).with_jitter(3));
+    net.add_offline_window(3, 5, 25);
+    let nodes = [1u64, 2, 3];
+    for t in 0..40u64 {
+        net.send(1, 2, Payload::Cancel, t);
+        net.send(2, 3, Payload::Cancel, t);
+        net.send(3, 1, Payload::Cancel, t);
+        net.deliver_due(t);
+    }
+    drain(&mut net, 100);
+    let mut sum = NetStats::default();
+    for &id in &nodes {
+        let s = net.node_stats(id);
+        sum.messages += s.messages;
+        sum.bytes += s.bytes;
+        sum.delivered += s.delivered;
+        sum.dropped += s.dropped;
+        sum.lost += s.lost;
+        sum.duplicated += s.duplicated;
+        sum.reordered += s.reordered;
+    }
+    assert_eq!(sum, net.stats, "per-node stats must sum to the global NetStats");
+}

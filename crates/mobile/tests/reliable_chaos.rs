@@ -114,7 +114,42 @@ fn reliable_mesh_is_exactly_once_in_order_under_chaos() {
 
         // Exactly once, in order, complete — per (from, to) stream.
         assert_eq!(got, expected, "delivered streams must equal the send script");
-        assert_eq!(mesh.total_stats().abandoned, 0, "unbounded policy never abandons");
+        let totals = mesh.total_stats();
+        assert_eq!(totals.abandoned, 0, "unbounded policy never abandons");
+        assert_eq!(
+            totals.delivered,
+            script.len() as u64,
+            "reliable delivered counter must equal exactly-once app deliveries"
+        );
+
+        // NetStats accounting invariants: every physical copy created
+        // (logical sends + injected duplicates) is in exactly one of
+        // {delivered, dropped, lost, still in flight} — no copy counted
+        // twice, none unaccounted.
+        let n = net.stats;
+        assert_eq!(
+            n.messages + n.duplicated,
+            n.delivered + n.dropped + n.lost + net.in_flight_count() as u64,
+            "physical-copy conservation: {n:?} + in_flight {}",
+            net.in_flight_count()
+        );
+        assert!(n.reordered <= n.delivered, "only delivered copies can be reordered");
+
+        // Per-node breakdowns must sum to the global counters.
+        let mut sums = [0u64; 7];
+        for &id in &ids {
+            let s = net.node_stats(id);
+            for (acc, v) in sums.iter_mut().zip([
+                s.messages, s.bytes, s.delivered, s.dropped, s.lost, s.duplicated, s.reordered,
+            ]) {
+                *acc += v;
+            }
+        }
+        assert_eq!(
+            sums,
+            [n.messages, n.bytes, n.delivered, n.dropped, n.lost, n.duplicated, n.reordered],
+            "per-node stats must sum to the global NetStats"
+        );
 
         // Stray duplicated copies still in flight after drain must never
         // surface as new application deliveries.

@@ -56,8 +56,11 @@ impl Interval {
     }
 
     /// Number of ticks in the interval.
+    ///
+    /// Saturates at `u64::MAX` for the full-domain interval
+    /// `[0, Tick::MAX]`, whose true length (`2^64`) is unrepresentable.
     pub fn len(self) -> u64 {
-        self.end - self.begin + 1
+        (self.end - self.begin).saturating_add(1)
     }
 
     /// Intervals are non-empty by construction.
@@ -268,5 +271,28 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Interval::new(1, 2).to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn len_saturates_at_tick_domain_boundary() {
+        // [0, MAX] has 2^64 ticks; len must saturate, not overflow.
+        assert_eq!(Interval::new(0, Tick::MAX).len(), u64::MAX);
+        assert_eq!(Interval::new(1, Tick::MAX).len(), u64::MAX);
+        assert_eq!(Interval::new(Tick::MAX, Tick::MAX).len(), 1);
+    }
+
+    #[test]
+    fn consecutiveness_never_overflows_at_tick_max() {
+        let top = Interval::new(Tick::MAX - 1, Tick::MAX);
+        let below = Interval::new(0, Tick::MAX - 2);
+        // Nothing starts after MAX, so an interval ending there precedes
+        // nothing consecutively — and the check must not wrap to 0.
+        assert!(!top.precedes_consecutively(Interval::new(0, 5)));
+        assert!(below.precedes_consecutively(top));
+        assert!(below.touches(top));
+        assert_eq!(below.merge(top), Some(Interval::new(0, Tick::MAX)));
+        // Compatibility at the top of the domain must not wrap either.
+        assert!(top.compatible_with(Interval::new(Tick::MAX, Tick::MAX)));
+        assert!(!Interval::new(0, 1).compatible_with(Interval::new(Tick::MAX, Tick::MAX)));
     }
 }

@@ -129,9 +129,12 @@ impl IntervalSet {
         self.intervals.len()
     }
 
-    /// Total number of ticks contained in the set.
+    /// Total number of ticks contained in the set (saturating at
+    /// `u64::MAX`; the full tick domain has `2^64` ticks).
     pub fn tick_count(&self) -> u64 {
-        self.intervals.iter().map(|iv| iv.len()).sum()
+        self.intervals
+            .iter()
+            .fold(0u64, |acc, iv| acc.saturating_add(iv.len()))
     }
 
     /// Whether tick `t` is in the set (binary search, O(log spans)).
@@ -237,7 +240,12 @@ impl IntervalSet {
             if iv.begin() > cursor {
                 out.push(Interval::new(cursor, iv.begin() - 1));
             }
-            cursor = iv.end().saturating_add(1);
+            // An interval reaching Tick::MAX leaves no ticks above it; the
+            // saturated cursor would otherwise re-admit tick MAX below.
+            if iv.end() == Tick::MAX {
+                return IntervalSet { intervals: out };
+            }
+            cursor = iv.end() + 1;
             if cursor > h.end() {
                 return IntervalSet { intervals: out };
             }
@@ -639,5 +647,38 @@ mod tests {
     fn display_format() {
         assert_eq!(set(&[(1, 2), (4, 5)]).to_string(), "{[1, 2], [4, 5]}");
         assert_eq!(IntervalSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn normalization_merges_adjacency_at_tick_max() {
+        // Adjacent at the very top of the tick domain: the consecutiveness
+        // check (hi + 1 == lo) must not overflow.
+        let s = set(&[(0, Tick::MAX - 1), (Tick::MAX, Tick::MAX)]);
+        assert_eq!(s.intervals(), &[Interval::new(0, Tick::MAX)]);
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn complement_excludes_tick_max_when_set_reaches_it() {
+        let h = Horizon::new(Tick::MAX);
+        // The set occupies [10, MAX]; its complement is exactly [0, 9] —
+        // in particular tick MAX must NOT reappear in the complement.
+        let s = set(&[(10, Tick::MAX)]);
+        let c = s.complement(h);
+        assert_eq!(c, set(&[(0, 9)]));
+        assert!(!c.contains(Tick::MAX));
+        // Full-domain set complements to empty; double complement restores.
+        let full = set(&[(0, Tick::MAX)]);
+        assert_eq!(full.complement(h), IntervalSet::empty());
+        assert_eq!(s.complement(h).complement(h), s);
+    }
+
+    #[test]
+    fn tick_count_saturates_on_huge_sets() {
+        assert_eq!(set(&[(0, Tick::MAX)]).tick_count(), u64::MAX);
+        assert_eq!(
+            set(&[(0, Tick::MAX - 2), (Tick::MAX, Tick::MAX)]).tick_count(),
+            u64::MAX
+        );
     }
 }

@@ -41,8 +41,11 @@ impl Horizon {
     }
 
     /// Number of ticks in the horizon (`end + 1`).
+    ///
+    /// Saturates at `u64::MAX` for `Horizon::new(Tick::MAX)`, whose true
+    /// length (`2^64`) is unrepresentable.
     pub const fn len(self) -> u64 {
-        self.end + 1
+        self.end.saturating_add(1)
     }
 
     /// A horizon is never empty: it always contains at least tick 0.
@@ -109,5 +112,13 @@ mod tests {
     #[test]
     fn default_horizon_is_large() {
         assert!(Horizon::default().end() >= 1_000_000);
+    }
+
+    #[test]
+    fn horizon_len_saturates_at_tick_max() {
+        // The full-domain horizon has 2^64 ticks; len saturates.
+        let h = Horizon::new(Tick::MAX);
+        assert_eq!(h.len(), u64::MAX);
+        assert!(h.contains(Tick::MAX));
     }
 }
