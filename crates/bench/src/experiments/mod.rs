@@ -12,6 +12,7 @@ pub mod e8_rebuild_period;
 pub mod e9_index_pruning;
 pub mod e10_refresh;
 pub mod e11_reliability;
+pub mod e12_server;
 pub mod fig1_query_types;
 pub mod micro;
 
@@ -28,6 +29,18 @@ fn with_metrics(run: impl FnOnce() -> Table) -> Table {
     most_obs::reset();
     let mut t = run();
     t.metrics = most_obs::metrics_kv();
+    t
+}
+
+/// Like [`with_metrics`] but drops `.peak` gauges from the snapshot.
+///
+/// Peak gauges (high-water marks like `server.outbox.peak`) depend on
+/// thread scheduling even when every *count* is deterministic, so
+/// experiments that exercise real concurrency (E12) exclude them from the
+/// CI-diffed block.
+fn with_filtered_metrics(run: impl FnOnce() -> Table) -> Table {
+    let mut t = with_metrics(run);
+    t.metrics.retain(|(k, _)| !k.ends_with(".peak"));
     t
 }
 
@@ -48,11 +61,12 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         with_metrics(|| e9_index_pruning::run(scale)),
         with_metrics(|| e10_refresh::run(scale)),
         with_metrics(|| e11_reliability::run(scale)),
+        with_filtered_metrics(|| e12_server::run(scale)),
         with_metrics(|| micro::run(scale)),
     ]
 }
 
-/// Runs one experiment by id (`fig1`, `e1` ... `e11`); `None` for an
+/// Runs one experiment by id (`fig1`, `e1` ... `e12`); `None` for an
 /// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
@@ -70,6 +84,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e9" => with_metrics(|| e9_index_pruning::run(scale)),
         "e10" => with_metrics(|| e10_refresh::run(scale)),
         "e11" => with_metrics(|| e11_reliability::run(scale)),
+        "e12" => with_filtered_metrics(|| e12_server::run(scale)),
         "micro" => with_metrics(|| micro::run(scale)),
         _ => return None,
     })

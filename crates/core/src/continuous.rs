@@ -222,6 +222,48 @@ pub fn merge_incremental(
     )
 }
 
+/// The difference between two continuous-query displays, as `(added,
+/// removed)` row sets — the incremental payload a subscriber needs to move
+/// from `prev` to `current` (the serving layer pushes exactly this instead
+/// of re-sending the whole display every tick).
+///
+/// Both inputs are display snapshots as produced by
+/// [`crate::Database::continuous_display`]: each row appears at most once
+/// and rows are in ascending order (`Answer::new` sorts its tuples).  The
+/// returned vectors preserve that order.
+pub fn display_delta(
+    prev: &[Vec<Value>],
+    current: &[Vec<Value>],
+) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    debug_assert!(prev.windows(2).all(|w| w[0] < w[1]), "prev display sorted");
+    debug_assert!(
+        current.windows(2).all(|w| w[0] < w[1]),
+        "current display sorted"
+    );
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < prev.len() && j < current.len() {
+        match prev[i].cmp(&current[j]) {
+            std::cmp::Ordering::Less => {
+                removed.push(prev[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(current[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend(prev[i..].iter().cloned());
+    added.extend(current[j..].iter().cloned());
+    (added, removed)
+}
+
 /// Merges a materialized answer with a re-evaluation taken at `boundary`:
 /// ticks `< boundary` keep the old answer (already served), ticks
 /// `>= boundary` come from the new one.
@@ -454,6 +496,45 @@ mod tests {
                 Interval::new(Tick::MAX, Tick::MAX),
             ])
         );
+    }
+
+    #[test]
+    fn display_delta_splits_added_and_removed() {
+        let row = |id: u64| vec![Value::Id(id)];
+        let prev = vec![row(1), row(3), row(5)];
+        let current = vec![row(2), row(3), row(6)];
+        let (added, removed) = display_delta(&prev, &current);
+        assert_eq!(added, vec![row(2), row(6)]);
+        assert_eq!(removed, vec![row(1), row(5)]);
+
+        // Identical displays: empty delta.
+        let (added, removed) = display_delta(&prev, &prev);
+        assert!(added.is_empty() && removed.is_empty());
+
+        // From/to empty.
+        let (added, removed) = display_delta(&[], &current);
+        assert_eq!(added, current);
+        assert!(removed.is_empty());
+        let (added, removed) = display_delta(&prev, &[]);
+        assert!(added.is_empty());
+        assert_eq!(removed, prev);
+    }
+
+    #[test]
+    fn display_delta_applies_back_to_prev() {
+        // Applying (added, removed) to prev must reproduce current.
+        let row = |id: u64| vec![Value::Id(id)];
+        let prev = vec![row(10), row(20), row(30), row(40)];
+        let current = vec![row(20), row(25), row(40), row(41)];
+        let (added, removed) = display_delta(&prev, &current);
+        let mut rebuilt: Vec<Vec<Value>> = prev
+            .iter()
+            .filter(|r| !removed.contains(r))
+            .cloned()
+            .collect();
+        rebuilt.extend(added);
+        rebuilt.sort();
+        assert_eq!(rebuilt, current);
     }
 
     #[test]

@@ -139,6 +139,13 @@ pub struct Database {
 
 most_testkit::json_enum!(RefreshMode { Full, Incremental });
 most_testkit::json_struct!(DbStats { updates, instantaneous_queries });
+most_testkit::json_struct!(MotionUpdate { position, velocity });
+most_testkit::json_enum!(UpdateOp {
+    Motion { id, velocity },
+    Position { id, update },
+    Static { id, attr, value },
+    DynamicScalar { id, attr, value, function },
+});
 
 impl most_testkit::ser::ToJson for Database {
     fn to_json(&self) -> most_testkit::ser::Json {
@@ -725,6 +732,22 @@ impl Database {
     /// concurrent readers need no write lock.
     pub fn instantaneous_readonly(&self, q: &Query) -> CoreResult<Answer> {
         self.evaluate_global(q)
+    }
+
+    /// Evaluates a **persistent query** anchored at `origin` without
+    /// mutating any state: the query runs against the *recorded* history
+    /// starting at `origin` (replayed updates up to the current clock,
+    /// extrapolation beyond it) and the answer comes back in global ticks.
+    ///
+    /// This is the read-path equivalent of
+    /// [`crate::persistent::PersistentQuery::answer`], usable under a
+    /// shared read lock — the serving layer re-evaluates a client's
+    /// persistent query on demand without tracking per-query state
+    /// server-side (the anchor tick travels with each request).
+    pub fn persistent_answer(&self, q: &Query, origin: Tick) -> CoreResult<Answer> {
+        let ctx = self.recorded_context(origin);
+        let local = evaluate_query(&ctx, q)?;
+        Ok(shift_answer(local, origin))
     }
 
     /// An **instantaneous query** (Section 2.3): one evaluation on the

@@ -38,6 +38,7 @@ pub mod snapshot;
 pub mod trigger;
 
 pub use class::ClassDef;
+pub use continuous::display_delta;
 pub use database::{Database, MotionUpdate, RefreshMode, UpdateOp};
 pub use deps::{DepSet, UpdateKind};
 pub use dynamic::{AttrFunction, DynamicAttribute};

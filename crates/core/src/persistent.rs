@@ -21,11 +21,11 @@
 //! persistent query once recorded updates exhibit the doubling; see the
 //! test below and `tests/three_query_types.rs`.
 
-use crate::database::{shift_answer, Database};
+use crate::database::Database;
 use crate::error::CoreResult;
 use most_dbms::value::Value;
 use most_ftl::answer::Answer;
-use most_ftl::{evaluate_query, Query};
+use most_ftl::Query;
 use most_temporal::Tick;
 
 /// A persistent query: anchored at its entry tick, re-evaluated on demand
@@ -58,9 +58,7 @@ impl PersistentQuery {
     /// recorded so far; the answer is in global ticks.
     pub fn answer(&mut self, db: &Database) -> CoreResult<Answer> {
         self.evaluations += 1;
-        let ctx = db.recorded_context(self.entered_at);
-        let local = evaluate_query(&ctx, &self.query)?;
-        Ok(shift_answer(local, self.entered_at))
+        db.persistent_answer(&self.query, self.entered_at)
     }
 
     /// The instantiations satisfied at the anchor state given everything

@@ -1,0 +1,298 @@
+//! The in-crate client: a blocking, closed-loop counterpart to the wire
+//! protocol.
+//!
+//! One request is in flight at a time; pushed [`Response::Delta`] /
+//! [`Response::Lagged`] frames that arrive while waiting for a reply are
+//! buffered ([`Client::take_deltas`], [`Client::lagged`]) rather than
+//! confused with it.  Between requests, [`Client::poll_pushed`] drains
+//! pushes with a bounded wait.
+
+use crate::protocol::{
+    decode_response, encode_frame, CqDelta, ErrorCode, FrameReader, Request, Response,
+    DEFAULT_MAX_FRAME,
+};
+use most_core::{Database, UpdateOp};
+use most_dbms::value::Value;
+use most_ftl::answer::Answer;
+use most_temporal::Tick;
+use most_testkit::ser::from_json_str;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server sent a frame this client could not decode.
+    Frame(String),
+    /// The server replied with a structured error.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server replied with a well-formed frame of the wrong kind.
+    Unexpected(String),
+    /// The connection closed while a reply was pending.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(m) => write!(f, "bad frame from server: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code:?}]: {message}")
+            }
+            ClientError::Unexpected(m) => write!(f, "unexpected reply: {m}"),
+            ClientError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Connects with bounded exponential backoff, so tests and tools racing a
+/// just-spawned server never flake on the accept path.  `attempts` bounds
+/// the retries (each waits at most 100 ms).
+pub fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(1);
+    let mut last = io::Error::new(io::ErrorKind::TimedOut, "no connect attempts made");
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e,
+        }
+        if attempt + 1 < attempts.max(1) {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(100));
+        }
+    }
+    Err(last)
+}
+
+/// A connected client session.
+#[derive(Debug)]
+pub struct Client {
+    reader: FrameReader<TcpStream>,
+    writer: TcpStream,
+    deltas: Vec<CqDelta>,
+    lagged: u64,
+}
+
+impl Client {
+    /// Connects (with retry) to a server.
+    pub fn connect(addr: SocketAddr) -> ClientResult<Client> {
+        let stream = connect_with_retry(addr, 20)?;
+        Client::from_stream(stream)
+    }
+
+    /// Wraps an established connection.
+    pub fn from_stream(stream: TcpStream) -> ClientResult<Client> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(None)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: FrameReader::new(stream, DEFAULT_MAX_FRAME),
+            writer,
+            deltas: Vec::new(),
+            lagged: 0,
+        })
+    }
+
+    /// Sends a request and blocks for its reply, buffering any pushed
+    /// frames that arrive in between.
+    pub fn request(&mut self, req: &Request) -> ClientResult<Response> {
+        self.writer.write_all(encode_frame(req).as_bytes())?;
+        loop {
+            match self.reader.next_frame() {
+                Err(e) => return Err(ClientError::Io(e)),
+                Ok(None) => return Err(ClientError::Closed),
+                Ok(Some(Err(fe))) => return Err(ClientError::Frame(format!("{fe:?}"))),
+                Ok(Some(Ok(line))) => {
+                    let resp = decode_response(&line)
+                        .map_err(|fe| ClientError::Frame(format!("{fe:?}")))?;
+                    match resp {
+                        Response::Delta(d) => self.deltas.push(d),
+                        Response::Lagged { dropped } => self.lagged = self.lagged.max(dropped),
+                        other => return Ok(other),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains pushed frames for up to `wait`, without sending anything.
+    /// Returns how many pushes (deltas + lag markers) arrived.
+    pub fn poll_pushed(&mut self, wait: Duration) -> ClientResult<usize> {
+        self.reader.get_ref().set_read_timeout(Some(wait))?;
+        let mut got = 0usize;
+        let result = loop {
+            match self.reader.next_frame() {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break Ok(got);
+                }
+                Err(e) => break Err(ClientError::Io(e)),
+                Ok(None) => break if got > 0 { Ok(got) } else { Err(ClientError::Closed) },
+                Ok(Some(Err(fe))) => break Err(ClientError::Frame(format!("{fe:?}"))),
+                Ok(Some(Ok(line))) => {
+                    let resp = decode_response(&line)
+                        .map_err(|fe| ClientError::Frame(format!("{fe:?}")))?;
+                    match resp {
+                        Response::Delta(d) => {
+                            self.deltas.push(d);
+                            got += 1;
+                        }
+                        Response::Lagged { dropped } => {
+                            self.lagged = self.lagged.max(dropped);
+                            got += 1;
+                        }
+                        other => {
+                            break Err(ClientError::Unexpected(format!("{other:?}")));
+                        }
+                    }
+                }
+            }
+        };
+        self.reader.get_ref().set_read_timeout(None)?;
+        result
+    }
+
+    /// Takes the buffered pushed deltas, in arrival order.
+    pub fn take_deltas(&mut self) -> Vec<CqDelta> {
+        std::mem::take(&mut self.deltas)
+    }
+
+    /// The highest cumulative dropped-frame count the server has reported
+    /// for this session (0 = no backpressure loss).
+    pub fn lagged(&self) -> u64 {
+        self.lagged
+    }
+
+    fn unexpected<T>(resp: Response) -> ClientResult<T> {
+        match resp {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// The server's current clock tick.
+    pub fn now(&mut self) -> ClientResult<Tick> {
+        match self.request(&Request::Now)? {
+            Response::Tick { now } => Ok(now),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Advances the clock; returns the new tick.
+    pub fn advance(&mut self, ticks: u64) -> ClientResult<Tick> {
+        match self.request(&Request::AdvanceClock { ticks })? {
+            Response::Tick { now } => Ok(now),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Evaluates an instantaneous query; returns `(now, answer)`.
+    pub fn instantaneous(&mut self, query: &str) -> ClientResult<(Tick, Answer)> {
+        match self.request(&Request::Instantaneous { query: query.to_owned() })? {
+            Response::Answer { now, answer } => Ok((now, answer)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Evaluates a persistent query anchored at `origin`.
+    pub fn persistent(&mut self, query: &str, origin: Tick) -> ClientResult<(Tick, Answer)> {
+        match self.request(&Request::Persistent { query: query.to_owned(), origin })? {
+            Response::Answer { now, answer } => Ok((now, answer)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Registers a continuous query; returns its id.
+    pub fn register(&mut self, query: &str) -> ClientResult<u64> {
+        match self.request(&Request::Register { query: query.to_owned() })? {
+            Response::Registered { cq } => Ok(cq),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Cancels a continuous query.
+    pub fn cancel(&mut self, cq: u64) -> ClientResult<()> {
+        match self.request(&Request::Cancel { cq })? {
+            Response::Cancelled { .. } => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Subscribes to a continuous query; returns the baseline
+    /// `(tick, display rows)` future deltas build on.
+    pub fn subscribe(&mut self, cq: u64) -> ClientResult<(Tick, Vec<Vec<Value>>)> {
+        match self.request(&Request::Subscribe { cq })? {
+            Response::Subscribed { tick, rows, .. } => Ok((tick, rows)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Unsubscribes from a continuous query.
+    pub fn unsubscribe(&mut self, cq: u64) -> ClientResult<()> {
+        match self.request(&Request::Unsubscribe { cq })? {
+            Response::Unsubscribed { .. } => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Applies a batch of updates; returns how many ops applied.
+    pub fn update(&mut self, ops: &[UpdateOp]) -> ClientResult<u64> {
+        match self.request(&Request::Update { ops: ops.to_vec() })? {
+            Response::Applied { count } => Ok(count),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Fetches and restores a full database snapshot — the
+    /// session-recovery path (the spatial index is not serialized; re-enable
+    /// it after restoring if needed).
+    pub fn snapshot(&mut self) -> ClientResult<Database> {
+        match self.request(&Request::Snapshot)? {
+            Response::Db { json } => {
+                from_json_str(&json).map_err(|e| ClientError::Frame(e.to_string()))
+            }
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> ClientResult<Response> {
+        match self.request(&Request::Stats)? {
+            s @ Response::Stats { .. } => Ok(s),
+            other => Self::unexpected(other),
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! The wire protocol: newline-delimited JSON frames.
+//!
+//! Every frame is one JSON value on one line, terminated by `\n` — the
+//! [`most_testkit::ser`] encoding of a [`Request`] (client → server) or a
+//! [`Response`] (server → client).  Each request frame produces exactly one
+//! reply frame; [`Response::Delta`] and [`Response::Lagged`] frames are
+//! *pushed* by the server between replies, so clients must be prepared to
+//! receive them at any point (see `most_server::client`).
+//!
+//! Malformed input never kills a session: an oversized line, invalid
+//! UTF-8, or unparseable JSON produces a structured [`Response::Error`]
+//! frame and the connection stays usable ([`FrameReader`] re-synchronises
+//! at the next newline).  Blank lines are keep-alives and produce no
+//! reply.
+
+use most_core::UpdateOp;
+use most_dbms::value::Value;
+use most_ftl::answer::Answer;
+use most_temporal::Tick;
+use most_testkit::ser::{to_json_string, Json, ToJson};
+use std::io::{self, Read};
+
+/// Default cap on a single request line, in bytes (a line longer than this
+/// is consumed and answered with [`ErrorCode::FrameTooLong`]).
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024;
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; replied with [`Response::Pong`].
+    Ping,
+    /// The current clock tick.
+    Now,
+    /// Advance the database clock by `ticks`.
+    AdvanceClock {
+        /// How many ticks to advance.
+        ticks: u64,
+    },
+    /// Evaluate an instantaneous query (FTL text) against the current
+    /// state; replied with the full [`Answer`] in global ticks.
+    Instantaneous {
+        /// FTL query text (`RETRIEVE ... WHERE ...`).
+        query: String,
+    },
+    /// Evaluate a persistent query anchored at `origin` against the
+    /// recorded history.
+    Persistent {
+        /// FTL query text.
+        query: String,
+        /// Anchor tick (must not lie in the future).
+        origin: Tick,
+    },
+    /// Register a continuous query; replied with its id.
+    Register {
+        /// FTL query text.
+        query: String,
+    },
+    /// Cancel a registered continuous query.
+    Cancel {
+        /// Continuous-query id from [`Response::Registered`].
+        cq: u64,
+    },
+    /// Subscribe this session to a continuous query: the reply carries the
+    /// current display, and every later display change is pushed as a
+    /// [`Response::Delta`].
+    Subscribe {
+        /// Continuous-query id.
+        cq: u64,
+    },
+    /// Stop receiving deltas for a continuous query.
+    Unsubscribe {
+        /// Continuous-query id.
+        cq: u64,
+    },
+    /// Apply a batch of explicit updates (one write-lock acquisition and
+    /// one refresh pass for the whole batch).
+    Update {
+        /// The updates, applied in order.
+        ops: Vec<UpdateOp>,
+    },
+    /// A full database snapshot (the `core` snapshot JSON) — the
+    /// session-recovery path: a client can restore it locally and replay.
+    Snapshot,
+    /// Server-side counters.
+    Stats,
+}
+
+most_testkit::json_enum!(Request {
+    Ping,
+    Now,
+    AdvanceClock { ticks },
+    Instantaneous { query },
+    Persistent { query, origin },
+    Register { query },
+    Cancel { cq },
+    Subscribe { cq },
+    Unsubscribe { cq },
+    Update { ops },
+    Snapshot,
+    Stats,
+});
+
+/// Machine-readable error categories carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line exceeded the frame cap; it was consumed up to the
+    /// next newline and the session stays alive.
+    FrameTooLong,
+    /// The request line was not valid UTF-8.
+    InvalidUtf8,
+    /// The request line was not valid JSON.
+    BadJson,
+    /// The JSON did not decode into a [`Request`] (unknown variant,
+    /// missing field, wrong type) or a request argument was out of range.
+    BadRequest,
+    /// The FTL query text failed to parse.
+    Parse,
+    /// Query evaluation failed.
+    Eval,
+    /// The continuous-query id is unknown (or not subscribed).
+    UnknownCq,
+    /// Advancing the clock would overflow the tick domain.
+    ClockOverflow,
+    /// An update batch was rejected (prior ops in the batch stay applied,
+    /// matching [`most_core::Database::apply_updates`] semantics).
+    Rejected,
+    /// The server's pending-connection queue is full; retry later.
+    Busy,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// An internal server error (e.g. an unencodable reply).
+    Internal,
+}
+
+most_testkit::json_enum!(ErrorCode {
+    FrameTooLong,
+    InvalidUtf8,
+    BadJson,
+    BadRequest,
+    Parse,
+    Eval,
+    UnknownCq,
+    ClockOverflow,
+    Rejected,
+    Busy,
+    ShuttingDown,
+    Internal,
+});
+
+/// An incremental display change for a subscribed continuous query: the
+/// rows that entered and left the display at `tick`, relative to the last
+/// frame the subscriber was sent ([`Response::Subscribed`] carries the
+/// baseline).  Produced by [`most_core::display_delta`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CqDelta {
+    /// Continuous-query id.
+    pub cq: u64,
+    /// Clock tick of the new display.
+    pub tick: Tick,
+    /// Rows newly in the display.
+    pub added: Vec<Vec<Value>>,
+    /// Rows no longer in the display.
+    pub removed: Vec<Vec<Value>>,
+}
+
+most_testkit::json_struct!(CqDelta { cq, tick, added, removed });
+
+/// A server frame: the reply to a request, or a pushed notification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Now`] / [`Request::AdvanceClock`].
+    Tick {
+        /// The current clock tick.
+        now: Tick,
+    },
+    /// Reply to [`Request::Instantaneous`] / [`Request::Persistent`].
+    Answer {
+        /// Clock tick at evaluation time.
+        now: Tick,
+        /// The answer, in global ticks.
+        answer: Answer,
+    },
+    /// Reply to [`Request::Register`].
+    Registered {
+        /// The continuous-query id.
+        cq: u64,
+    },
+    /// Reply to [`Request::Cancel`].
+    Cancelled {
+        /// The cancelled id.
+        cq: u64,
+    },
+    /// Reply to [`Request::Subscribe`]: the display baseline deltas build
+    /// on.
+    Subscribed {
+        /// The continuous-query id.
+        cq: u64,
+        /// Clock tick of the baseline display.
+        tick: Tick,
+        /// The current display rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Reply to [`Request::Unsubscribe`].
+    Unsubscribed {
+        /// The continuous-query id.
+        cq: u64,
+    },
+    /// Reply to [`Request::Update`].
+    Applied {
+        /// Number of ops applied.
+        count: u64,
+    },
+    /// Reply to [`Request::Snapshot`]: the database serialized with
+    /// `most-testkit` JSON, restorable via
+    /// `from_json_str::<most_core::Database>`.
+    Db {
+        /// The snapshot text.
+        json: String,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats {
+        /// Request frames handled (including malformed ones).
+        requests: u64,
+        /// Error frames sent.
+        errors: u64,
+        /// Delta frames produced.
+        deltas: u64,
+        /// Delta frames dropped by outbox backpressure.
+        dropped: u64,
+        /// Connections rejected with [`ErrorCode::Busy`].
+        busy: u64,
+        /// Sessions currently open.
+        sessions: u64,
+    },
+    /// Pushed: an incremental display change for a subscription.
+    Delta(CqDelta),
+    /// Pushed: this session's outbox overflowed and `dropped` delta frames
+    /// (cumulative total) were discarded.  The subscription baseline is
+    /// stale — re-subscribe to resynchronise.
+    Lagged {
+        /// Cumulative dropped-frame count for this session.
+        dropped: u64,
+    },
+    /// A structured error; the session stays alive.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+most_testkit::json_enum!(Response {
+    Pong,
+    Tick { now },
+    Answer { now, answer },
+    Registered { cq },
+    Cancelled { cq },
+    Subscribed { cq, tick, rows },
+    Unsubscribed { cq },
+    Applied { count },
+    Db { json },
+    Stats { requests, errors, deltas, dropped, busy, sessions },
+    Delta(delta),
+    Lagged { dropped },
+    Error { code, message },
+});
+
+/// Why an incoming line could not be turned into a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// The line exceeded the frame cap.
+    TooLong,
+    /// The line was not valid UTF-8.
+    InvalidUtf8,
+    /// The line was not valid JSON.
+    BadJson(String),
+    /// The JSON did not decode into the expected frame type.
+    BadFrame(String),
+}
+
+impl FrameError {
+    /// The structured error frame a server sends for this failure.
+    pub fn to_response(&self) -> Response {
+        let (code, message) = match self {
+            FrameError::TooLong => {
+                (ErrorCode::FrameTooLong, "request line exceeds frame cap".to_owned())
+            }
+            FrameError::InvalidUtf8 => {
+                (ErrorCode::InvalidUtf8, "request line is not valid UTF-8".to_owned())
+            }
+            FrameError::BadJson(m) => (ErrorCode::BadJson, m.clone()),
+            FrameError::BadFrame(m) => (ErrorCode::BadRequest, m.clone()),
+        };
+        Response::Error { code, message }
+    }
+}
+
+/// Encodes one frame: the JSON text plus the terminating newline.
+///
+/// Encoding only fails on non-finite floats; should a reply ever contain
+/// one, an [`ErrorCode::Internal`] error frame (always encodable) is sent
+/// in its place rather than killing the session.
+pub fn encode_frame<T: ToJson>(v: &T) -> String {
+    match to_json_string(v) {
+        Ok(mut s) => {
+            s.push('\n');
+            s
+        }
+        Err(e) => {
+            let fallback = Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("unencodable frame: {e}"),
+            };
+            let mut s = to_json_string(&fallback).expect("error frame encodes");
+            s.push('\n');
+            s
+        }
+    }
+}
+
+/// Decodes a request line (newline already stripped).
+pub fn decode_request(line: &str) -> Result<Request, FrameError> {
+    decode_frame(line)
+}
+
+/// Decodes a response line (newline already stripped).
+pub fn decode_response(line: &str) -> Result<Response, FrameError> {
+    decode_frame(line)
+}
+
+fn decode_frame<T: most_testkit::ser::FromJson>(line: &str) -> Result<T, FrameError> {
+    // Parse first so a syntax error and a schema mismatch report
+    // different codes.
+    let json = Json::parse(line).map_err(|e| FrameError::BadJson(e.to_string()))?;
+    T::from_json(&json).map_err(|e| FrameError::BadFrame(e.to_string()))
+}
+
+/// Incremental line framing over a raw byte stream.
+///
+/// Keeps partial-line state across calls, so it composes with a read
+/// timeout on the underlying socket: a `WouldBlock`/`TimedOut` error
+/// surfaces from [`FrameReader::next_frame`] without losing buffered
+/// bytes, and the caller simply retries.
+///
+/// A line longer than `max` bytes is discarded up to its terminating
+/// newline and reported as [`FrameError::TooLong`] — the stream stays in
+/// sync and the next line parses normally.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+    pending: Vec<u8>,
+    overflow: bool,
+    max: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream with a frame cap of `max` bytes per line.
+    pub fn new(inner: R, max: usize) -> Self {
+        FrameReader { inner, pending: Vec::new(), overflow: false, max }
+    }
+
+    /// The underlying stream (e.g. to adjust socket timeouts).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// The next line: `Ok(None)` at end of stream, `Ok(Some(Err(..)))` for
+    /// a malformed line (stream still usable), I/O errors (including read
+    /// timeouts) passed through.  Blank lines are skipped.
+    pub fn next_frame(&mut self) -> io::Result<Option<Result<String, FrameError>>> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if std::mem::take(&mut self.overflow) || line.len() > self.max {
+                    return Ok(Some(Err(FrameError::TooLong)));
+                }
+                if line.is_empty() {
+                    continue; // blank keep-alive
+                }
+                return Ok(Some(match String::from_utf8(line) {
+                    Ok(s) => Ok(s),
+                    Err(_) => Err(FrameError::InvalidUtf8),
+                }));
+            }
+            // No newline buffered: everything pending belongs to one
+            // still-incomplete line.  Past the cap, drop the bytes and
+            // remember to report the line as oversized once it ends.
+            if self.pending.len() > self.max || self.overflow {
+                if self.pending.len() > self.max {
+                    self.overflow = true;
+                }
+                self.pending.clear();
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.inner.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.pending.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            Request::Ping,
+            Request::AdvanceClock { ticks: 7 },
+            Request::Instantaneous { query: "RETRIEVE o WHERE true".into() },
+            Request::Persistent { query: "RETRIEVE o WHERE true".into(), origin: 3 },
+            Request::Update {
+                ops: vec![UpdateOp::Static {
+                    id: 1,
+                    attr: "PRICE".into(),
+                    value: Value::from(9.5),
+                }],
+            },
+            Request::Snapshot,
+        ];
+        for f in frames {
+            let line = encode_frame(&f);
+            assert!(line.ends_with('\n'));
+            assert_eq!(decode_request(line.trim_end()).unwrap(), f, "{line}");
+        }
+        let resp = Response::Delta(CqDelta {
+            cq: 2,
+            tick: 10,
+            added: vec![vec![Value::Id(1)]],
+            removed: vec![],
+        });
+        let line = encode_frame(&resp);
+        assert_eq!(decode_response(line.trim_end()).unwrap(), resp);
+    }
+
+    #[test]
+    fn decode_distinguishes_syntax_and_schema_errors() {
+        assert!(matches!(decode_request("{\"Ping\""), Err(FrameError::BadJson(_))));
+        assert!(matches!(decode_request("{\"Nope\":1}"), Err(FrameError::BadFrame(_))));
+        assert!(matches!(
+            decode_request("{\"AdvanceClock\":{\"ticks\":\"x\"}}"),
+            Err(FrameError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_splits_lines_and_skips_blanks() {
+        let data = b"\"Ping\"\n\r\n\"Now\"\r\n".to_vec();
+        let mut r = FrameReader::new(&data[..], 64);
+        assert_eq!(r.next_frame().unwrap().unwrap().unwrap(), "\"Ping\"");
+        assert_eq!(r.next_frame().unwrap().unwrap().unwrap(), "\"Now\"");
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_reader_recovers_from_oversized_line() {
+        let mut data = vec![b'x'; 100];
+        data.extend_from_slice(b"\n\"Ping\"\n");
+        let mut r = FrameReader::new(&data[..], 16);
+        assert_eq!(r.next_frame().unwrap().unwrap(), Err(FrameError::TooLong));
+        assert_eq!(r.next_frame().unwrap().unwrap().unwrap(), "\"Ping\"");
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_reader_reports_invalid_utf8_per_line() {
+        let data = b"\xff\xfe\n\"Ping\"\n".to_vec();
+        let mut r = FrameReader::new(&data[..], 64);
+        assert_eq!(r.next_frame().unwrap().unwrap(), Err(FrameError::InvalidUtf8));
+        assert_eq!(r.next_frame().unwrap().unwrap().unwrap(), "\"Ping\"");
+    }
+
+    #[test]
+    fn frame_reader_drops_unterminated_tail() {
+        let data = b"\"Ping\"\n\"Partial".to_vec();
+        let mut r = FrameReader::new(&data[..], 64);
+        assert_eq!(r.next_frame().unwrap().unwrap().unwrap(), "\"Ping\"");
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_frames_map_to_structured_errors() {
+        for (fe, code) in [
+            (FrameError::TooLong, ErrorCode::FrameTooLong),
+            (FrameError::InvalidUtf8, ErrorCode::InvalidUtf8),
+            (FrameError::BadJson("x".into()), ErrorCode::BadJson),
+            (FrameError::BadFrame("x".into()), ErrorCode::BadRequest),
+        ] {
+            match fe.to_response() {
+                Response::Error { code: c, .. } => assert_eq!(c, code),
+                other => panic!("expected error frame, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! The serving layer: acceptor, bounded worker pool, per-session state.
+//!
+//! ```text
+//! acceptor thread ──try_send──▶ bounded queue ──recv──▶ worker pool
+//!                     │                                    │ one session
+//!                     └─ full: Busy frame, close            ▼ at a time
+//!                                         reader loop ── handle ── reply
+//!                                              │                     │
+//!                                              ▼                     ▼
+//!                                        per-session subs      bounded outbox ──▶ writer thread
+//! ```
+//!
+//! Every mutating request (`AdvanceClock`, `Update`, `Register`, `Cancel`,
+//! `Subscribe`, `Unsubscribe`) serialises through one mutex so that
+//! subscription deltas form a single global sequence: after each mutation
+//! the server recomputes every subscribed display under the same lock and
+//! enqueues the deltas before the mutator's reply is enqueued.  Because a
+//! session's outbox is FIFO, a subscriber that completes any round-trip
+//! after a mutation has necessarily drained the deltas that mutation
+//! produced — the fence the deterministic load harness builds on.
+//! Read-only requests take only the database read lock and run
+//! concurrently.
+//!
+//! Backpressure: replies always enqueue (the closed-loop protocol bounds
+//! them at one per in-flight request), but pushed delta frames are
+//! *droppable* — when a session's outbox is at capacity the delta is
+//! counted and discarded, and the writer inserts a [`Response::Lagged`]
+//! frame so the client knows its baseline is stale and can re-subscribe.
+//! Nothing is ever silently lost.
+
+use crate::protocol::{
+    decode_request, encode_frame, CqDelta, ErrorCode, Request, Response, DEFAULT_MAX_FRAME,
+};
+use most_core::continuous::display_delta;
+use most_core::SharedDatabase;
+use most_dbms::value::Value;
+use most_ftl::Query;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one session at a time).
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before new
+    /// ones are rejected with [`ErrorCode::Busy`].
+    pub pending: usize,
+    /// Per-session outbox capacity for droppable (pushed) frames.
+    pub outbox: usize,
+    /// Per-line frame cap in bytes.
+    pub max_frame: usize,
+    /// Socket read timeout — the poll interval at which idle sessions
+    /// notice a server shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            pending: 32,
+            outbox: 1024,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Request frames handled (including malformed ones).
+    pub requests: u64,
+    /// Error frames sent in reply.
+    pub errors: u64,
+    /// Delta frames produced for subscribers.
+    pub deltas: u64,
+    /// Delta frames dropped by outbox backpressure.
+    pub dropped: u64,
+    /// Connections rejected because the pending queue was full.
+    pub busy: u64,
+    /// Sessions currently open.
+    pub sessions: u64,
+    /// Sessions opened over the server's lifetime.
+    pub opened: u64,
+}
+
+/// Whether a frame made it into a session's outbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PushOutcome {
+    Queued,
+    Dropped,
+    Closed,
+}
+
+/// Droppable frames waiting for the session's writer thread.
+#[derive(Debug, Default)]
+struct Outbox {
+    queue: VecDeque<String>,
+    closed: bool,
+    /// A drop happened since the writer last announced it.
+    lag_pending: bool,
+}
+
+/// Per-connection state.
+#[derive(Debug)]
+struct Session {
+    outbox: Mutex<Outbox>,
+    cond: Condvar,
+    /// Subscribed continuous queries with the last display each was sent
+    /// (the baseline the next delta is computed against).
+    subs: Mutex<BTreeMap<u64, Vec<Vec<Value>>>>,
+    /// Cumulative delta frames dropped for this session.
+    dropped: AtomicU64,
+}
+
+impl Session {
+    fn new() -> Self {
+        Session {
+            outbox: Mutex::new(Outbox::default()),
+            cond: Condvar::new(),
+            subs: Mutex::new(BTreeMap::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues an encoded frame.  Replies (`droppable = false`) always
+    /// queue; pushed frames are discarded (with accounting) when the
+    /// outbox is at capacity.
+    fn push(&self, frame: String, droppable: bool, cap: usize) -> PushOutcome {
+        let mut ob = self.outbox.lock().expect("outbox lock");
+        if ob.closed {
+            return PushOutcome::Closed;
+        }
+        if droppable && ob.queue.len() >= cap {
+            ob.lag_pending = true;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            drop(ob);
+            self.cond.notify_one();
+            return PushOutcome::Dropped;
+        }
+        ob.queue.push_back(frame);
+        let depth = ob.queue.len() as u64;
+        drop(ob);
+        self.cond.notify_one();
+        most_obs::observe("server.outbox.depth", depth);
+        most_obs::gauge_max("server.outbox.peak", depth);
+        PushOutcome::Queued
+    }
+
+    /// Marks the outbox closed; the writer drains what is queued, then
+    /// exits.
+    fn close(&self) {
+        let mut ob = self.outbox.lock().expect("outbox lock");
+        ob.closed = true;
+        drop(ob);
+        self.cond.notify_all();
+    }
+}
+
+/// State shared by the acceptor, workers, and the [`Server`] handle.
+#[derive(Debug)]
+struct Shared {
+    db: SharedDatabase,
+    cfg: ServerConfig,
+    /// Serialises mutation + delta-notification so subscription deltas
+    /// form one global sequence.
+    sync: Mutex<()>,
+    sessions: Mutex<BTreeMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    deltas: AtomicU64,
+    dropped: AtomicU64,
+    busy: AtomicU64,
+    opened: AtomicU64,
+}
+
+/// A running server.  Dropping the handle shuts it down gracefully:
+/// sessions drain their outboxes fully before their connections close, so
+/// no queued frame is lost.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl Server {
+    /// Binds and starts serving.  Bind to port 0 and read the ephemeral
+    /// port back with [`Server::local_addr`] — tests must never hard-code
+    /// ports.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: SharedDatabase,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            cfg: cfg.clone(),
+            sync: Mutex::new(()),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            deltas: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            opened: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.pending.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || loop {
+                let conn = rx.lock().expect("worker queue lock").recv();
+                match conn {
+                    Ok(stream) => run_session(&shared, stream),
+                    Err(_) => break, // acceptor gone, queue drained
+                }
+            }));
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    let Ok(stream) = conn else { continue };
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        let _ = reject(stream, ErrorCode::ShuttingDown, "server shutting down");
+                        break;
+                    }
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            shared.busy.fetch_add(1, Ordering::Relaxed);
+                            most_obs::inc("server.busy_rejected");
+                            let _ =
+                                reject(stream, ErrorCode::Busy, "pending connection queue full");
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                // tx drops here: workers finish queued sessions, then exit.
+            })
+        };
+        Ok(Server { shared, addr: local, acceptor: Some(acceptor), workers, stopped: false })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            deltas: self.shared.deltas.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            busy: self.shared.busy.load(Ordering::Relaxed),
+            sessions: self.shared.sessions.lock().expect("session registry lock").len() as u64,
+            opened: self.shared.opened.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let live sessions notice within
+    /// one read-timeout poll, drain every outbox, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept with a throwaway
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Sends one error frame on a connection that never became a session.
+fn reject(mut stream: TcpStream, code: ErrorCode, message: &str) -> io::Result<()> {
+    let frame = encode_frame(&Response::Error { code, message: message.to_owned() });
+    stream.write_all(frame.as_bytes())
+}
+
+/// Serves one connection to completion.
+fn run_session(shared: &Arc<Shared>, stream: TcpStream) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = reject(stream, ErrorCode::ShuttingDown, "server shutting down");
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(shared.cfg.read_timeout)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else { return };
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let session = Arc::new(Session::new());
+    {
+        let mut map = shared.sessions.lock().expect("session registry lock");
+        map.insert(id, Arc::clone(&session));
+        most_obs::gauge_set("server.sessions", map.len() as u64);
+        most_obs::gauge_max("server.sessions.peak", map.len() as u64);
+    }
+    shared.opened.fetch_add(1, Ordering::Relaxed);
+    most_obs::inc("server.sessions.opened");
+    let writer = {
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || writer_loop(&session, write_half))
+    };
+    let cap = shared.cfg.outbox;
+    let mut reader = crate::protocol::FrameReader::new(stream, shared.cfg.max_frame);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.next_frame() {
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                continue; // poll tick: re-check the shutdown flag
+            }
+            Err(_) | Ok(None) => break,
+            Ok(Some(framed)) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                most_obs::inc("server.requests");
+                let start = Instant::now();
+                let resp = match framed {
+                    Err(fe) => fe.to_response(),
+                    Ok(line) => match decode_request(&line) {
+                        Err(fe) => fe.to_response(),
+                        Ok(req) => handle_request(shared, &session, req),
+                    },
+                };
+                most_obs::observe("server.request_nanos", start.elapsed().as_nanos() as u64);
+                if matches!(resp, Response::Error { .. }) {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    most_obs::inc("server.errors");
+                }
+                session.push(encode_frame(&resp), false, cap);
+            }
+        }
+    }
+    {
+        let mut map = shared.sessions.lock().expect("session registry lock");
+        map.remove(&id);
+        most_obs::gauge_set("server.sessions", map.len() as u64);
+    }
+    most_obs::inc("server.sessions.closed");
+    session.close();
+    let _ = writer.join();
+}
+
+/// Drains a session's outbox to the socket.  Frames already queued at
+/// close are written before the thread exits — graceful shutdown loses
+/// nothing.
+fn writer_loop(session: &Session, mut stream: TcpStream) {
+    loop {
+        let frame = {
+            let mut ob = session.outbox.lock().expect("outbox lock");
+            loop {
+                if ob.lag_pending {
+                    ob.lag_pending = false;
+                    let total = session.dropped.load(Ordering::Relaxed);
+                    break Some(encode_frame(&Response::Lagged { dropped: total }));
+                }
+                if let Some(f) = ob.queue.pop_front() {
+                    break Some(f);
+                }
+                if ob.closed {
+                    break None;
+                }
+                ob = session.cond.wait(ob).expect("outbox lock");
+            }
+        };
+        let Some(frame) = frame else { return };
+        if stream.write_all(frame.as_bytes()).is_err() {
+            // Peer gone: drop what's left so producers stop queueing.
+            let mut ob = session.outbox.lock().expect("outbox lock");
+            ob.closed = true;
+            ob.queue.clear();
+            return;
+        }
+    }
+}
+
+fn err(code: ErrorCode, message: impl std::fmt::Display) -> Response {
+    Response::Error { code, message: message.to_string() }
+}
+
+fn parse_query(text: &str) -> Result<Query, Response> {
+    Query::parse(text).map_err(|e| err(ErrorCode::Parse, e))
+}
+
+fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Now => Response::Tick { now: shared.db.now() },
+        Request::Snapshot => match shared.db.read(most_testkit::ser::to_json_string) {
+            Ok(json) => Response::Db { json },
+            Err(e) => err(ErrorCode::Internal, format!("snapshot failed: {e}")),
+        },
+        Request::Stats => {
+            let sessions =
+                shared.sessions.lock().expect("session registry lock").len() as u64;
+            Response::Stats {
+                requests: shared.requests.load(Ordering::Relaxed),
+                errors: shared.errors.load(Ordering::Relaxed),
+                deltas: shared.deltas.load(Ordering::Relaxed),
+                dropped: shared.dropped.load(Ordering::Relaxed),
+                busy: shared.busy.load(Ordering::Relaxed),
+                sessions,
+            }
+        }
+        Request::Instantaneous { query } => match parse_query(&query) {
+            Err(e) => e,
+            Ok(q) => {
+                match shared.db.read(|d| d.instantaneous_readonly(&q).map(|a| (d.now(), a))) {
+                    Ok((now, answer)) => Response::Answer { now, answer },
+                    Err(e) => err(ErrorCode::Eval, e),
+                }
+            }
+        },
+        Request::Persistent { query, origin } => match parse_query(&query) {
+            Err(e) => e,
+            Ok(q) => shared.db.read(|d| {
+                if origin > d.now() {
+                    return err(
+                        ErrorCode::BadRequest,
+                        format!("persistent origin {origin} is in the future (now {})", d.now()),
+                    );
+                }
+                match d.persistent_answer(&q, origin) {
+                    Ok(answer) => Response::Answer { now: d.now(), answer },
+                    Err(e) => err(ErrorCode::Eval, e),
+                }
+            }),
+        },
+        Request::AdvanceClock { ticks } => {
+            let _order = shared.sync.lock().expect("mutation order lock");
+            let now = shared.db.now();
+            if now.checked_add(ticks).is_none() {
+                return err(
+                    ErrorCode::ClockOverflow,
+                    format!("advancing {ticks} from {now} overflows the tick domain"),
+                );
+            }
+            shared.db.advance_clock(ticks);
+            notify_subscribers(shared);
+            Response::Tick { now: shared.db.now() }
+        }
+        Request::Update { ops } => {
+            let _order = shared.sync.lock().expect("mutation order lock");
+            let result = shared.db.apply_updates(&ops);
+            // Even a rejected batch applies its prefix — refresh deltas
+            // must still go out.
+            notify_subscribers(shared);
+            match result {
+                Ok(()) => Response::Applied { count: ops.len() as u64 },
+                Err(e) => err(ErrorCode::Rejected, e),
+            }
+        }
+        Request::Register { query } => match parse_query(&query) {
+            Err(e) => e,
+            Ok(q) => {
+                let _order = shared.sync.lock().expect("mutation order lock");
+                match shared.db.write(|d| d.register_continuous(q)) {
+                    Ok(cq) => Response::Registered { cq },
+                    Err(e) => err(ErrorCode::Eval, e),
+                }
+            }
+        },
+        Request::Cancel { cq } => {
+            let _order = shared.sync.lock().expect("mutation order lock");
+            match shared.db.write(|d| d.cancel_continuous(cq)) {
+                Ok(()) => {
+                    // Scrub the dead id from every session's subscriptions;
+                    // subscribers simply stop receiving deltas for it.
+                    let sessions: Vec<Arc<Session>> = shared
+                        .sessions
+                        .lock()
+                        .expect("session registry lock")
+                        .values()
+                        .cloned()
+                        .collect();
+                    for s in sessions {
+                        s.subs.lock().expect("subs lock").remove(&cq);
+                    }
+                    Response::Cancelled { cq }
+                }
+                Err(e) => err(ErrorCode::UnknownCq, e),
+            }
+        }
+        Request::Subscribe { cq } => {
+            let _order = shared.sync.lock().expect("mutation order lock");
+            match shared.db.read(|d| d.continuous_display(cq, d.now()).map(|r| (d.now(), r))) {
+                Ok((tick, rows)) => {
+                    session.subs.lock().expect("subs lock").insert(cq, rows.clone());
+                    Response::Subscribed { cq, tick, rows }
+                }
+                Err(e) => err(ErrorCode::UnknownCq, e),
+            }
+        }
+        Request::Unsubscribe { cq } => {
+            let _order = shared.sync.lock().expect("mutation order lock");
+            if session.subs.lock().expect("subs lock").remove(&cq).is_some() {
+                Response::Unsubscribed { cq }
+            } else {
+                err(ErrorCode::UnknownCq, format!("not subscribed to continuous query #{cq}"))
+            }
+        }
+    }
+}
+
+/// Recomputes every subscribed display and enqueues the non-empty deltas.
+/// Called with the mutation-order lock held, so deltas across all sessions
+/// form one global sequence; sessions are visited in id order and
+/// subscriptions in ascending cq order, matching the single-threaded
+/// oracle in `most_server::load`.
+fn notify_subscribers(shared: &Arc<Shared>) {
+    let sessions: Vec<Arc<Session>> = {
+        let map = shared.sessions.lock().expect("session registry lock");
+        map.values().cloned().collect()
+    };
+    if sessions.is_empty() {
+        return;
+    }
+    let cap = shared.cfg.outbox;
+    shared.db.read(|d| {
+        let now = d.now();
+        for s in &sessions {
+            let mut subs = s.subs.lock().expect("subs lock");
+            let mut dead = Vec::new();
+            for (cq, last) in subs.iter_mut() {
+                match d.continuous_display(*cq, now) {
+                    Ok(rows) => {
+                        let (added, removed) = display_delta(last, &rows);
+                        if added.is_empty() && removed.is_empty() {
+                            continue;
+                        }
+                        shared.deltas.fetch_add(1, Ordering::Relaxed);
+                        most_obs::inc("server.deltas");
+                        let frame = encode_frame(&Response::Delta(CqDelta {
+                            cq: *cq,
+                            tick: now,
+                            added,
+                            removed,
+                        }));
+                        if s.push(frame, true, cap) == PushOutcome::Dropped {
+                            shared.dropped.fetch_add(1, Ordering::Relaxed);
+                            most_obs::inc("server.dropped");
+                        }
+                        // The baseline advances even when the frame was
+                        // dropped: the Lagged marker tells the client to
+                        // re-subscribe for a fresh baseline.
+                        *last = rows;
+                    }
+                    Err(_) => dead.push(*cq),
+                }
+            }
+            for cq in dead {
+                subs.remove(&cq);
+            }
+        }
+    });
+}

@@ -30,6 +30,9 @@
 //!   shipping strategies of Sections 5.2–5.3.
 //! * [`workload`] — synthetic scenario generators used by the examples,
 //!   tests and benchmarks.
+//! * [`server`] — TCP query-serving front-end with a newline-delimited
+//!   JSON wire protocol, continuous-query subscriptions and a matching
+//!   client.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@ pub use most_dbms as dbms;
 pub use most_ftl as ftl;
 pub use most_index as index;
 pub use most_mobile as mobile;
+pub use most_server as server;
 pub use most_spatial as spatial;
 pub use most_temporal as temporal;
 pub use most_workload as workload;
