@@ -13,6 +13,7 @@ pub mod e9_index_pruning;
 pub mod e10_refresh;
 pub mod e11_reliability;
 pub mod e12_server;
+pub mod e13_epochs;
 pub mod fig1_query_types;
 pub mod micro;
 
@@ -62,11 +63,12 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         with_metrics(|| e10_refresh::run(scale)),
         with_metrics(|| e11_reliability::run(scale)),
         with_filtered_metrics(|| e12_server::run(scale)),
+        with_filtered_metrics(|| e13_epochs::run(scale)),
         with_metrics(|| micro::run(scale)),
     ]
 }
 
-/// Runs one experiment by id (`fig1`, `e1` ... `e12`); `None` for an
+/// Runs one experiment by id (`fig1`, `e1` ... `e13`); `None` for an
 /// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
@@ -85,6 +87,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e10" => with_metrics(|| e10_refresh::run(scale)),
         "e11" => with_metrics(|| e11_reliability::run(scale)),
         "e12" => with_filtered_metrics(|| e12_server::run(scale)),
+        "e13" => with_filtered_metrics(|| e13_epochs::run(scale)),
         "micro" => with_metrics(|| micro::run(scale)),
         _ => return None,
     })

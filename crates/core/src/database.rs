@@ -912,25 +912,45 @@ impl Database {
         Some(rows.into_iter().map(|(id, _)| id).collect())
     }
 
+    /// Rolls the position index to a fresh epoch when the clock has
+    /// outrun it ("the index needs to be reconstructed every T time
+    /// units").  Returns whether a reconstruction happened.
+    ///
+    /// The epoch engine ([`crate::epoch::EpochDb::advance_epoch`]) calls
+    /// this on the writer's copy before publishing, so reconstruction is
+    /// paid at epoch boundaries and a published snapshot's index is
+    /// always fresh enough for [`Database::objects_in_rect_at`].
+    pub fn maintain_spatial_index(&mut self) -> bool {
+        if let Some(ix) = &self.spatial_index {
+            if self.clock - ix.epoch > self.expiration {
+                let space = ix.space;
+                self.enable_spatial_index(space);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Objects currently inside the rectangle, answered from the index when
     /// enabled (O(log n) access), otherwise by scanning all objects.
     /// Returns the ids and whether the index was used.
     pub fn objects_in_rect(&mut self, rect: &Rect) -> (Vec<u64>, bool) {
+        self.maintain_spatial_index();
+        self.objects_in_rect_at(rect)
+    }
+
+    /// Read-only variant of [`Database::objects_in_rect`] for pinned
+    /// epoch snapshots, which must never mutate: a stale index (clock
+    /// past the epoch's horizon) falls back to the linear scan instead of
+    /// reconstructing in place.
+    pub fn objects_in_rect_at(&self, rect: &Rect) -> (Vec<u64>, bool) {
         let now = self.clock;
-        // Reconstruct the index when the clock outruns the epoch
-        // ("the index needs to be reconstructed every T time units").
-        if let Some(ix) = &self.spatial_index {
-            if now - ix.epoch > self.expiration {
-                let space = ix.space;
-                self.enable_spatial_index(space);
-            }
-        }
         match &self.spatial_index {
-            Some(ix) => {
+            Some(ix) if now - ix.epoch <= self.expiration => {
                 let (ids, _) = ix.index.query_at(now - ix.epoch, rect);
                 (ids, true)
             }
-            None => {
+            _ => {
                 let ids = self
                     .objects
                     .iter()

@@ -28,6 +28,7 @@ pub mod continuous;
 pub mod database;
 pub mod deps;
 pub mod dynamic;
+pub mod epoch;
 pub mod error;
 pub mod object;
 pub mod persistent;
@@ -42,6 +43,7 @@ pub use continuous::display_delta;
 pub use database::{Database, MotionUpdate, RefreshMode, UpdateOp};
 pub use deps::{DepSet, UpdateKind};
 pub use dynamic::{AttrFunction, DynamicAttribute};
+pub use epoch::{EpochDb, EpochPin, EpochSnapshot, EpochStats};
 pub use error::{CoreError, CoreResult};
 pub use object::MovingObject;
 pub use persistent::PersistentQuery;

@@ -3,55 +3,77 @@
 //! The paper's deployment picture (Section 5) has many clients — moving
 //! vehicles, an air-traffic console — querying one database while sensor
 //! feeds apply motion-vector updates.  [`SharedDatabase`] supports that
-//! shape: queries evaluate under a read lock (many concurrent readers),
-//! updates take the write lock.  The lock is `std::sync::RwLock`; a
-//! poisoned lock (a panic while holding it) is treated as fatal.
+//! shape on top of the epoch engine ([`crate::epoch`]): queries evaluate
+//! against a **pinned immutable epoch** with no lock held (readers never
+//! wait for writers or for continuous-query refresh), while each write
+//! path buffers into the next epoch and publishes it atomically before
+//! returning — so a completed write is immediately visible to subsequent
+//! reads, exactly as under the old global `RwLock`.
 //!
 //! Instantaneous queries through this facade use
 //! [`Database::instantaneous_readonly`], which does not bump the stats
 //! counter — so readers never contend with each other.
 
 use crate::database::{Database, UpdateOp};
+use crate::epoch::{EpochDb, EpochPin, EpochStats};
 use crate::error::CoreResult;
 use most_dbms::value::Value;
 use most_ftl::answer::Answer;
 use most_ftl::Query;
 use most_spatial::Velocity;
 use most_temporal::{Duration, Tick};
-use std::sync::{Arc, RwLock};
 
 /// A cloneable, thread-safe handle to a MOST database.
 #[derive(Debug, Clone)]
 pub struct SharedDatabase {
-    inner: Arc<RwLock<Database>>,
+    epochs: EpochDb,
 }
 
 impl SharedDatabase {
-    /// Wraps a database.
+    /// Wraps a database, publishing its state as epoch 0.
     pub fn new(db: Database) -> Self {
-        SharedDatabase { inner: Arc::new(RwLock::new(db)) }
+        SharedDatabase { epochs: EpochDb::new(db) }
     }
 
-    /// Runs a closure under the read lock.
+    /// Pins the currently published epoch for lock-free reading.
+    pub fn pin(&self) -> EpochPin {
+        self.epochs.pin()
+    }
+
+    /// The underlying epoch engine (buffered writes, explicit publish,
+    /// accounting).
+    pub fn epochs(&self) -> &EpochDb {
+        &self.epochs
+    }
+
+    /// Epoch accounting snapshot (`created == retired + live`).
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.epochs.stats()
+    }
+
+    /// Runs a closure against the published epoch (lock-free snapshot
+    /// read).
     pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.inner.read().expect("database lock poisoned"))
+        let pin = self.epochs.pin();
+        f(pin.db())
     }
 
-    /// Runs a closure under the write lock.
+    /// Runs a mutating closure and publishes the result as a new epoch
+    /// before returning (read-your-writes).
     pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.inner.write().expect("database lock poisoned"))
+        self.epochs.commit(f)
     }
 
-    /// Evaluates an instantaneous query under the read lock.
+    /// Evaluates an instantaneous query against the published epoch.
     pub fn instantaneous(&self, q: &Query) -> CoreResult<Answer> {
-        self.inner.read().expect("database lock poisoned").instantaneous_readonly(q)
+        self.epochs.pin().db().instantaneous_readonly(q)
     }
 
-    /// The instantiations satisfied right now, under the read lock.
+    /// The instantiations satisfied right now, on the published epoch.
     pub fn instantaneous_now(&self, q: &Query) -> CoreResult<Vec<Vec<Value>>> {
-        let guard = self.inner.read().expect("database lock poisoned");
-        let now = guard.now();
-        let answer = guard.instantaneous_readonly(q)?;
+        let pin = self.epochs.pin();
+        let now = pin.db().now();
+        let answer = pin.db().instantaneous_readonly(q)?;
         Ok(answer
             .at_tick(now)
             .into_iter()
@@ -59,29 +81,31 @@ impl SharedDatabase {
             .collect())
     }
 
-    /// Current clock tick.
+    /// Current clock tick (of the published epoch).
     pub fn now(&self) -> Tick {
-        self.inner.read().expect("database lock poisoned").now()
+        self.epochs.pin().db().now()
     }
 
-    /// Advances the clock (write lock).
+    /// Advances the clock and publishes the new epoch.
     pub fn advance_clock(&self, ticks: Duration) {
-        self.inner.write().expect("database lock poisoned").advance_clock(ticks);
+        self.epochs.commit(|d| d.advance_clock(ticks));
     }
 
-    /// Applies a motion-vector update (write lock; refreshes continuous
-    /// queries as usual).
+    /// Applies a motion-vector update (refreshes continuous queries as
+    /// usual) and publishes the new epoch.
     pub fn update_motion(&self, id: u64, velocity: Velocity) -> CoreResult<()> {
-        self.inner.write().expect("database lock poisoned").update_motion(id, velocity)
+        self.epochs.commit(|d| d.update_motion(id, velocity))
     }
 
-    /// Applies a whole batch of updates under **one** write-lock
-    /// acquisition and one continuous-query refresh pass
-    /// ([`Database::apply_updates`]).  With per-update calls, a batch of
-    /// `n` sensor reports costs `n` lock round-trips and `n` refresh
-    /// sweeps; here it costs one of each.
+    /// Applies a whole batch of updates as **one** epoch: one
+    /// continuous-query refresh pass ([`Database::apply_updates`]) on the
+    /// writer's copy, then one atomic publish.  With per-update calls, a
+    /// batch of `n` sensor reports costs `n` refresh sweeps and `n`
+    /// epochs; here it costs one of each — and a batch is never split
+    /// across two epochs, even when it stops at an error (the applied
+    /// prefix publishes in the same single epoch).
     pub fn apply_updates(&self, ops: &[UpdateOp]) -> CoreResult<()> {
-        self.inner.write().expect("database lock poisoned").apply_updates(ops)
+        self.epochs.apply_updates(ops)
     }
 }
 
@@ -135,6 +159,11 @@ mod tests {
             assert_eq!(r.join().expect("reader thread"), 50);
         }
         assert_eq!(db.now(), 50);
+        // Every write above published one epoch; with no pins held only
+        // the published one stays alive.
+        let s = db.epoch_stats();
+        assert_eq!(s.created, s.retired + s.live);
+        assert_eq!(s.live, 1);
     }
 
     #[test]
@@ -193,6 +222,9 @@ mod tests {
             assert_eq!(d.object(car).unwrap().velocity_at(d.now()), Some(Velocity::zero()));
             assert_eq!(d.stats.updates, 1);
         });
+        // The failed batch still published exactly one epoch (its prefix
+        // must not merge into a later batch's epoch).
+        assert_eq!(db.epoch_stats().current, 1);
     }
 
     #[test]
@@ -202,5 +234,7 @@ mod tests {
         let _ = db.instantaneous(&q).unwrap();
         let _ = db.instantaneous_now(&q).unwrap();
         assert_eq!(db.read(|d| d.stats.instantaneous_queries), 0);
+        // Reads publish nothing: still epoch 0.
+        assert_eq!(db.epoch_stats().current, 0);
     }
 }

@@ -93,6 +93,26 @@ impl RebuildingIndex {
         }
     }
 
+    /// Rolls the reconstruction forward so that global tick `t` falls
+    /// inside the current lifetime — the **epoch-boundary maintenance
+    /// hook**.  Callers that version the database into explicit epochs
+    /// (the `most-core` epoch engine) invoke this at publish time, on the
+    /// writer's private copy, so queries against published snapshots
+    /// never pay a rebuild; queries straddling the boundary are still
+    /// answered from the retained one-epoch `prev` history.  Returns the
+    /// number of reconstructions performed.
+    pub fn roll_to(&mut self, t: Tick) -> u64 {
+        let before = self.rebuilds;
+        self.advance_to(t);
+        self.rebuilds - before
+    }
+
+    /// The epoch start of the retained pre-rebuild index, if a
+    /// reconstruction has happened (history is one epoch deep).
+    pub fn prev_epoch(&self) -> Option<Tick> {
+        self.prev.as_ref().map(|(pe, _)| *pe)
+    }
+
     /// Inserts an object at global tick `t`.
     ///
     /// A straggler insert older than the current epoch is applied at the
@@ -289,6 +309,28 @@ mod tests {
                 .filter_map(|iv| iv.intersect(most_temporal::Interval::new(250, 400))),
         );
         assert_eq!(set, &clipped, "straddling answer must match the unrebuilt oracle");
+    }
+
+    /// Epoch-boundary maintenance: rolling ahead of queries means the
+    /// query path itself performs zero rebuilds, and a query straddling
+    /// the rolled boundary is still answered from the `prev` history.
+    #[test]
+    fn roll_to_moves_rebuild_cost_off_the_query_path() {
+        let mut idx = RebuildingIndex::new(IndexKind::QuadTree, 100, (-10_000.0, 10_000.0));
+        idx.insert(1, 0, 0.0, 1.0);
+        // The epoch boundary (writer side) rolls the index forward...
+        assert_eq!(idx.roll_to(350), 3);
+        assert_eq!(idx.epoch(), 300);
+        assert_eq!(idx.prev_epoch(), Some(200));
+        // ...so queries at the published tick trigger no further rebuild.
+        let before = idx.rebuilds;
+        let (ids, _) = idx.instantaneous(350, 345.0, 355.0);
+        assert_eq!(ids, vec![1]);
+        let (rows, _) = idx.continuous(250, 0.0, 10_000.0);
+        assert_eq!(rows[0].1.first_tick(), Some(250), "prev history lost by roll_to");
+        assert_eq!(idx.rebuilds, before, "query path paid a rebuild");
+        // Rolling within the current lifetime is a no-op.
+        assert_eq!(idx.roll_to(360), 0);
     }
 
     /// A tick older than the one-epoch history clamps to the retained

@@ -184,8 +184,9 @@ pub fn run_correctness(spec: &LoadSpec) -> CorrectnessOutcome {
         outbox: 1 << 16,
         ..ServerConfig::default()
     };
-    let server = Server::bind("127.0.0.1:0", SharedDatabase::new(db), cfg)
-        .expect("bind ephemeral port");
+    let shared = SharedDatabase::new(db);
+    let server =
+        Server::bind("127.0.0.1:0", shared.clone(), cfg).expect("bind ephemeral port");
     let addr: SocketAddr = server.local_addr();
     let mut requests = 0u64;
 
@@ -270,6 +271,14 @@ pub fn run_correctness(spec: &LoadSpec) -> CorrectnessOutcome {
         }
         mismatches += got.len().abs_diff(oracle_deltas.len());
     }
+
+    // Epoch hygiene at quiescence: every mutation published exactly one
+    // epoch, nothing stayed buffered, and with no request in flight only
+    // the published snapshot is alive (`created == retired + live`).
+    let st = shared.epoch_stats();
+    assert_eq!(st.created, st.retired + st.live, "epoch accounting leak: {st:?}");
+    assert_eq!(st.live, 1, "server retained old epochs: {st:?}");
+    assert_eq!(st.pending_batches, 0, "server left a batch buffered: {st:?}");
 
     let dropped = server.stats().dropped;
     drop(subscribers);

@@ -18,8 +18,15 @@
 //! session's outbox is FIFO, a subscriber that completes any round-trip
 //! after a mutation has necessarily drained the deltas that mutation
 //! produced — the fence the deterministic load harness builds on.
-//! Read-only requests take only the database read lock and run
-//! concurrently.
+//!
+//! Read-only requests don't even take a lock: each one **pins the
+//! published epoch** (`most_core::epoch`) — an `Arc` clone — and answers
+//! from that immutable snapshot, so sessions read concurrently with
+//! mutations and with the continuous-query refresh they trigger.  Each
+//! `Update` batch publishes exactly one epoch (one batch → one refresh
+//! pass → one epoch → one delta fan-out), and `notify_subscribers` pins
+//! the just-published epoch so every delta in the global sequence is
+//! computed from a single consistent state.
 //!
 //! Backpressure: replies always enqueue (the closed-loop protocol bounds
 //! them at one per in-flight request), but pushed delta frames are
@@ -447,15 +454,19 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
         Request::Instantaneous { query } => match parse_query(&query) {
             Err(e) => e,
             Ok(q) => {
-                match shared.db.read(|d| d.instantaneous_readonly(&q).map(|a| (d.now(), a))) {
-                    Ok((now, answer)) => Response::Answer { now, answer },
+                // Lock-free: evaluate on a pinned epoch snapshot.
+                let pin = shared.db.pin();
+                match pin.db().instantaneous_readonly(&q) {
+                    Ok(answer) => Response::Answer { now: pin.db().now(), answer },
                     Err(e) => err(ErrorCode::Eval, e),
                 }
             }
         },
         Request::Persistent { query, origin } => match parse_query(&query) {
             Err(e) => e,
-            Ok(q) => shared.db.read(|d| {
+            Ok(q) => {
+                let pin = shared.db.pin();
+                let d = pin.db();
                 if origin > d.now() {
                     return err(
                         ErrorCode::BadRequest,
@@ -466,7 +477,7 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                     Ok(answer) => Response::Answer { now: d.now(), answer },
                     Err(e) => err(ErrorCode::Eval, e),
                 }
-            }),
+            }
         },
         Request::AdvanceClock { ticks } => {
             let _order = shared.sync.lock().expect("mutation order lock");
@@ -558,7 +569,11 @@ fn notify_subscribers(shared: &Arc<Shared>) {
         return;
     }
     let cap = shared.cfg.outbox;
-    shared.db.read(|d| {
+    // One pin for the whole fan-out: every delta in this round of the
+    // global sequence is computed from the same just-published epoch.
+    let pin = shared.db.pin();
+    {
+        let d = pin.db();
         let now = d.now();
         for s in &sessions {
             let mut subs = s.subs.lock().expect("subs lock");
@@ -594,5 +609,5 @@ fn notify_subscribers(shared: &Arc<Shared>) {
                 subs.remove(&cq);
             }
         }
-    });
+    }
 }

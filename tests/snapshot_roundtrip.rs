@@ -8,9 +8,9 @@
 //! mutations sees exactly what the server sees.
 
 use most_testkit::ser::{from_json_str, to_json_string};
-use moving_objects::core::Database;
+use moving_objects::core::{Database, SharedDatabase, UpdateOp};
 use moving_objects::ftl::Query;
-use moving_objects::spatial::Polygon;
+use moving_objects::spatial::{Polygon, Velocity};
 use moving_objects::workload::cars::{apply_due_updates, CarScenario};
 
 /// The E3 scenario (crates/bench e3_continuous): 30 cars on a 400-unit
@@ -125,6 +125,91 @@ fn snapshot_then_identical_future_evolution() {
             restored.instantaneous_readonly(q).unwrap(),
             db.instantaneous_readonly(q).unwrap(),
             "instantaneous answers diverge at end of window: {q:?}"
+        );
+    }
+}
+
+/// Mid-epoch snapshot: with batches **buffered into epoch E+1 but not
+/// yet published**, the serialized form (what the server's `Snapshot`
+/// request ships) must round-trip to the last *published* epoch E —
+/// across all three query types — with no trace of the buffered half.
+#[test]
+fn mid_epoch_snapshot_restores_last_published_epoch() {
+    let window = 120u64;
+    let scenario = e3_scenario(window);
+    let plans = scenario.generate();
+    let mut db = Database::new(window * 4);
+    db.add_region("P", Polygon::rectangle(-100.0, -100.0, 100.0, 100.0));
+    let ids = scenario.populate(&mut db, &plans);
+    let cq = db
+        .register_continuous(Query::parse("RETRIEVE o WHERE INSIDE(o, P)").unwrap())
+        .unwrap();
+
+    let shared = SharedDatabase::new(db);
+    // Publish a few epochs the ordinary way.
+    for t in 1..=10u64 {
+        shared.advance_clock(1);
+        shared.write(|d| apply_due_updates(d, &ids, &plans, t - 1, t));
+    }
+    let published = shared.pin();
+
+    // Now accumulate epoch E+1 *without* publishing: a partial batch and
+    // a buffered clock advance.
+    let epochs = shared.epochs();
+    epochs
+        .buffer_updates(&[UpdateOp::Motion { id: ids[0], velocity: Velocity::new(9.0, 9.0) }])
+        .unwrap();
+    epochs.write(|d| d.advance_clock(3));
+    assert_eq!(epochs.stats().pending_batches, 1);
+
+    // The server-visible snapshot is taken through the read path — it
+    // must see only the published epoch.
+    let json = shared.read(|d| to_json_string(d).expect("snapshot serializes"));
+    let restored: Database = from_json_str(&json).expect("snapshot restores");
+
+    assert_eq!(restored.now(), published.db().now(), "buffered clock advance leaked");
+    for q in &queries() {
+        assert_eq!(
+            restored.instantaneous_readonly(q).unwrap(),
+            published.db().instantaneous_readonly(q).unwrap(),
+            "instantaneous answers diverge from published epoch: {q:?}"
+        );
+    }
+    assert_eq!(
+        restored.continuous_display(cq, restored.now()).unwrap(),
+        published.db().continuous_display(cq, published.db().now()).unwrap(),
+        "continuous display diverges from published epoch"
+    );
+    let pq = Query::parse("RETRIEVE o WHERE Eventually within 60 INSIDE(o, P)").unwrap();
+    assert_eq!(
+        restored.persistent_answer(&pq, 0).unwrap(),
+        published.db().persistent_answer(&pq, 0).unwrap(),
+        "persistent history diverges from published epoch"
+    );
+    // The buffered motion is absent from the restored copy...
+    let now = restored.now();
+    assert_ne!(
+        restored.object(ids[0]).unwrap().velocity_at(now),
+        Some(Velocity::new(9.0, 9.0)),
+        "buffered (unpublished) batch leaked into the snapshot"
+    );
+
+    // ...and publishing afterwards is equivalent to restoring the
+    // snapshot and replaying the buffered mutations on top.
+    let e = epochs.advance_epoch();
+    let after = shared.pin();
+    assert_eq!(after.epoch(), e);
+    let mut replayed = restored;
+    replayed
+        .apply_updates(&[UpdateOp::Motion { id: ids[0], velocity: Velocity::new(9.0, 9.0) }])
+        .unwrap();
+    replayed.advance_clock(3);
+    assert_eq!(replayed.now(), after.db().now());
+    for q in &queries() {
+        assert_eq!(
+            replayed.instantaneous_readonly(q).unwrap(),
+            after.db().instantaneous_readonly(q).unwrap(),
+            "replayed snapshot diverges from published E+1: {q:?}"
         );
     }
 }
