@@ -14,6 +14,7 @@ pub mod e10_refresh;
 pub mod e11_reliability;
 pub mod e12_server;
 pub mod e13_epochs;
+pub mod e14_plans;
 pub mod fig1_query_types;
 pub mod micro;
 
@@ -64,11 +65,12 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         with_metrics(|| e11_reliability::run(scale)),
         with_filtered_metrics(|| e12_server::run(scale)),
         with_filtered_metrics(|| e13_epochs::run(scale)),
+        with_metrics(|| e14_plans::run(scale)),
         with_metrics(|| micro::run(scale)),
     ]
 }
 
-/// Runs one experiment by id (`fig1`, `e1` ... `e13`); `None` for an
+/// Runs one experiment by id (`fig1`, `e1` ... `e14`); `None` for an
 /// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
@@ -88,6 +90,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e11" => with_metrics(|| e11_reliability::run(scale)),
         "e12" => with_filtered_metrics(|| e12_server::run(scale)),
         "e13" => with_filtered_metrics(|| e13_epochs::run(scale)),
+        "e14" => with_metrics(|| e14_plans::run(scale)),
         "micro" => with_metrics(|| micro::run(scale)),
         _ => return None,
     })

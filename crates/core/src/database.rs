@@ -3,7 +3,7 @@
 
 use crate::class::{AttrKind, ClassDef};
 use crate::continuous::ContinuousRegistry;
-use crate::deps::UpdateKind;
+use crate::deps::{DepSet, UpdateKind};
 use crate::dynamic::AttrFunction;
 use crate::error::{CoreError, CoreResult};
 use crate::object::MovingObject;
@@ -11,8 +11,9 @@ use crate::snapshot::{ContextMode, DbContext};
 use crate::trigger::{TriggerEvent, TriggerRegistry};
 use most_dbms::value::Value;
 use most_ftl::answer::{Answer, AnswerTuple};
+use most_ftl::plan::{AtomCache, CompiledPlan};
 use most_ftl::{evaluate_query, Query};
-use most_index::MovingObjectIndex2D;
+use most_index::{DynamicAttributeIndex, IndexKind, MovingObjectIndex2D};
 use most_spatial::{Point, Polygon, Rect, Velocity};
 use most_temporal::{Duration, IntervalSet, Tick};
 use std::collections::BTreeMap;
@@ -135,6 +136,12 @@ pub struct Database {
     refresh_filtering: bool,
     refresh_workers: usize,
     eval_workers: usize,
+    // Compiled-plan machinery (derived acceleration state, not part of the
+    // persisted snapshot: plans recompile lazily after loading).
+    compiled_plans: bool,
+    plans: BTreeMap<u64, PlanState>,
+    plan_generation: u64,
+    attr_index: Option<AttrIndexState>,
 }
 
 most_testkit::json_enum!(RefreshMode { Full, Incremental });
@@ -183,6 +190,10 @@ impl most_testkit::ser::FromJson for Database {
             refresh_filtering: true,
             refresh_workers: 1,
             eval_workers: 1,
+            compiled_plans: true,
+            plans: BTreeMap::new(),
+            plan_generation: 0,
+            attr_index: None,
         })
     }
 }
@@ -192,6 +203,100 @@ struct SpatialIndexState {
     index: MovingObjectIndex2D,
     space: Rect,
     epoch: Tick,
+}
+
+/// Compiled-plan state of one registered continuous query: the flat atom
+/// plan built once at registration, each atom's statically-extracted
+/// dependency set, and the cached atom relations surviving across refreshes
+/// (see [`most_ftl::plan`]).
+#[derive(Debug, Clone)]
+pub(crate) struct PlanState {
+    pub(crate) plan: CompiledPlan,
+    atom_deps: Vec<(String, DepSet)>,
+    pub(crate) cache: AtomCache,
+}
+
+impl PlanState {
+    pub(crate) fn compile(q: &Query) -> PlanState {
+        let plan = CompiledPlan::compile(q);
+        let atom_deps = plan
+            .atoms()
+            .iter()
+            .map(|a| (a.key.clone(), DepSet::of_formula(&a.formula)))
+            .collect();
+        PlanState { plan, atom_deps, cache: AtomCache::new() }
+    }
+
+    /// Stamps the cache to the current `(clock, generation)` and drops the
+    /// entries this update batch can affect: exactly the atoms whose
+    /// dependency set one of the change kinds touches (a `Domain` change
+    /// touches every atom).  Unknown keys are dropped conservatively.
+    fn invalidate_affected(&mut self, stamp: (u64, u64), changes: &[(u64, UpdateKind)]) {
+        self.cache.ensure_stamp(stamp);
+        let atom_deps = &self.atom_deps;
+        self.cache.invalidate(|key| {
+            atom_deps
+                .iter()
+                .find(|(k, _)| k == key)
+                .is_none_or(|(_, deps)| {
+                    changes.iter().any(|(_, kind)| deps.affected_by(kind))
+                })
+        });
+    }
+}
+
+/// The Section 4 dynamic-attribute index wired into the refresh engine:
+/// one attribute's value lines, so range atoms over that attribute fetch
+/// index-pruned candidate sets.  Writes the line model cannot absorb
+/// exactly (non-numeric values, quadratic functions, lines leaving the
+/// declared value range, domain changes) set `dirty`: lookups return
+/// `None` — falling back to full enumeration, so answers never depend on
+/// index health — until the next epoch-boundary rebuild.
+#[derive(Debug, Clone)]
+struct AttrIndexState {
+    attr: String,
+    kind: IndexKind,
+    index: DynamicAttributeIndex,
+    epoch: Tick,
+    dirty: bool,
+}
+
+/// How one object's attribute looks to the dynamic-attribute index at a
+/// tick.  `Absent` covers both "no such attribute" and a non-numeric
+/// value: neither can satisfy a numeric range atom while it holds, so the
+/// object may be left out of the index.  `Quadratic` values vary in ways a
+/// line cannot bound and force the index dirty instead.
+enum AttrLine {
+    Absent,
+    Line(f64, f64),
+    Quadratic,
+}
+
+fn attr_line(obj: &MovingObject, attr: &str, now: Tick) -> AttrLine {
+    // A scalar dynamic attribute takes precedence over a static one of the
+    // same name, matching evaluation order (`EvalContext::dynamic_series`
+    // is consulted before `attr_series`).
+    if let Some(state) = obj.dynamic_at(attr, now) {
+        return match state.function {
+            AttrFunction::Linear(slope) => {
+                let value = state.value + slope * (now as f64 - state.updatetime as f64);
+                AttrLine::Line(value, slope)
+            }
+            AttrFunction::Quadratic { .. } => AttrLine::Quadratic,
+        };
+    }
+    match obj.static_at(attr, now).and_then(Value::as_f64) {
+        Some(value) => AttrLine::Line(value, 0.0),
+        None => AttrLine::Absent,
+    }
+}
+
+/// Whether a line starting at `value` with `slope` stays inside the
+/// declared value range for `span` ticks (linear, so the extremes are at
+/// the endpoints) — the structure's bounds only cover that range.
+fn line_in_range(value: f64, slope: f64, span: Tick, range: (f64, f64)) -> bool {
+    let end = value + slope * span as f64;
+    range.0 <= value && value <= range.1 && range.0 <= end && end <= range.1
 }
 
 impl Database {
@@ -214,6 +319,10 @@ impl Database {
             refresh_filtering: true,
             refresh_workers: 1,
             eval_workers: 1,
+            compiled_plans: true,
+            plans: BTreeMap::new(),
+            plan_generation: 0,
+            attr_index: None,
         }
     }
 
@@ -283,6 +392,23 @@ impl Database {
         self.eval_workers
     }
 
+    /// Enables/disables compiled query plans for continuous queries (on by
+    /// default).  With plans on, each registered query is lowered once into
+    /// a flat atom plan whose per-atom interval relations are cached across
+    /// refreshes and invalidated per dependency set.  Disabling drops every
+    /// plan and cache; refreshes fall back to interpreting the AST.
+    pub fn set_compiled_plans(&mut self, on: bool) {
+        self.compiled_plans = on;
+        if !on {
+            self.plans.clear();
+        }
+    }
+
+    /// Whether compiled plans are enabled.
+    pub fn compiled_plans(&self) -> bool {
+        self.compiled_plans
+    }
+
     // ------------------------------------------------------------------
     // Schema & objects
     // ------------------------------------------------------------------
@@ -310,6 +436,11 @@ impl Database {
         if let Some(ix) = &mut self.spatial_index {
             ix.index.insert(id, self.clock - ix.epoch, position, velocity);
         }
+        if let Some(ix) = &mut self.attr_index {
+            // The newcomer may acquire the indexed attribute later; rebuild
+            // at the next epoch boundary rather than tracking it piecemeal.
+            ix.dirty = true;
+        }
         self.objects.insert(id, obj);
         if !self.continuous.is_empty() {
             // An insertion is an explicit update: refresh materialized
@@ -332,6 +463,9 @@ impl Database {
         let id = self.next_id;
         self.next_id += 1;
         self.objects.insert(id, MovingObject::plain(id, class));
+        if let Some(ix) = &mut self.attr_index {
+            ix.dirty = true;
+        }
         if !self.continuous.is_empty() {
             self.after_updates(&[(id, UpdateKind::Domain)])
                 .expect("continuous refresh after insert");
@@ -370,12 +504,18 @@ impl Database {
         if let Some(ix) = &mut self.spatial_index {
             ix.index.remove(id);
         }
+        if let Some(ix) = &mut self.attr_index {
+            ix.dirty = true;
+        }
         self.after_updates(&[(id, UpdateKind::Domain)])
     }
 
     /// Registers a named region (polygon) for `INSIDE` / `OUTSIDE`.
     pub fn add_region(&mut self, name: impl Into<String>, poly: Polygon) {
         self.regions.insert(name.into(), poly);
+        // Region (re)definitions bypass the update classifier; bumping the
+        // generation flushes every compiled-plan cache at its next use.
+        self.plan_generation += 1;
     }
 
     /// The paper's opening query — "How far is the car with license plate
@@ -541,6 +681,7 @@ impl Database {
             });
         }
         obj.set_static(now, name, value);
+        self.attr_index_on_write(id, name);
         Ok(())
     }
 
@@ -565,7 +706,45 @@ impl Database {
             });
         }
         obj.set_dynamic(now, name, value, function);
+        self.attr_index_on_write(id, name);
         Ok(())
+    }
+
+    /// Absorbs one attribute write into the dynamic-attribute index — the
+    /// paper's model: an update replaces the tail of the object's value
+    /// line from the current tick onwards — or marks the index dirty when
+    /// the new state cannot be represented as an in-range line.
+    fn attr_index_on_write(&mut self, id: u64, name: &str) {
+        let now = self.clock;
+        let (rel, lifetime, range) = match &self.attr_index {
+            Some(ix) if ix.attr == name && !ix.dirty && now - ix.epoch <= ix.index.lifetime() => {
+                (now - ix.epoch, ix.index.lifetime(), ix.index.value_range())
+            }
+            Some(ix) if ix.attr == name && !ix.dirty => {
+                // The clock has outrun the index lifetime; leave the rebuild
+                // to the next epoch boundary.
+                self.attr_index.as_mut().expect("matched Some").dirty = true;
+                return;
+            }
+            _ => return,
+        };
+        let line = self.objects.get(&id).map(|o| attr_line(o, name, now));
+        let ix = self.attr_index.as_mut().expect("checked above");
+        match line {
+            Some(AttrLine::Line(value, slope))
+                if line_in_range(value, slope, lifetime - rel, range) =>
+            {
+                if ix.index.contains(id) {
+                    ix.index.update(id, rel, value, slope);
+                } else {
+                    ix.index.insert(id, rel, value, slope);
+                }
+            }
+            // A value no numeric line represents: sound to leave the object
+            // unindexed, but an already-indexed line would go stale.
+            Some(AttrLine::Absent) if !ix.index.contains(id) => {}
+            _ => ix.dirty = true,
+        }
     }
 
     /// Refresh hook run after every explicit update batch: continuous
@@ -586,6 +765,22 @@ impl Database {
         }
         let boundary = self.clock;
         most_obs::span!("refresh.eval");
+        // Step 0: compiled-plan bookkeeping.  Ensure every registered query
+        // has a plan (lazy compilation covers freshly-loaded databases),
+        // then stamp each cache to the current tick/generation and drop
+        // exactly the cached atoms this batch can affect.
+        if self.compiled_plans {
+            for id in self.continuous.ids() {
+                if !self.plans.contains_key(&id) {
+                    let entry = self.continuous.get(id).expect("id from ids() snapshot");
+                    self.plans.insert(id, PlanState::compile(&entry.query));
+                }
+            }
+        }
+        let stamp = (self.clock, self.plan_generation);
+        for state in self.plans.values_mut() {
+            state.invalidate_affected(stamp, changes);
+        }
         // Step 1: dependency filtering.
         let mut to_refresh: Vec<(u64, Query)> = Vec::new();
         let mut skipped = 0u64;
@@ -636,14 +831,27 @@ impl Database {
             }
         }
         // Step 2/3 for full refreshes: evaluate (possibly in parallel),
-        // then merge serially.
+        // then merge serially.  Plan states travel with their queries so
+        // worker threads can replay and refill the atom caches; every state
+        // is reinserted before any result is inspected, so an evaluation
+        // error cannot leak plans.
+        let plan_states: Vec<Option<PlanState>> =
+            full.iter().map(|(id, _)| self.plans.remove(id)).collect();
         let results = crate::refresh::evaluate_refresh_set(
             self,
             &full,
+            plan_states,
             self.refresh_workers,
             self.eval_workers,
         );
-        for (id, result, nanos) in results {
+        let mut merged = Vec::with_capacity(results.len());
+        for (id, result, nanos, state) in results {
+            if let Some(state) = state {
+                self.plans.insert(id, state);
+            }
+            merged.push((id, result, nanos));
+        }
+        for (id, result, nanos) in merged {
             let fresh = result?;
             self.continuous.refresh(id, boundary, fresh, nanos);
         }
@@ -727,6 +935,19 @@ impl Database {
         Ok(shift_answer(local, self.clock))
     }
 
+    /// [`Database::evaluate_global_with`] through a compiled plan: cached
+    /// atom relations are replayed verbatim, freshly computed ones are
+    /// harvested back into the plan's cache for the next refresh.
+    pub(crate) fn evaluate_global_with_plan(
+        &self,
+        state: &mut PlanState,
+        eval_workers: usize,
+    ) -> CoreResult<Answer> {
+        let ctx = self.current_context().with_eval_workers(eval_workers);
+        let local = most_ftl::evaluate_compiled(&ctx, &state.plan, &mut state.cache)?;
+        Ok(shift_answer(local, self.clock))
+    }
+
     /// Evaluates an instantaneous query without mutating statistics —
     /// the read-path used by [`crate::shared::SharedDatabase`] so that
     /// concurrent readers need no write lock.
@@ -774,7 +995,14 @@ impl Database {
     /// refreshed only on explicit updates.  Returns the query id.
     pub fn register_continuous(&mut self, q: Query) -> CoreResult<u64> {
         let answer = self.evaluate_global(&q)?;
-        Ok(self.continuous.register(q, self.clock, answer))
+        // Compile once at registration (the tentpole of the compiled-plan
+        // engine): refreshes replay this plan instead of re-walking the AST.
+        let plan = self.compiled_plans.then(|| PlanState::compile(&q));
+        let id = self.continuous.register(q, self.clock, answer);
+        if let Some(state) = plan {
+            self.plans.insert(id, state);
+        }
+        Ok(id)
     }
 
     /// The materialized `Answer(CQ)` (global ticks).
@@ -797,6 +1025,7 @@ impl Database {
 
     /// Cancels a continuous query.
     pub fn cancel_continuous(&mut self, id: u64) -> CoreResult<()> {
+        self.plans.remove(&id);
         if self.continuous.cancel(id) {
             Ok(())
         } else {
@@ -925,6 +1154,103 @@ impl Database {
             if self.clock - ix.epoch > self.expiration {
                 let space = ix.space;
                 self.enable_spatial_index(space);
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic-attribute index (Section 4 integration for range atoms)
+    // ------------------------------------------------------------------
+
+    /// Enables maintenance of the Section 4 dynamic-attribute index over
+    /// `attr` with the given value range.  Existing objects' current states
+    /// are bulk-indexed; attribute range atoms over `attr` (`o.PRICE <= c`
+    /// and friends) then fetch index-pruned candidate sets instead of
+    /// enumerating the whole domain.  Writes the index cannot absorb
+    /// exactly mark it dirty — lookups fall back to full enumeration until
+    /// [`Database::maintain_attr_index`] rebuilds it at the next epoch
+    /// boundary — so answers never depend on index health.
+    pub fn enable_attr_index(
+        &mut self,
+        attr: impl Into<String>,
+        kind: IndexKind,
+        value_range: (f64, f64),
+    ) {
+        let attr = attr.into();
+        self.attr_index = Some(self.build_attr_index(attr, kind, value_range));
+    }
+
+    /// Whether a dynamic-attribute index is maintained (dirty or not).
+    pub fn has_attr_index(&self) -> bool {
+        self.attr_index.is_some()
+    }
+
+    fn build_attr_index(
+        &self,
+        attr: String,
+        kind: IndexKind,
+        value_range: (f64, f64),
+    ) -> AttrIndexState {
+        // Lifetime 2× the query horizon, mirroring the position index: a
+        // query window [now, now + H] always fits until the epoch rolls.
+        let lifetime = self.expiration * 2;
+        let now = self.clock;
+        let mut index = DynamicAttributeIndex::new(kind, lifetime, value_range);
+        let mut dirty = false;
+        for (id, obj) in &self.objects {
+            match attr_line(obj, &attr, now) {
+                AttrLine::Absent => {}
+                AttrLine::Line(value, slope) => {
+                    if line_in_range(value, slope, lifetime, value_range) {
+                        index.insert(*id, 0, value, slope);
+                    } else {
+                        dirty = true;
+                    }
+                }
+                AttrLine::Quadratic => dirty = true,
+            }
+        }
+        AttrIndexState { attr, kind, index, epoch: now, dirty }
+    }
+
+    /// Index-assisted candidate lookup for attribute range atoms: ids whose
+    /// indexed `attr` line can pass through `[lo, hi]` during the *global*
+    /// tick window `[from, to]`.  `None` when no usable index covers the
+    /// window (none enabled, different attribute, dirty, or the window
+    /// leaves the current epoch).
+    pub(crate) fn attr_index_range_candidates(
+        &self,
+        attr: &str,
+        from: Tick,
+        to: Tick,
+        lo: f64,
+        hi: f64,
+    ) -> Option<Vec<u64>> {
+        let ix = self.attr_index.as_ref()?;
+        if ix.dirty || ix.attr != attr {
+            return None;
+        }
+        if from < ix.epoch || to - ix.epoch > ix.index.lifetime() {
+            return None;
+        }
+        Some(ix.index.range_candidates(from - ix.epoch, to - ix.epoch, lo, hi))
+    }
+
+    /// Rolls the dynamic-attribute index to a fresh epoch when a write
+    /// marked it dirty or the clock has outrun it — same cadence and
+    /// caller ([`crate::epoch::EpochDb::advance_epoch`]) as
+    /// [`Database::maintain_spatial_index`].  Returns whether a
+    /// reconstruction happened.
+    pub fn maintain_attr_index(&mut self) -> bool {
+        if let Some(ix) = &self.attr_index {
+            if ix.dirty || self.clock - ix.epoch > self.expiration {
+                let attr = ix.attr.clone();
+                let kind = ix.kind;
+                let range = ix.index.value_range();
+                self.attr_index = Some(self.build_attr_index(attr, kind, range));
+                most_obs::inc("index.attr_rebuilds");
                 return true;
             }
         }
@@ -1232,5 +1558,128 @@ mod tests {
         assert_eq!(db.stats.updates, 2); // the two PRICE sets
         db.update_motion(1, Velocity::zero()).unwrap();
         assert_eq!(db.stats.updates, 3);
+    }
+
+    /// Runs the same mixed workload against two databases and asserts every
+    /// continuous answer stays identical tick for tick.
+    fn assert_twin_answers(mut fast: Database, mut slow: Database) {
+        let queries = [
+            "RETRIEVE o WHERE INSIDE(o, P)",
+            "RETRIEVE o WHERE o.PRICE <= 100",
+            "RETRIEVE o WHERE Eventually within 200 (INSIDE(o, P) AND o.PRICE <= 100)",
+        ];
+        let mut cqs = Vec::new();
+        for text in queries {
+            let q = Query::parse(text).unwrap();
+            let f = fast.register_continuous(q.clone()).unwrap();
+            let s = slow.register_continuous(q).unwrap();
+            cqs.push((f, s));
+        }
+        type Step<'a> = (u64, &'a dyn Fn(&mut Database));
+        let steps: &[Step] = &[
+            (10, &|db| db.set_static(1, "PRICE", Value::from(60.0)).unwrap()),
+            (5, &|db| db.update_motion(2, Velocity::new(-2.0, 0.0)).unwrap()),
+            (0, &|db| db.set_static(2, "PRICE", Value::from(90.0)).unwrap()),
+            (20, &|db| db.set_static(1, "PRICE", Value::from(140.0)).unwrap()),
+            (1, &|db| db.update_motion(1, Velocity::new(2.0, 0.0)).unwrap()),
+        ];
+        for (ticks, step) in steps {
+            fast.advance_clock(*ticks);
+            slow.advance_clock(*ticks);
+            step(&mut fast);
+            step(&mut slow);
+            let now = fast.now();
+            for (f, s) in &cqs {
+                assert_eq!(
+                    fast.continuous_answer(*f).unwrap(),
+                    slow.continuous_answer(*s).unwrap(),
+                    "answers diverged at tick {now}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_plans_match_interpreter_refreshes() {
+        let fast = highway_db();
+        let mut slow = highway_db();
+        slow.set_compiled_plans(false);
+        assert!(fast.compiled_plans() && !slow.compiled_plans());
+        assert_twin_answers(fast, slow);
+    }
+
+    #[test]
+    fn attr_index_matches_unindexed_refreshes() {
+        let mut fast = highway_db();
+        fast.enable_attr_index("PRICE", IndexKind::RTree, (0.0, 1000.0));
+        assert!(fast.has_attr_index());
+        let slow = highway_db();
+        assert_twin_answers(fast, slow);
+    }
+
+    #[test]
+    fn attr_index_prunes_and_recovers_from_dirt() {
+        let mut db = Database::new(100);
+        for i in 0..10 {
+            let id = db.insert_moving_object("cars", Point::origin(), Velocity::zero());
+            db.set_static(id, "PRICE", Value::from(i as f64 * 10.0)).unwrap();
+        }
+        db.enable_attr_index("PRICE", IndexKind::RTree, (0.0, 1000.0));
+        let pruned = db
+            .attr_index_range_candidates("PRICE", 0, 100, f64::NEG_INFINITY, 25.0)
+            .expect("fresh index must serve lookups");
+        assert_eq!(pruned, vec![1, 2, 3], "static prices 0/10/20 pass <= 25");
+        // Other attributes and out-of-epoch windows are not served.
+        assert!(db.attr_index_range_candidates("SPEED", 0, 100, 0.0, 1.0).is_none());
+        assert!(db
+            .attr_index_range_candidates("PRICE", 0, 10_000, 0.0, 1.0)
+            .is_none());
+        // A non-numeric write dirties the index: lookups fall back...
+        db.set_static(1, "PRICE", Value::Str("n/a".into())).unwrap();
+        assert!(db.attr_index_range_candidates("PRICE", 0, 100, 0.0, 25.0).is_none());
+        // ...until the epoch boundary rebuilds it.
+        assert!(db.maintain_attr_index());
+        let pruned = db
+            .attr_index_range_candidates("PRICE", 0, 100, f64::NEG_INFINITY, 25.0)
+            .expect("rebuilt index must serve lookups again");
+        assert_eq!(pruned, vec![2, 3], "object 1 no longer has a numeric price");
+        assert!(!db.maintain_attr_index(), "clean index within its epoch stays put");
+    }
+
+    #[test]
+    fn attr_index_tracks_linear_dynamic_attributes() {
+        let mut db = Database::new(100);
+        let id = db.insert_moving_object("cars", Point::origin(), Velocity::zero());
+        db.set_dynamic_scalar(id, "FUEL", Some(50.0), Some(AttrFunction::Linear(-1.0)))
+            .unwrap();
+        db.enable_attr_index("FUEL", IndexKind::RTree, (-1000.0, 1000.0));
+        // FUEL hits 10 at tick 40: a window before that must prune the car
+        // out, a later one must keep it.
+        assert_eq!(
+            db.attr_index_range_candidates("FUEL", 0, 30, f64::NEG_INFINITY, 10.0),
+            Some(vec![])
+        );
+        assert_eq!(
+            db.attr_index_range_candidates("FUEL", 0, 60, f64::NEG_INFINITY, 10.0),
+            Some(vec![id])
+        );
+        // An update at a later tick replaces the line's tail exactly.
+        db.advance_clock(20); // FUEL = 30 now
+        db.set_dynamic_scalar(id, "FUEL", Some(30.0), Some(AttrFunction::Linear(0.0)))
+            .unwrap();
+        assert_eq!(
+            db.attr_index_range_candidates("FUEL", 20, 90, f64::NEG_INFINITY, 10.0),
+            Some(vec![]),
+            "refuelled-flat line never reaches 10"
+        );
+        // A quadratic function cannot be a line: the index goes dirty.
+        db.set_dynamic_scalar(
+            id,
+            "FUEL",
+            Some(30.0),
+            Some(AttrFunction::Quadratic { accel: -0.1, slope: 0.0 }),
+        )
+        .unwrap();
+        assert!(db.attr_index_range_candidates("FUEL", 20, 90, 0.0, 10.0).is_none());
     }
 }

@@ -224,6 +224,7 @@ impl EpochDb {
         // Index maintenance belongs to the epoch boundary: readers must
         // never pay (or trigger) a reconstruction.
         db.maintain_spatial_index();
+        db.maintain_attr_index();
         let epoch = self.current_epoch() + 1;
         let counters = &self.inner.counters;
         counters.created.fetch_add(1, Ordering::AcqRel);

@@ -12,33 +12,40 @@
 //! `most_ftl::eval`) are never nested, so the thread count stays bounded
 //! by whichever level is active.
 
-use crate::database::Database;
+use crate::database::{Database, PlanState};
 use crate::error::CoreResult;
 use most_ftl::answer::Answer;
 use most_ftl::Query;
 
 /// Re-evaluates every query in `queries` against the current database
-/// state, using up to `workers` threads.  Returns, per query, its id, the
-/// evaluation result, and the evaluation's wall-clock cost in
-/// nanoseconds.  Result order matches input order regardless of worker
-/// count, so the caller's serial merge is deterministic.
+/// state, using up to `workers` threads.  `plans` travels in parallel to
+/// `queries`: a `Some` entry evaluates through its compiled plan (replaying
+/// and refilling the per-atom cache), a `None` entry interprets the AST.
+/// Returns, per query, its id, the evaluation result, the evaluation's
+/// wall-clock cost in nanoseconds, and the plan state handed back to the
+/// caller.  Result order matches input order regardless of worker count,
+/// so the caller's serial merge is deterministic.
 pub(crate) fn evaluate_refresh_set(
     db: &Database,
     queries: &[(u64, Query)],
+    mut plans: Vec<Option<PlanState>>,
     workers: usize,
     eval_workers: usize,
-) -> Vec<(u64, CoreResult<Answer>, u64)> {
+) -> Vec<(u64, CoreResult<Answer>, u64, Option<PlanState>)> {
+    debug_assert_eq!(plans.len(), queries.len());
+    plans.resize_with(queries.len(), || None);
     let workers = workers.max(1).min(queries.len().max(1));
     if workers <= 1 {
         most_obs::add("refresh.shards", u64::from(!queries.is_empty()));
         let out: Vec<_> = queries
             .iter()
-            .map(|(id, q)| {
-                let (result, nanos) = timed_eval(db, q, eval_workers);
-                (*id, result, nanos)
+            .zip(plans)
+            .map(|((id, q), mut plan)| {
+                let (result, nanos) = timed_eval(db, q, &mut plan, eval_workers);
+                (*id, result, nanos, plan)
             })
             .collect();
-        for (_, _, nanos) in &out {
+        for (_, _, nanos, _) in &out {
             most_obs::observe("refresh.query_nanos", *nanos);
         }
         return out;
@@ -47,22 +54,23 @@ pub(crate) fn evaluate_refresh_set(
     let mut out = Vec::with_capacity(queries.len());
     let mut shard_nanos = Vec::new();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = queries
-            .chunks(chunk)
-            .map(|shard| {
-                scope.spawn(move || {
-                    let start = std::time::Instant::now();
-                    let results = shard
-                        .iter()
-                        .map(|(id, q)| {
-                            let (result, nanos) = timed_eval(db, q, 1);
-                            (*id, result, nanos)
-                        })
-                        .collect::<Vec<_>>();
-                    (results, start.elapsed().as_nanos() as u64)
-                })
-            })
-            .collect();
+        let mut handles = Vec::new();
+        for shard in queries.chunks(chunk) {
+            let rest = plans.split_off(shard.len().min(plans.len()));
+            let shard_plans = std::mem::replace(&mut plans, rest);
+            handles.push(scope.spawn(move || {
+                let start = std::time::Instant::now();
+                let results = shard
+                    .iter()
+                    .zip(shard_plans)
+                    .map(|((id, q), mut plan)| {
+                        let (result, nanos) = timed_eval(db, q, &mut plan, 1);
+                        (*id, result, nanos, plan)
+                    })
+                    .collect::<Vec<_>>();
+                (results, start.elapsed().as_nanos() as u64)
+            }));
+        }
         for handle in handles {
             let (results, nanos) = handle.join().expect("refresh worker panicked");
             out.extend(results);
@@ -74,15 +82,23 @@ pub(crate) fn evaluate_refresh_set(
     for nanos in shard_nanos {
         most_obs::observe("refresh.shard_nanos", nanos);
     }
-    for (_, _, nanos) in &out {
+    for (_, _, nanos, _) in &out {
         most_obs::observe("refresh.query_nanos", *nanos);
     }
     out
 }
 
-fn timed_eval(db: &Database, q: &Query, eval_workers: usize) -> (CoreResult<Answer>, u64) {
+fn timed_eval(
+    db: &Database,
+    q: &Query,
+    plan: &mut Option<PlanState>,
+    eval_workers: usize,
+) -> (CoreResult<Answer>, u64) {
     let start = std::time::Instant::now();
-    let result = db.evaluate_global_with(q, eval_workers);
+    let result = match plan {
+        Some(state) => db.evaluate_global_with_plan(state, eval_workers),
+        None => db.evaluate_global_with(q, eval_workers),
+    };
     (result, start.elapsed().as_nanos() as u64)
 }
 
@@ -117,11 +133,12 @@ mod tests {
                 (i, q.unwrap())
             })
             .collect();
-        let serial = evaluate_refresh_set(&db, &queries, 1, 1);
+        let serial = evaluate_refresh_set(&db, &queries, vec![None; queries.len()], 1, 1);
         for workers in [2, 4, 8, 16] {
-            let parallel = evaluate_refresh_set(&db, &queries, workers, 1);
+            let parallel =
+                evaluate_refresh_set(&db, &queries, vec![None; queries.len()], workers, 1);
             assert_eq!(parallel.len(), serial.len());
-            for ((sid, sres, _), (pid, pres, _)) in serial.iter().zip(&parallel) {
+            for ((sid, sres, _, _), (pid, pres, _, _)) in serial.iter().zip(&parallel) {
                 assert_eq!(sid, pid, "result order must match input order");
                 assert_eq!(
                     sres.as_ref().unwrap(),
@@ -133,8 +150,37 @@ mod tests {
     }
 
     #[test]
+    fn compiled_plans_match_interpreter_across_workers() {
+        let db = db_with_cars(40);
+        let queries: Vec<(u64, Query)> = (0..8)
+            .map(|i| {
+                let q = if i % 2 == 0 {
+                    Query::parse("RETRIEVE o WHERE Eventually within 200 INSIDE(o, P)")
+                } else {
+                    Query::parse("RETRIEVE o WHERE OUTSIDE(o, P)")
+                };
+                (i, q.unwrap())
+            })
+            .collect();
+        let interpreted = evaluate_refresh_set(&db, &queries, vec![None; queries.len()], 1, 1);
+        for workers in [1, 4] {
+            let plans = queries.iter().map(|(_, q)| Some(PlanState::compile(q))).collect();
+            let compiled = evaluate_refresh_set(&db, &queries, plans, workers, 1);
+            for ((sid, sres, _, _), (pid, pres, _, plan)) in interpreted.iter().zip(&compiled) {
+                assert_eq!(sid, pid);
+                assert_eq!(
+                    sres.as_ref().unwrap(),
+                    pres.as_ref().unwrap(),
+                    "compiled plans must reproduce interpreter answers"
+                );
+                assert!(plan.is_some(), "plan state must come back to the caller");
+            }
+        }
+    }
+
+    #[test]
     fn empty_set_is_fine() {
         let db = db_with_cars(1);
-        assert!(evaluate_refresh_set(&db, &[], 4, 1).is_empty());
+        assert!(evaluate_refresh_set(&db, &[], Vec::new(), 4, 1).is_empty());
     }
 }

@@ -157,6 +157,18 @@ impl EvalContext for DbContext<'_> {
             .index_window_candidates(self.origin, self.global_end(), &bbox)
     }
 
+    fn attr_range_candidates(&self, attr: &str, lo: f64, hi: f64) -> Option<Vec<u64>> {
+        // Same soundness argument as `inside_candidates`: the
+        // dynamic-attribute index covers the recorded value lines and the
+        // currently extrapolated future, which is exactly what Current-mode
+        // evaluation sees.  Recorded replays fall back to enumeration.
+        if self.mode != ContextMode::Current {
+            return None;
+        }
+        self.db
+            .attr_index_range_candidates(attr, self.origin, self.global_end(), lo, hi)
+    }
+
     fn dynamic_series(&self, id: u64, name: &str) -> Vec<(Interval, [f64; 3])> {
         let Ok(obj) = self.db.object(id) else {
             return Vec::new();

@@ -1,0 +1,163 @@
+//! Property: compiled FTL plans — with or without index-assisted candidate
+//! pruning — are an *implementation detail*.  For any random workload of
+//! motion/attribute/domain updates, the materialized answer of every
+//! continuous query must stay byte-identical to the plain interpreter's,
+//! tick for tick.
+//!
+//! Failures shrink to a minimal workload and append their seed to
+//! `tests/plan_equivalence.seeds`, which is replayed first on every run.
+
+use most_core::{Database, IndexKind, RefreshMode};
+use most_dbms::value::Value;
+use most_spatial::{Point, Polygon, Rect, Velocity};
+use most_testkit::check::{ints, one_of, tuple2, tuple3, vecs, Check, Gen};
+
+const EXPIRATION: u64 = 120;
+
+/// One step of a workload: advance the clock, then apply one update.
+#[derive(Debug, Clone)]
+enum Step {
+    Motion { id: u64, vx: f64, vy: f64 },
+    Price { id: u64, price: f64 },
+    PriceText { id: u64 },
+    Fuel { id: u64, value: f64, slope: f64 },
+    Insert { x: f64, y: f64, vx: f64 },
+    Remove { id: u64 },
+}
+
+fn arb_step() -> Gen<Step> {
+    let id = || ints(1u64..6);
+    let coord = || ints(-50i32..=50).map(|v| v as f64);
+    let vel = || ints(-4i32..=4).map(|v| v as f64);
+    one_of(vec![
+        tuple3(id(), vel(), vel()).map(|(id, vx, vy)| Step::Motion { id, vx, vy }),
+        tuple2(id(), ints(0u32..200)).map(|(id, p)| Step::Price { id, price: p as f64 }),
+        id().map(|id| Step::PriceText { id }),
+        tuple3(id(), ints(0u32..100), ints(-3i32..=3))
+            .map(|(id, v, s)| Step::Fuel { id, value: v as f64, slope: s as f64 }),
+        tuple3(coord(), coord(), vel()).map(|(x, y, vx)| Step::Insert { x, y, vx }),
+        id().map(|id| Step::Remove { id }),
+    ])
+}
+
+#[derive(Debug, Clone)]
+struct Workload {
+    objects: Vec<(f64, f64, f64, f64, f64)>, // x, y, vx, vy, price
+    steps: Vec<(u64, Step)>,
+    incremental: bool,
+}
+
+fn arb_workload() -> Gen<Workload> {
+    let object = tuple3(
+        tuple2(ints(-50i32..=50), ints(-50i32..=50)),
+        tuple2(ints(-4i32..=4), ints(-4i32..=4)),
+        ints(0u32..200),
+    )
+    .map(|((x, y), (vx, vy), p)| (x as f64, y as f64, vx as f64, vy as f64, p as f64));
+    tuple3(
+        vecs(object, 1..5),
+        vecs(tuple2(ints(0u64..15), arb_step()), 1..7),
+        ints(0u32..2).map(|v| v == 1),
+    )
+    .map(|(objects, steps, incremental)| Workload { objects, steps, incremental })
+}
+
+const QUERIES: &[&str] = &[
+    "RETRIEVE o WHERE INSIDE(o, P)",
+    "RETRIEVE o WHERE o.PRICE <= 100",
+    "RETRIEVE o WHERE Eventually within 60 (INSIDE(o, P) AND o.PRICE <= 100)",
+    "RETRIEVE o WHERE o.FUEL >= 20 OR INSIDE(o, P)",
+];
+
+fn build(w: &Workload) -> Database {
+    let mut db = Database::new(EXPIRATION);
+    for (x, y, vx, vy, price) in &w.objects {
+        let id = db.insert_moving_object("cars", Point::new(*x, *y), Velocity::new(*vx, *vy));
+        db.set_static(id, "PRICE", Value::from(*price)).unwrap();
+    }
+    db.add_region("P", Polygon::rectangle(-20.0, -20.0, 20.0, 20.0));
+    if w.incremental {
+        db.set_refresh_mode(RefreshMode::Incremental);
+    }
+    db
+}
+
+fn apply(db: &mut Database, ticks: u64, step: &Step) {
+    db.advance_clock(ticks);
+    // Steps may name absent objects or plain ones; rejection is part of the
+    // behaviour under test and must be identical across engines, so errors
+    // are ignored rather than avoided.
+    match step {
+        Step::Motion { id, vx, vy } => {
+            let _ = db.update_motion(*id, Velocity::new(*vx, *vy));
+        }
+        Step::Price { id, price } => {
+            let _ = db.set_static(*id, "PRICE", Value::from(*price));
+        }
+        Step::PriceText { id } => {
+            let _ = db.set_static(*id, "PRICE", Value::Str("call us".into()));
+        }
+        Step::Fuel { id, value, slope } => {
+            let _ = db.set_dynamic_scalar(
+                *id,
+                "FUEL",
+                Some(*value),
+                Some(most_core::AttrFunction::Linear(*slope)),
+            );
+        }
+        Step::Insert { x, y, vx } => {
+            db.insert_moving_object("cars", Point::new(*x, *y), Velocity::new(*vx, 0.0));
+        }
+        Step::Remove { id } => {
+            let _ = db.remove_object(*id);
+        }
+    }
+}
+
+#[test]
+fn compiled_and_indexed_plans_match_interpreter() {
+    Check::new("core::compiled_and_indexed_plans_match_interpreter")
+        .cases(32)
+        .regressions("tests/plan_equivalence.seeds")
+        .run(&arb_workload(), |w| {
+            // Engine A: plain interpreter.  B: compiled plans.  C: compiled
+            // plans + spatial and attribute indexes (periodically rolled to
+            // fresh epochs, as the epoch engine does at boundaries).
+            let mut a = build(w);
+            a.set_compiled_plans(false);
+            let mut b = build(w);
+            let mut c = build(w);
+            c.enable_spatial_index(Rect::new(-500.0, -500.0, 500.0, 500.0));
+            c.enable_attr_index("PRICE", IndexKind::RTree, (-10_000.0, 10_000.0));
+            let mut cqs = Vec::new();
+            for text in QUERIES {
+                let q = most_ftl::Query::parse(text).unwrap();
+                let ia = a.register_continuous(q.clone()).unwrap();
+                let ib = b.register_continuous(q.clone()).unwrap();
+                let ic = c.register_continuous(q).unwrap();
+                cqs.push((ia, ib, ic));
+            }
+            for (ticks, step) in &w.steps {
+                apply(&mut a, *ticks, step);
+                apply(&mut b, *ticks, step);
+                apply(&mut c, *ticks, step);
+                c.maintain_spatial_index();
+                c.maintain_attr_index();
+                for (ia, ib, ic) in &cqs {
+                    let base = a.continuous_answer(*ia).unwrap();
+                    assert_eq!(
+                        base,
+                        b.continuous_answer(*ib).unwrap(),
+                        "compiled plan diverged at tick {}: {step:?}",
+                        a.now()
+                    );
+                    assert_eq!(
+                        base,
+                        c.continuous_answer(*ic).unwrap(),
+                        "indexed plan diverged at tick {}: {step:?}",
+                        a.now()
+                    );
+                }
+            }
+        });
+}

@@ -57,6 +57,19 @@ pub trait EvalContext: Sync {
         None
     }
 
+    /// Index-assisted candidate pruning for attribute range atoms
+    /// (`o.NAME <= c` and friends): ids of every object whose attribute
+    /// `attr` *could* take a value in `[lo, hi]` somewhere on the horizon —
+    /// a superset of the true answer; the evaluator still computes exact
+    /// interval sets per candidate.  `None` (the default) means "no index;
+    /// enumerate the whole domain".  Implementations must only return
+    /// `Some` when every object carrying `attr` is covered by the index
+    /// (objects without the attribute never satisfy a range comparison and
+    /// may be pruned freely).
+    fn attr_range_candidates(&self, _attr: &str, _lo: f64, _hi: f64) -> Option<Vec<u64>> {
+        None
+    }
+
     /// How many worker threads the evaluator may use for the per-object
     /// candidate loop of a single-variable atom.  `1` (the default) keeps
     /// evaluation strictly serial; contexts backed by large databases can

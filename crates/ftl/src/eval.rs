@@ -20,10 +20,10 @@
 //! * `∨` / `¬` (extensions) evaluate under active-domain semantics.
 
 use crate::answer::{Answer, AnswerTuple};
-use crate::ast::{Formula, Query, Term};
+use crate::ast::{CmpOp, Formula, Query, Term};
 use crate::context::EvalContext;
 use crate::error::{FtlError, FtlResult};
-use crate::numeric::{compare_terms, value_series};
+use crate::numeric::{compare_terms, is_motion_attr, value_series};
 use crate::relation::VarRelation;
 use crate::semantics::Env;
 use most_dbms::value::Value;
@@ -159,7 +159,28 @@ fn collect_object_vars(f: &Formula, out: &mut BTreeSet<String>) {
     }
 }
 
+/// Evaluation entry point for every subformula: when a compiled-plan cache
+/// session is active (see [`crate::plan::evaluate_compiled`]) and `f` is
+/// one of the plan's atoms, its relation is replayed from — or recorded
+/// into — the session; everything else falls through to the bottom-up
+/// computation unchanged.
 fn eval_formula(
+    ctx: &dyn EvalContext,
+    f: &Formula,
+    obj_vars: &BTreeSet<String>,
+) -> FtlResult<VarRelation> {
+    match crate::plan::probe(f) {
+        crate::plan::Probe::Hit(rel) => Ok(rel),
+        crate::plan::Probe::Miss(key) => {
+            let rel = eval_formula_uncached(ctx, f, obj_vars)?;
+            crate::plan::store(key, &rel);
+            Ok(rel)
+        }
+        crate::plan::Probe::Off => eval_formula_uncached(ctx, f, obj_vars),
+    }
+}
+
+fn eval_formula_uncached(
     ctx: &dyn EvalContext,
     f: &Formula,
     obj_vars: &BTreeSet<String>,
@@ -170,7 +191,15 @@ fn eval_formula(
         Formula::Bool(false) => Ok(VarRelation::nullary(IntervalSet::empty())),
         Formula::Cmp(op, lhs, rhs) => {
             let vars = atom_object_vars(&[lhs, rhs], obj_vars);
-            atom_relation(ctx, &vars, |env| compare_terms(ctx, env, *op, lhs, rhs))
+            let eval_one = |env: &Env| compare_terms(ctx, env, *op, lhs, rhs);
+            // Section 4 integration: a range comparison over one object's
+            // non-motion attribute may fetch an index-pruned candidate
+            // superset (non-candidates produce empty interval sets and
+            // would be dropped anyway).
+            match attr_range_prune(ctx, *op, lhs, rhs, &vars) {
+                Some(ids) => atom_relation_over(ctx, &vars, &ids, eval_one),
+                None => atom_relation(ctx, &vars, eval_one),
+            }
         }
         Formula::Inside(term, region) => {
             let poly = ctx
@@ -465,6 +494,49 @@ fn merge_disjunctive(a: VarRelation, b: VarRelation) -> FtlResult<VarRelation> {
     }
 }
 
+/// Detects a range comparison of the shape `x.NAME op const` (either
+/// orientation) over a single object variable and a **non-motion**
+/// attribute, and asks the context's dynamic-attribute index for a
+/// candidate superset.  `None` means "no pruning": the shape didn't match,
+/// the attribute is served from the trajectory, or no index is available.
+fn attr_range_prune(
+    ctx: &dyn EvalContext,
+    op: CmpOp,
+    lhs: &Term,
+    rhs: &Term,
+    vars: &[String],
+) -> Option<Vec<u64>> {
+    if vars.len() != 1 {
+        return None;
+    }
+    let (attr, op, bound) = match (lhs, rhs) {
+        (Term::Attr(base, name), Term::Const(c))
+            if matches!(base.as_ref(), Term::Var(_)) =>
+        {
+            (name, op, c.as_f64()?)
+        }
+        (Term::Const(c), Term::Attr(base, name))
+            if matches!(base.as_ref(), Term::Var(_)) =>
+        {
+            (name, op.flipped(), c.as_f64()?)
+        }
+        _ => return None,
+    };
+    if is_motion_attr(attr) {
+        return None;
+    }
+    // Candidate windows are closed supersets: strict bounds keep the
+    // boundary value (exact per-candidate evaluation discards it).
+    let (lo, hi) = match op {
+        CmpOp::Le | CmpOp::Lt => (f64::NEG_INFINITY, bound),
+        CmpOp::Ge | CmpOp::Gt => (bound, f64::INFINITY),
+        CmpOp::Eq => (bound, bound),
+        // `!=` holds almost everywhere; pruning cannot help.
+        CmpOp::Ne => return None,
+    };
+    ctx.attr_range_candidates(attr, lo, hi)
+}
+
 /// The object variables (in first-appearance order) among the free
 /// variables of the given terms.
 fn atom_object_vars(terms: &[&Term], obj_vars: &BTreeSet<String>) -> Vec<String> {
@@ -491,6 +563,10 @@ fn atom_relation_over(
     eval_one: impl Fn(&Env) -> FtlResult<IntervalSet> + Sync,
 ) -> FtlResult<VarRelation> {
     most_obs::inc("ftl.atoms");
+    most_obs::inc("ftl.pruned");
+    // Pruned = domain minus candidates: what the index saved this atom.
+    let domain = ctx.object_ids().len() as u64;
+    most_obs::add("ftl.candidates_pruned", domain.saturating_sub(ids.len() as u64));
     match vars.first() {
         Some(var) => {
             let rows = single_var_rows(var, ids, ctx.eval_workers(), &eval_one)?;
@@ -527,7 +603,12 @@ fn atom_relation(
             Ok(VarRelation::new(vars.to_vec(), rows))
         }
         k => {
-            most_obs::add("ftl.candidates", (ids.len() as u64).saturating_pow(k as u32));
+            // The k-fold product is one atom's candidate load: a log2
+            // histogram observation keeps the per-atom distribution visible
+            // (a single saturating counter add flattened it).
+            let product = (ids.len() as u64).saturating_pow(k as u32);
+            most_obs::observe("ftl.candidates", product);
+            most_obs::add("ftl.candidates_evaluated", product);
             // Odometer over the k-fold product of the domain, last variable
             // fastest (the same lexicographic order the old recursion
             // produced).  One Env is rebound in place per instantiation.
@@ -576,7 +657,8 @@ fn single_var_rows(
     eval_one: &(impl Fn(&Env) -> FtlResult<IntervalSet> + Sync),
 ) -> FtlResult<Rows> {
     // One registry batch per atom's candidate loop, never per candidate.
-    most_obs::add("ftl.candidates", ids.len() as u64);
+    most_obs::observe("ftl.candidates", ids.len() as u64);
+    most_obs::add("ftl.candidates_evaluated", ids.len() as u64);
     let serial = |shard: &[u64]| -> FtlResult<Rows> {
         let mut env = Env::new();
         let mut rows = Vec::new();

@@ -44,6 +44,7 @@ pub mod eval;
 pub mod lexer;
 pub mod numeric;
 pub mod parser;
+pub mod plan;
 pub mod relation;
 pub mod semantics;
 
@@ -52,3 +53,4 @@ pub use ast::{Formula, Query, Term};
 pub use context::EvalContext;
 pub use error::{FtlError, FtlResult};
 pub use eval::{evaluate_query, explain_query, TraceNode};
+pub use plan::{evaluate_compiled, AtomCache, CompiledPlan};

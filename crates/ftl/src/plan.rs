@@ -1,0 +1,395 @@
+//! Compiled query plans: one-time lowering of a parsed formula into its
+//! atom set, plus a per-atom interval-result cache that survives across
+//! continuous-query refreshes.
+//!
+//! The appendix algorithm is bottom-up: every evaluation recomputes `R_g`
+//! for each atomic subformula from scratch, even when the triggering update
+//! batch could not have changed that atom (a PRICE write does not move any
+//! trajectory, so every spatial atom's relation is unchanged).  A
+//! [`CompiledPlan`] is built **once**, when a continuous query is
+//! registered: it enumerates the formula's atoms under stable structural
+//! keys (their deterministic [`Display`](std::fmt::Display) rendering), so
+//! the owner can attach per-atom dependency sets and an [`AtomCache`] of
+//! previously computed relations.
+//!
+//! [`evaluate_compiled`] then runs the *standard* evaluator with the cache
+//! installed as a thread-local session: when the recursion reaches an atom
+//! whose key is in the plan, a cached [`VarRelation`] is replayed instead
+//! of re-enumerating candidates.  Because the cache only ever holds
+//! relations computed by the very same evaluator against an equivalent
+//! database state (the owner invalidates entries whose dependency set an
+//! update batch touches, and stamps the cache per clock tick), compiled
+//! evaluation is byte-identical to interpretation by construction.
+//!
+//! Atoms pinned by an assignment quantifier (`[x <- t] g`) render with the
+//! pinned constant in place of `x`, which is never one of the plan's
+//! precollected keys — such instantiations simply bypass the cache.
+
+use crate::answer::Answer;
+use crate::ast::{Formula, Query};
+use crate::context::EvalContext;
+use crate::error::FtlResult;
+use crate::relation::VarRelation;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether a formula node is an atomic predicate (a cacheable leaf of the
+/// bottom-up evaluation).
+pub fn is_atom(f: &Formula) -> bool {
+    matches!(
+        f,
+        Formula::Cmp(..)
+            | Formula::Inside(..)
+            | Formula::Outside(..)
+            | Formula::InsideMoving(..)
+            | Formula::OutsideMoving(..)
+            | Formula::WithinSphere(..)
+    )
+}
+
+/// One atomic predicate of a compiled plan.
+#[derive(Debug, Clone)]
+pub struct CompiledAtom {
+    /// Stable structural key: the atom's deterministic `Display` rendering.
+    pub key: String,
+    /// The atom subformula itself (for dependency extraction by the owner).
+    pub formula: Formula,
+}
+
+/// A query lowered to its flat atom set, compiled once at registration.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    query: Query,
+    atoms: Vec<CompiledAtom>,
+    keys: BTreeSet<String>,
+}
+
+impl CompiledPlan {
+    /// Compiles a query: collects its atomic subformulas (in pre-order,
+    /// deduplicated by key — a formula mentioning `INSIDE(o, P)` twice
+    /// shares one cache slot).
+    pub fn compile(q: &Query) -> CompiledPlan {
+        let mut atoms: Vec<CompiledAtom> = Vec::new();
+        let mut keys = BTreeSet::new();
+        q.formula.visit(&mut |g| {
+            if is_atom(g) {
+                let key = g.to_string();
+                if keys.insert(key.clone()) {
+                    atoms.push(CompiledAtom { key, formula: g.clone() });
+                }
+            }
+        });
+        most_obs::inc("ftl.plan.compiles");
+        most_obs::add("ftl.plan.atoms", atoms.len() as u64);
+        CompiledPlan { query: q.clone(), atoms, keys }
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The plan's atoms, in first-appearance order.
+    pub fn atoms(&self) -> &[CompiledAtom] {
+        &self.atoms
+    }
+}
+
+/// Per-atom relation cache for one registered query, surviving across
+/// refreshes of the same clock tick.
+///
+/// Entries are only valid against one `(clock, generation)` stamp: atom
+/// relations are expressed in ticks relative to the evaluation origin, so a
+/// clock advance flushes everything; the generation covers mutations that
+/// bypass the update classifier (e.g. region definitions).  Within a
+/// stamp, the owner invalidates exactly the entries whose dependency set an
+/// update batch touches.
+#[derive(Debug, Clone, Default)]
+pub struct AtomCache {
+    stamp: Option<(u64, u64)>,
+    entries: BTreeMap<String, VarRelation>,
+}
+
+impl AtomCache {
+    /// An empty cache.
+    pub fn new() -> AtomCache {
+        AtomCache::default()
+    }
+
+    /// Pins the cache to a `(clock, generation)` stamp, flushing every
+    /// entry if the stamp moved since the last call.
+    pub fn ensure_stamp(&mut self, stamp: (u64, u64)) {
+        if self.stamp != Some(stamp) {
+            if !self.entries.is_empty() {
+                most_obs::inc("ftl.plan.flushes");
+            }
+            self.entries.clear();
+            self.stamp = Some(stamp);
+        }
+    }
+
+    /// Drops every entry whose key satisfies `doomed`; returns the number
+    /// of entries removed.
+    pub fn invalidate(&mut self, mut doomed: impl FnMut(&str) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|key, _| !doomed(key));
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            most_obs::add("ftl.plan.invalidated", removed as u64);
+        }
+        removed
+    }
+
+    /// Number of cached atom relations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The active cache session of the evaluating thread.  Installed by
+/// [`evaluate_compiled`] around a standard [`crate::eval::evaluate_query`]
+/// run; probed by the evaluator at every atom.  Thread-local is sound with
+/// the evaluator's scoped-thread sharding because sharding happens *below*
+/// the atom level (inside a single atom's candidate loop) — atom entry and
+/// exit always execute on the thread that installed the session.
+struct Session {
+    keys: BTreeSet<String>,
+    entries: BTreeMap<String, VarRelation>,
+    hits: u64,
+    misses: u64,
+}
+
+thread_local! {
+    static SESSION: RefCell<Option<Session>> = const { RefCell::new(None) };
+}
+
+/// Outcome of a session probe for one formula node.
+pub(crate) enum Probe {
+    /// No session, or the node is not one of the plan's cacheable atoms.
+    Off,
+    /// Cached relation: replay it.
+    Hit(VarRelation),
+    /// Cacheable atom with no entry yet: compute, then [`store`] under the
+    /// returned key.
+    Miss(String),
+}
+
+/// Probes the active session (if any) for a formula node.
+pub(crate) fn probe(f: &Formula) -> Probe {
+    SESSION.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(session) = slot.as_mut() else {
+            return Probe::Off;
+        };
+        if !is_atom(f) {
+            return Probe::Off;
+        }
+        let key = f.to_string();
+        if !session.keys.contains(&key) {
+            // Pinned instantiation (assignment body) or foreign atom.
+            return Probe::Off;
+        }
+        match session.entries.get(&key) {
+            Some(rel) => {
+                session.hits += 1;
+                Probe::Hit(rel.clone())
+            }
+            None => {
+                session.misses += 1;
+                Probe::Miss(key)
+            }
+        }
+    })
+}
+
+/// Stores a freshly computed atom relation in the active session.
+pub(crate) fn store(key: String, rel: &VarRelation) {
+    SESSION.with(|slot| {
+        if let Some(session) = slot.borrow_mut().as_mut() {
+            session.entries.insert(key, rel.clone());
+        }
+    });
+}
+
+/// Clears the session on drop, so a panicking evaluation cannot leak a
+/// stale session into the next query evaluated on this thread.
+struct SessionGuard;
+
+impl SessionGuard {
+    fn install(session: Session) -> SessionGuard {
+        SESSION.with(|slot| {
+            let prev = slot.borrow_mut().replace(session);
+            debug_assert!(prev.is_none(), "nested compiled evaluations");
+        });
+        SessionGuard
+    }
+
+    fn finish(self) -> Session {
+        SESSION.with(|slot| slot.borrow_mut().take()).expect("session installed")
+        // `drop(self)` then takes the already-empty slot: harmless.
+    }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        SESSION.with(|slot| {
+            slot.borrow_mut().take();
+        });
+    }
+}
+
+/// Evaluates a compiled plan, replaying cached atom relations and caching
+/// the ones it computes.  The result is byte-identical to
+/// [`crate::eval::evaluate_query`] on the plan's query — the cache only
+/// short-circuits atoms whose relation the owner guarantees unchanged (via
+/// [`AtomCache::ensure_stamp`] / [`AtomCache::invalidate`]).
+pub fn evaluate_compiled(
+    ctx: &dyn EvalContext,
+    plan: &CompiledPlan,
+    cache: &mut AtomCache,
+) -> FtlResult<Answer> {
+    let session = Session {
+        keys: plan.keys.clone(),
+        entries: std::mem::take(&mut cache.entries),
+        hits: 0,
+        misses: 0,
+    };
+    let guard = SessionGuard::install(session);
+    let result = crate::eval::evaluate_query(ctx, &plan.query);
+    let session = guard.finish();
+    cache.entries = session.entries;
+    // One registry batch per evaluation, never per atom.
+    most_obs::add("ftl.plan.cache_hits", session.hits);
+    most_obs::add("ftl.plan.cache_misses", session.misses);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::MemoryContext;
+    use crate::eval::evaluate_query;
+    use most_dbms::value::Value;
+    use most_spatial::{Point, Polygon, Trajectory, Velocity};
+
+    fn ctx() -> MemoryContext {
+        let mut ctx = MemoryContext::new(60);
+        for i in 0..6u64 {
+            ctx.add_object(
+                i,
+                Trajectory::starting_at(Point::new(i as f64 * 10.0, 0.0), Velocity::new(1.0, 0.0)),
+            );
+            ctx.set_attr(i, "PRICE", Value::from(50.0 + i as f64 * 10.0));
+        }
+        ctx.add_region("P", Polygon::rectangle(20.0, -5.0, 40.0, 5.0));
+        ctx
+    }
+
+    fn queries() -> Vec<Query> {
+        [
+            "RETRIEVE o WHERE Eventually INSIDE(o, P)",
+            "RETRIEVE o WHERE o.PRICE <= 75",
+            "RETRIEVE o WHERE o.PRICE <= 75 AND Eventually within 10 INSIDE(o, P)",
+            "RETRIEVE o WHERE [x <- o.PRICE] Always (o.PRICE = x)",
+        ]
+        .iter()
+        .map(|s| Query::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn compile_collects_deduplicated_atoms() {
+        let q = Query::parse(
+            "RETRIEVE o WHERE (INSIDE(o, P) AND o.PRICE <= 75) OR INSIDE(o, P)",
+        )
+        .unwrap();
+        let plan = CompiledPlan::compile(&q);
+        let keys: Vec<&str> = plan.atoms().iter().map(|a| a.key.as_str()).collect();
+        assert_eq!(keys, vec!["INSIDE(o, P)", "o.PRICE <= 75"]);
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_cold_and_warm() {
+        let ctx = ctx();
+        for q in queries() {
+            let reference = evaluate_query(&ctx, &q).unwrap();
+            let plan = CompiledPlan::compile(&q);
+            let mut cache = AtomCache::new();
+            cache.ensure_stamp((0, 0));
+            let cold = evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+            assert_eq!(cold, reference, "cold run for `{}`", q);
+            // Second run replays every cached atom relation.
+            let warm = evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+            assert_eq!(warm, reference, "warm run for `{}`", q);
+        }
+    }
+
+    #[test]
+    fn stamp_change_flushes_entries() {
+        let ctx = ctx();
+        let q = Query::parse("RETRIEVE o WHERE o.PRICE <= 75").unwrap();
+        let plan = CompiledPlan::compile(&q);
+        let mut cache = AtomCache::new();
+        cache.ensure_stamp((0, 0));
+        evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.ensure_stamp((1, 0));
+        assert!(cache.is_empty(), "clock advance must flush the cache");
+        cache.ensure_stamp((1, 1));
+        evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_is_selective() {
+        let ctx = ctx();
+        let q = Query::parse("RETRIEVE o WHERE o.PRICE <= 75 AND Eventually INSIDE(o, P)")
+            .unwrap();
+        let plan = CompiledPlan::compile(&q);
+        let mut cache = AtomCache::new();
+        cache.ensure_stamp((0, 0));
+        evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+        assert_eq!(cache.len(), 2);
+        let removed = cache.invalidate(|key| key.contains("PRICE"));
+        assert_eq!(removed, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stale_cache_entry_is_replayed_verbatim() {
+        // The cache *trusts* its owner: a deliberately stale entry must be
+        // served back unchanged (this is what makes owner-side invalidation
+        // observable and the equivalence tests meaningful).
+        let mut ctx = ctx();
+        let q = Query::parse("RETRIEVE o WHERE o.PRICE <= 75").unwrap();
+        let plan = CompiledPlan::compile(&q);
+        let mut cache = AtomCache::new();
+        cache.ensure_stamp((0, 0));
+        let before = evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+        // Mutate the context without telling the cache.
+        ctx.set_attr(0, "PRICE", Value::from(1000.0));
+        let stale = evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+        assert_eq!(stale, before, "uninvalidated entries replay verbatim");
+        // Invalidation restores agreement with the interpreter.
+        cache.invalidate(|key| key.contains("PRICE"));
+        let fresh = evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+        assert_eq!(fresh, evaluate_query(&ctx, &q).unwrap());
+        assert_ne!(fresh, before);
+    }
+
+    #[test]
+    fn session_clears_after_evaluation() {
+        let ctx = ctx();
+        let q = Query::parse("RETRIEVE o WHERE o.PRICE <= 75").unwrap();
+        let plan = CompiledPlan::compile(&q);
+        let mut cache = AtomCache::new();
+        cache.ensure_stamp((0, 0));
+        evaluate_compiled(&ctx, &plan, &mut cache).unwrap();
+        assert!(matches!(probe(&q.formula), Probe::Off));
+    }
+}

@@ -246,6 +246,37 @@ impl DynamicAttributeIndex {
         }
     }
 
+    /// Whether `id` is indexed.
+    pub fn contains(&self, id: u64) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Unverified candidate superset for a range query: ids whose
+    /// function-line rectangles intersect `lo <= A <= hi` during
+    /// `[from, to]` ticks.  Unlike [`Self::instantaneous`] /
+    /// [`Self::continuous`] no exact verification is performed — callers
+    /// (the FTL evaluator's candidate pruning) evaluate each candidate
+    /// exactly themselves.  Bounds are clamped to the declared value range
+    /// (owners guarantee indexed lines stay inside it), so infinite bounds
+    /// express one-sided ranges.
+    pub fn range_candidates(&self, from: Tick, to: Tick, lo: f64, hi: f64) -> Vec<u64> {
+        let lo = lo.max(self.value_range.0);
+        let hi = hi.min(self.value_range.1);
+        if lo > hi {
+            return Vec::new();
+        }
+        let rect = Rect::new(from as f64, lo, to.min(self.lifetime) as f64, hi);
+        let (mut candidates, nodes_visited) = self.structure.query(&rect);
+        candidates.sort_unstable();
+        candidates.dedup();
+        record_query_stats(&QueryStats {
+            nodes_visited,
+            candidates: candidates.len() as u64,
+            results: candidates.len() as u64,
+        });
+        candidates
+    }
+
     /// The exact attribute value of `id` at tick `t` (from the recorded
     /// pieces), if indexed.
     pub fn value_of(&self, id: u64, t: Tick) -> Option<f64> {

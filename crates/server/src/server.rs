@@ -189,7 +189,16 @@ struct Shared {
     dropped: AtomicU64,
     busy: AtomicU64,
     opened: AtomicU64,
+    /// Parse-once cache: clients (re)sending the same query text — retried
+    /// registrations, fleets of identical subscribers, periodic
+    /// instantaneous polls — skip the lexer/parser after the first hit.
+    /// Bounded; beyond [`PARSE_CACHE_CAP`] entries new texts parse without
+    /// being cached.
+    parsed: Mutex<BTreeMap<String, Query>>,
 }
+
+/// Upper bound on distinct query texts kept in the parse-once cache.
+const PARSE_CACHE_CAP: usize = 1024;
 
 /// A running server.  Dropping the handle shuts it down gracefully:
 /// sessions drain their outboxes fully before their connections close, so
@@ -227,6 +236,7 @@ impl Server {
             dropped: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             opened: AtomicU64::new(0),
+            parsed: Mutex::new(BTreeMap::new()),
         });
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.pending.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -427,8 +437,18 @@ fn err(code: ErrorCode, message: impl std::fmt::Display) -> Response {
     Response::Error { code, message: message.to_string() }
 }
 
-fn parse_query(text: &str) -> Result<Query, Response> {
-    Query::parse(text).map_err(|e| err(ErrorCode::Parse, e))
+fn parse_query(shared: &Shared, text: &str) -> Result<Query, Response> {
+    if let Some(q) = shared.parsed.lock().expect("parse cache lock").get(text) {
+        most_obs::inc("server.parse.hits");
+        return Ok(q.clone());
+    }
+    most_obs::inc("server.parse.misses");
+    let q = Query::parse(text).map_err(|e| err(ErrorCode::Parse, e))?;
+    let mut cache = shared.parsed.lock().expect("parse cache lock");
+    if cache.len() < PARSE_CACHE_CAP {
+        cache.insert(text.to_owned(), q.clone());
+    }
+    Ok(q)
 }
 
 fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) -> Response {
@@ -451,7 +471,7 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                 sessions,
             }
         }
-        Request::Instantaneous { query } => match parse_query(&query) {
+        Request::Instantaneous { query } => match parse_query(shared, &query) {
             Err(e) => e,
             Ok(q) => {
                 // Lock-free: evaluate on a pinned epoch snapshot.
@@ -462,7 +482,7 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                 }
             }
         },
-        Request::Persistent { query, origin } => match parse_query(&query) {
+        Request::Persistent { query, origin } => match parse_query(shared, &query) {
             Err(e) => e,
             Ok(q) => {
                 let pin = shared.db.pin();
@@ -503,7 +523,7 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                 Err(e) => err(ErrorCode::Rejected, e),
             }
         }
-        Request::Register { query } => match parse_query(&query) {
+        Request::Register { query } => match parse_query(shared, &query) {
             Err(e) => e,
             Ok(q) => {
                 let _order = shared.sync.lock().expect("mutation order lock");
