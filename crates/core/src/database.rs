@@ -1058,6 +1058,50 @@ impl Database {
         &self.continuous
     }
 
+    /// A stable 64-bit digest of the **logical** serialized state
+    /// (canonical JSON hashed with FNV-1a).  Two databases with equal
+    /// fingerprints hold identical persisted state — clock, objects,
+    /// regions, continuous-query answers, triggers, counters.  Two
+    /// things are deliberately excluded:
+    ///
+    /// * derived acceleration structures (spatial/attr indexes,
+    ///   compiled plans), exactly as in
+    ///   [`ToJson`](most_testkit::ser::ToJson) — a recovered or
+    ///   replicated copy that rebuilds them on demand still
+    ///   fingerprints equal;
+    /// * wall-clock performance accounting (the per-CQ `refresh_nanos`
+    ///   timing), which is measured, not replayed — the one serialized
+    ///   field two deterministic replays of the same update sequence do
+    ///   *not* reproduce.
+    ///
+    /// This is the convergence check used by the WAL crash-recovery and
+    /// replica oracles.
+    pub fn fingerprint(&self) -> u64 {
+        fn strip_timing(j: &mut most_testkit::ser::Json) {
+            match j {
+                most_testkit::ser::Json::Obj(fields) => {
+                    for (name, value) in fields.iter_mut() {
+                        if name == "refresh_nanos" {
+                            *value = most_testkit::ser::Json::Int(0);
+                        } else {
+                            strip_timing(value);
+                        }
+                    }
+                }
+                most_testkit::ser::Json::Arr(items) => {
+                    for item in items.iter_mut() {
+                        strip_timing(item);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut j = most_testkit::ser::ToJson::to_json(self);
+        strip_timing(&mut j);
+        let text = j.render().expect("database state always renders");
+        most_testkit::hash::fnv1a64(text.as_bytes())
+    }
+
     // ------------------------------------------------------------------
     // Triggers
     // ------------------------------------------------------------------

@@ -36,6 +36,10 @@ pub enum CoreError {
         /// Human-readable detail.
         detail: String,
     },
+    /// The write-ahead log failed (I/O or encoding).  Carries the
+    /// rendered `io::Error`, since `io::Error` is neither `Clone` nor
+    /// `PartialEq`.
+    Wal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +59,7 @@ impl fmt::Display for CoreError {
             CoreError::AttributeKind { attr, detail } => {
                 write!(f, "attribute `{attr}`: {detail}")
             }
+            CoreError::Wal(detail) => write!(f, "write-ahead log: {detail}"),
         }
     }
 }

@@ -37,6 +37,7 @@ pub mod rewrite;
 pub mod shared;
 pub mod snapshot;
 pub mod trigger;
+pub mod wal;
 
 pub use class::ClassDef;
 pub use continuous::display_delta;
@@ -51,3 +52,4 @@ pub use persistent::PersistentQuery;
 pub use rewrite::MostDbmsLayer;
 pub use shared::SharedDatabase;
 pub use trigger::{Trigger, TriggerEvent};
+pub use wal::{apply_record, recover, DurableDb, Recovery, Wal, WalConfig, WalRecord};

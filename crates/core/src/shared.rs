@@ -35,6 +35,15 @@ impl SharedDatabase {
         SharedDatabase { epochs: EpochDb::new(db) }
     }
 
+    /// Wraps an **existing** epoch engine, sharing its published state.
+    /// This is how the durable server overlays the read-only facade on
+    /// a [`crate::wal::DurableDb`]: reads go through this handle while
+    /// mutations go through the WAL-backed path, both seeing the same
+    /// epoch sequence.
+    pub fn from_epochs(epochs: EpochDb) -> Self {
+        SharedDatabase { epochs }
+    }
+
     /// Pins the currently published epoch for lock-free reading.
     pub fn pin(&self) -> EpochPin {
         self.epochs.pin()

@@ -15,6 +15,10 @@
 //! * [`reliable`] — a reliable transport over the raw network: per-peer
 //!   sequence numbers, acks, retransmission with exponential backoff,
 //!   duplicate suppression, store-and-forward for disconnected peers;
+//! * [`replication`] — a primary/follower pair shipping the durable
+//!   WAL record sequence (`most-core::wal`) over the reliable mesh, so
+//!   a follower converges to a byte-identical database fingerprint even
+//!   under loss, duplication and partitions;
 //! * [`sim`] — a fleet of mobile nodes, each holding exactly its own
 //!   object ("each object resides in the computer on the moving vehicle it
 //!   represents, but nowhere else") with scheduled motion-vector updates;
@@ -32,6 +36,7 @@
 pub mod message;
 pub mod network;
 pub mod reliable;
+pub mod replication;
 pub mod sim;
 pub mod strategy;
 pub mod transmission;
@@ -39,5 +44,6 @@ pub mod transmission;
 pub use message::{Message, Payload};
 pub use network::{FaultPlan, NetStats, Network};
 pub use reliable::{ReliableEndpoint, ReliableMesh, RetryPolicy, Transport};
+pub use replication::{ReplicaApplier, ReplicaPublisher};
 pub use sim::{FleetSim, NodeInfo};
 pub use strategy::{ObjectPredicate, QueryClass, QueryOutcome, RelPredicate, Shipping};

@@ -50,6 +50,16 @@ pub enum Payload {
         /// The acknowledged sequence number.
         seq: u64,
     },
+    /// One record of the primary's global mutation sequence, shipped to
+    /// a replica ([`crate::replication`]).  Carries the WAL record as
+    /// its canonical JSON text, so the wire format is exactly the
+    /// durable format.
+    Replica {
+        /// Global WAL sequence number of the record.
+        seq: u64,
+        /// The `most-core` `WalRecord`, JSON-encoded.
+        record: String,
+    },
 }
 
 impl Payload {
@@ -63,6 +73,7 @@ impl Payload {
             Payload::Cancel => 8,
             Payload::Frame { inner, .. } => 8 + inner.size_bytes(),
             Payload::Ack { .. } => 12,
+            Payload::Replica { record, .. } => 16 + record.len() as u64,
         }
     }
 }

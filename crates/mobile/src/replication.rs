@@ -1,0 +1,263 @@
+//! Replicating the global mutation sequence over the reliable mesh.
+//!
+//! The MOST server is a single point of failure (ROADMAP item 4); the
+//! remedy the WAL enables is a **follower** holding a full copy of the
+//! database, built by applying the primary's write-ahead-log records in
+//! sequence order.  Because replay of the WAL is deterministic
+//! (`most_core::wal::apply_record` is the *same* function recovery
+//! uses), a follower that has applied records `0..n` holds a state
+//! byte-identical to the primary after its `n`-th mutation — including
+//! continuous-query answers, so a failover can keep serving registered
+//! CQs without re-registration.
+//!
+//! The transport is the PR 3 [`crate::reliable`] layer: records travel
+//! as [`Payload::Replica`] frames over a [`ReliableMesh`], which
+//! delivers exactly-once and in-order per `(sender, recipient)` pair
+//! even under injected loss, duplication, jitter and partition windows.
+//! [`ReplicaApplier`] nevertheless keeps its own sequence-contiguity
+//! buffer — applying a record only when it is the *next* one — so
+//! convergence never rests on transport internals: a duplicated or
+//! reordered record (e.g. from a future multi-path transport) is
+//! buffered or dropped, never double-applied.
+
+use crate::message::Payload;
+use crate::network::Network;
+use crate::reliable::{Delivery, ReliableMesh};
+use most_core::database::Database;
+use most_core::wal::{apply_record, WalRecord};
+use most_temporal::Tick;
+use std::collections::BTreeMap;
+
+/// The sending half: encodes WAL records as [`Payload::Replica`] frames
+/// and hands them to the mesh, fanning out to every follower.
+#[derive(Debug, Clone)]
+pub struct ReplicaPublisher {
+    node: u64,
+    followers: Vec<u64>,
+}
+
+impl ReplicaPublisher {
+    /// A publisher at mesh node `node` feeding `followers`.
+    pub fn new(node: u64, followers: &[u64]) -> Self {
+        ReplicaPublisher { node, followers: followers.to_vec() }
+    }
+
+    /// The publisher's mesh node id.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// Ships one `(seq, record)` pair to every follower through the
+    /// mesh.  The record is sent as its canonical JSON — the identical
+    /// bytes the WAL frames on disk.
+    pub fn publish(
+        &self,
+        mesh: &mut ReliableMesh,
+        net: &mut Network,
+        seq: u64,
+        record: &WalRecord,
+        now: Tick,
+    ) {
+        let text = most_testkit::ser::to_json_string(record)
+            .expect("WAL records always serialize");
+        for &f in &self.followers {
+            mesh.send(
+                net,
+                self.node,
+                f,
+                Payload::Replica { seq, record: text.clone() },
+                now,
+            );
+            most_obs::inc("replica.published");
+        }
+    }
+}
+
+/// The receiving half: a follower database that applies replica frames
+/// in strict sequence order.
+#[derive(Debug)]
+pub struct ReplicaApplier {
+    node: u64,
+    db: Database,
+    next_seq: u64,
+    /// Records received ahead of `next_seq`, held until the gap fills.
+    pending: BTreeMap<u64, WalRecord>,
+    applied: u64,
+    duplicates: u64,
+    undecodable: u64,
+}
+
+impl ReplicaApplier {
+    /// A follower at mesh node `node`, starting from `base` (the
+    /// checkpoint state) and expecting record `from_seq` first.
+    pub fn new(node: u64, base: Database, from_seq: u64) -> Self {
+        ReplicaApplier {
+            node,
+            db: base,
+            next_seq: from_seq,
+            pending: BTreeMap::new(),
+            applied: 0,
+            duplicates: 0,
+            undecodable: 0,
+        }
+    }
+
+    /// The follower's mesh node id.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// The follower's current database state.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The next sequence number this follower will apply.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Frames ignored as duplicates (seq already applied).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Frames whose record text failed to decode (never applied).
+    pub fn undecodable(&self) -> u64 {
+        self.undecodable
+    }
+
+    /// Records held waiting for a sequence gap to fill.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one mesh delivery to the follower.  Non-replica payloads
+    /// are ignored (the mesh may carry other traffic).  Returns how
+    /// many records were applied as a result (0 when buffered/dropped,
+    /// possibly >1 when this frame filled a gap).
+    pub fn on_delivery(&mut self, delivery: &Delivery) -> u64 {
+        let Payload::Replica { seq, record } = &delivery.payload else {
+            return 0;
+        };
+        self.offer(*seq, record)
+    }
+
+    /// Offers one `(seq, record-JSON)` pair, from any transport.
+    pub fn offer(&mut self, seq: u64, record_text: &str) -> u64 {
+        if seq < self.next_seq {
+            self.duplicates += 1;
+            most_obs::inc("replica.duplicates");
+            return 0;
+        }
+        let Ok(record) = most_testkit::ser::from_json_str::<WalRecord>(record_text) else {
+            // A record that does not decode is never applied — mirror of
+            // the WAL's never-replay-a-partial-record rule.
+            self.undecodable += 1;
+            most_obs::inc("replica.undecodable");
+            return 0;
+        };
+        self.pending.insert(seq, record);
+        self.drain()
+    }
+
+    /// Applies every contiguous pending record starting at `next_seq`.
+    fn drain(&mut self) -> u64 {
+        let mut applied = 0;
+        while let Some(record) = self.pending.remove(&self.next_seq) {
+            // Application errors are deterministic and occurred
+            // identically on the primary: state is unchanged there and
+            // here, so the replica stays convergent.
+            let _ = apply_record(&mut self.db, &record);
+            self.next_seq += 1;
+            self.applied += 1;
+            applied += 1;
+            most_obs::inc("replica.applied");
+        }
+        applied
+    }
+
+    /// The follower's state fingerprint (see `Database::fingerprint`):
+    /// equal to the primary's exactly when the follower has applied the
+    /// same record prefix.
+    pub fn fingerprint(&self) -> u64 {
+        self.db.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use most_core::database::UpdateOp;
+    use most_spatial::{Point, Polygon, Velocity};
+
+    fn base() -> (Database, u64) {
+        let mut db = Database::new(10_000);
+        let car = db.insert_moving_object("cars", Point::origin(), Velocity::new(1.0, 0.0));
+        db.add_region("P", Polygon::rectangle(10.0, -5.0, 30.0, 5.0));
+        (db, car)
+    }
+
+    fn encode(r: &WalRecord) -> String {
+        most_testkit::ser::to_json_string(r).unwrap()
+    }
+
+    #[test]
+    fn applies_in_order_and_converges() {
+        let (mut primary, car) = base();
+        let mut follower = ReplicaApplier::new(2, primary.clone(), 0);
+        let records = [
+            WalRecord::Register { query: "RETRIEVE o WHERE INSIDE(o, P)".into() },
+            WalRecord::Advance { ticks: 5 },
+            WalRecord::Batch {
+                ops: vec![UpdateOp::Motion { id: car, velocity: Velocity::new(2.0, 0.0) }],
+            },
+            WalRecord::Advance { ticks: 10 },
+        ];
+        for (i, r) in records.iter().enumerate() {
+            apply_record(&mut primary, r).unwrap();
+            assert_eq!(follower.offer(i as u64, &encode(r)), 1);
+        }
+        assert_eq!(follower.fingerprint(), primary.fingerprint());
+        assert_eq!(follower.applied(), 4);
+    }
+
+    #[test]
+    fn buffers_gaps_and_drops_duplicates() {
+        let (mut primary, car) = base();
+        let mut follower = ReplicaApplier::new(2, primary.clone(), 0);
+        let r0 = WalRecord::Advance { ticks: 1 };
+        let r1 = WalRecord::Batch {
+            ops: vec![UpdateOp::Motion { id: car, velocity: Velocity::new(0.5, 0.5) }],
+        };
+        let r2 = WalRecord::Advance { ticks: 2 };
+        for r in [&r0, &r1, &r2] {
+            apply_record(&mut primary, r).unwrap();
+        }
+        // Out of order: 2 and 1 buffer, 0 drains all three.
+        assert_eq!(follower.offer(2, &encode(&r2)), 0);
+        assert_eq!(follower.offer(1, &encode(&r1)), 0);
+        assert_eq!(follower.buffered(), 2);
+        assert_eq!(follower.offer(0, &encode(&r0)), 3);
+        // A late duplicate is ignored.
+        assert_eq!(follower.offer(1, &encode(&r1)), 0);
+        assert_eq!(follower.duplicates(), 1);
+        assert_eq!(follower.fingerprint(), primary.fingerprint());
+    }
+
+    #[test]
+    fn undecodable_records_are_never_applied() {
+        let (primary, _) = base();
+        let before = primary.fingerprint();
+        let mut follower = ReplicaApplier::new(2, primary, 0);
+        assert_eq!(follower.offer(0, "{not json"), 0);
+        assert_eq!(follower.undecodable(), 1);
+        assert_eq!(follower.fingerprint(), before);
+        assert_eq!(follower.next_seq(), 0);
+    }
+}

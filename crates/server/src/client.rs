@@ -8,8 +8,8 @@
 //! pushes with a bounded wait.
 
 use crate::protocol::{
-    decode_response, encode_frame, CqDelta, ErrorCode, FrameReader, Request, Response,
-    DEFAULT_MAX_FRAME,
+    decode_response, encode_frame, CqDelta, ErrorCode, FeedRecord, FrameReader, Request,
+    Response, DEFAULT_MAX_FRAME,
 };
 use most_core::{Database, UpdateOp};
 use most_dbms::value::Value;
@@ -66,23 +66,59 @@ impl From<io::Error> for ClientError {
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
 
-/// Connects with bounded exponential backoff, so tests and tools racing a
-/// just-spawned server never flake on the accept path.  `attempts` bounds
-/// the retries (each waits at most 100 ms).
-pub fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> {
-    let mut delay = Duration::from_millis(1);
+/// The backoff schedule [`connect_with_retry`] sleeps through, computed
+/// as a pure function of the seed so tests can assert it exactly.
+///
+/// Full jitter over an exponentially growing window (the AWS
+/// architecture-blog shape): retry `i` sleeps a uniformly random
+/// duration in `[0, min(base · 2^i, cap)]`.  A fixed cadence makes every
+/// client that failed together retry together — each round of the
+/// thundering herd arrives still synchronised; jitter decorrelates
+/// them, and seeding keeps the schedule reproducible.
+pub fn backoff_delays(seed: u64, attempts: u32, base: Duration, cap: Duration) -> Vec<Duration> {
+    let mut rng = most_testkit::rng::Rng::seed_from_u64(seed);
+    let mut window = base;
+    let mut out = Vec::new();
+    for _ in 1..attempts.max(1) {
+        let ceil = window.min(cap).as_nanos() as u64;
+        out.push(Duration::from_nanos(rng.random_range(0..=ceil)));
+        window = window.saturating_mul(2);
+    }
+    out
+}
+
+/// Connects with seeded exponential backoff and **full jitter**, so
+/// tests and tools racing a just-spawned server never flake on the
+/// accept path and a fleet of clients never retries in lockstep.
+/// `attempts` bounds the tries; sleeps follow
+/// [`backoff_delays`]`(seed, attempts, 1ms, 100ms)`.
+pub fn connect_with_retry_seeded(
+    addr: SocketAddr,
+    attempts: u32,
+    seed: u64,
+) -> io::Result<TcpStream> {
+    let delays =
+        backoff_delays(seed, attempts, Duration::from_millis(1), Duration::from_millis(100));
     let mut last = io::Error::new(io::ErrorKind::TimedOut, "no connect attempts made");
-    for attempt in 0..attempts.max(1) {
+    for attempt in 0..attempts.max(1) as usize {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => last = e,
         }
-        if attempt + 1 < attempts.max(1) {
-            std::thread::sleep(delay);
-            delay = (delay * 2).min(Duration::from_millis(100));
+        if let Some(d) = delays.get(attempt) {
+            std::thread::sleep(*d);
         }
     }
     Err(last)
+}
+
+/// [`connect_with_retry_seeded`] with a seed derived from the target
+/// address and process id — distinct processes (and distinct targets)
+/// jitter differently without any caller-side plumbing.
+pub fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> {
+    let mut key = format!("{addr}|{}", std::process::id()).into_bytes();
+    key.extend_from_slice(&attempts.to_le_bytes());
+    connect_with_retry_seeded(addr, attempts, most_testkit::hash::fnv1a64(&key))
 }
 
 /// A connected client session.
@@ -294,5 +330,50 @@ impl Client {
             s @ Response::Stats { .. } => Ok(s),
             other => Self::unexpected(other),
         }
+    }
+
+    /// Fetches the committed WAL records with `seq >= from_seq` from a
+    /// durable server — the replica catch-up feed.  Returns
+    /// `(next_seq, records)`; poll again from `next_seq` to tail the
+    /// log.
+    pub fn feed(&mut self, from_seq: u64) -> ClientResult<(u64, Vec<FeedRecord>)> {
+        match self.request(&Request::Feed { from_seq })? {
+            Response::Feed { next_seq, records } => Ok((next_seq, records)),
+            other => Self::unexpected(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_windowed() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(100);
+        let a = backoff_delays(42, 12, base, cap);
+        let b = backoff_delays(42, 12, base, cap);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 11, "one sleep between each pair of attempts");
+        // Every delay fits its attempt's jitter window [0, min(base·2^i, cap)].
+        for (i, d) in a.iter().enumerate() {
+            let window = base.saturating_mul(2u32.saturating_pow(i as u32)).min(cap);
+            assert!(*d <= window, "delay {i} = {d:?} exceeds window {window:?}");
+        }
+        // Different seeds produce different schedules (jitter is real).
+        let c = backoff_delays(43, 12, base, cap);
+        assert_ne!(a, c, "distinct seeds must decorrelate retries");
+    }
+
+    #[test]
+    fn backoff_edge_cases() {
+        assert!(backoff_delays(7, 0, Duration::from_millis(1), Duration::from_millis(10))
+            .is_empty());
+        assert!(backoff_delays(7, 1, Duration::from_millis(1), Duration::from_millis(10))
+            .is_empty());
+        // Zero base: windows are all zero, every delay is zero.
+        let z = backoff_delays(7, 5, Duration::ZERO, Duration::from_millis(10));
+        assert!(z.iter().all(|d| *d == Duration::ZERO));
     }
 }

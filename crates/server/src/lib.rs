@@ -37,6 +37,11 @@ pub mod load;
 pub mod protocol;
 pub mod server;
 
-pub use client::{connect_with_retry, Client, ClientError, ClientResult};
-pub use protocol::{CqDelta, ErrorCode, FrameError, FrameReader, Request, Response};
+pub use client::{
+    backoff_delays, connect_with_retry, connect_with_retry_seeded, Client, ClientError,
+    ClientResult,
+};
+pub use protocol::{
+    CqDelta, ErrorCode, FeedRecord, FrameError, FrameReader, Request, Response,
+};
 pub use server::{Server, ServerConfig, ServerStats};

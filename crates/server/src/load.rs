@@ -1,7 +1,7 @@
 //! A deterministic closed-loop load generator with a single-threaded
 //! oracle.
 //!
-//! Two harnesses, used by experiment E12:
+//! Three harnesses, used by experiments E12 and E15:
 //!
 //! * [`run_correctness`] — one driver client performs a seeded, scripted
 //!   mutation sequence while N passive subscriber clients each hold a
@@ -19,6 +19,12 @@
 //!   measured, and afterwards a fresh client's answers are compared
 //!   byte-for-byte against an oracle replay (reads must not corrupt
 //!   anything).
+//! * [`run_crash_recovery`] — a *durable* server runs the first half of
+//!   the script, crashes mid-run (its WAL even gains a torn tail), is
+//!   recovered with [`DurableDb::open`], and a second server finishes the
+//!   script.  The final state must match an oracle that never crashed,
+//!   byte for byte, and the recovered engine's epoch accounting must
+//!   still conserve (`created == retired + live`).
 //!
 //! Everything is a pure function of the spec (object placement, region
 //! grid, query texts, per-tick update batches), so same-seed runs are
@@ -27,6 +33,7 @@
 use crate::client::Client;
 use crate::protocol::CqDelta;
 use crate::server::{Server, ServerConfig};
+use most_core::wal::{DurableDb, WalConfig};
 use most_core::{Database, SharedDatabase, UpdateOp};
 use most_dbms::value::Value;
 use most_ftl::Query;
@@ -35,6 +42,8 @@ use most_testkit::rng::Rng;
 use most_testkit::ser::to_json_string;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Workload shape shared by both harnesses.
@@ -411,4 +420,159 @@ pub fn run_throughput(spec: &ThroughputSpec) -> ThroughputOutcome {
     drop(check);
     server.shutdown();
     outcome
+}
+
+/// Outcome of the crash-recovery harness.  `verified` and
+/// `epoch_conserved` are the assertions CI gates on.
+#[derive(Debug, Clone)]
+pub struct CrashRecoveryOutcome {
+    /// Client-side request count across both server incarnations.
+    pub requests: u64,
+    /// WAL records recovery replayed after the crash.
+    pub records_replayed: u64,
+    /// Whether recovery detected (and stopped at) the torn tail.
+    pub truncated_tail: bool,
+    /// Whether every post-run answer and the database fingerprint matched
+    /// the never-crashed oracle byte for byte.
+    pub verified: bool,
+    /// Whether the recovered engine's epoch accounting conserved at
+    /// quiescence (`created == retired + live`, one live snapshot).
+    pub epoch_conserved: bool,
+    /// Wall-clock time for both scripted phases (excludes recovery).
+    pub elapsed: Duration,
+}
+
+/// Runs the scripted workload against a durable server, crashes it
+/// halfway (leaving a torn frame on the WAL tail), recovers into a second
+/// server, finishes the script, and verifies the final state against an
+/// oracle that never crashed.  `dir` is the WAL directory; the caller
+/// picks a unique path per invocation.
+pub fn run_crash_recovery(spec: &LoadSpec, dir: &Path) -> CrashRecoveryOutcome {
+    let _ = std::fs::remove_dir_all(dir);
+    let db = build_world(spec);
+    let mut oracle = db.clone();
+    let cfg = ServerConfig { workers: 2, outbox: 1 << 16, ..ServerConfig::default() };
+    let durable = Arc::new(
+        DurableDb::create(dir, db, WalConfig::default()).expect("create WAL directory"),
+    );
+    let server = Server::bind_durable("127.0.0.1:0", Arc::clone(&durable), cfg.clone())
+        .expect("bind ephemeral port");
+    let mut requests = 0u64;
+
+    let mut driver = Client::connect(server.local_addr()).expect("driver connects");
+    let texts = query_texts(spec);
+    for q in &texts {
+        driver.register(q).expect("register over the wire");
+        oracle
+            .register_continuous(Query::parse(q).expect("query parses"))
+            .expect("oracle registers");
+        requests += 1;
+    }
+
+    let object_ids = oracle.object_ids();
+    let crash_tick = (spec.ticks / 2).max(1).min(spec.ticks);
+    let start = Instant::now();
+    for t in 1..=crash_tick {
+        driver.advance(1).expect("advance clock");
+        oracle.advance_clock(1);
+        let ops = script_ops(&object_ids, spec, t);
+        driver.update(&ops).expect("apply update batch");
+        oracle.apply_updates(&ops).expect("oracle applies batch");
+        requests += 2;
+    }
+    let mut pre_crash = start.elapsed();
+
+    // Crash: the server dies with the driver mid-session, and the last
+    // WAL write tears — a frame header promising 200 bytes backed by 4.
+    drop(driver);
+    server.shutdown();
+    drop(durable);
+    let newest = newest_segment(dir);
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&newest)
+            .expect("open newest segment");
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&200u32.to_le_bytes());
+        torn.extend_from_slice(&0u64.to_le_bytes());
+        torn.extend_from_slice(b"torn");
+        f.write_all(&torn).expect("append torn frame");
+    }
+
+    // Recover and finish the script on a second server incarnation.
+    let (recovered, recovery) =
+        DurableDb::open(dir, WalConfig::default()).expect("recovery succeeds");
+    let recovered = Arc::new(recovered);
+    let server =
+        Server::bind_durable("127.0.0.1:0", Arc::clone(&recovered), cfg.clone())
+            .expect("bind ephemeral port after recovery");
+    let mut driver = Client::connect(server.local_addr()).expect("driver reconnects");
+    let resume = Instant::now();
+    for t in crash_tick + 1..=spec.ticks {
+        driver.advance(1).expect("advance clock");
+        oracle.advance_clock(1);
+        let ops = script_ops(&object_ids, spec, t);
+        driver.update(&ops).expect("apply update batch");
+        oracle.apply_updates(&ops).expect("oracle applies batch");
+        requests += 2;
+    }
+    pre_crash += resume.elapsed();
+
+    // Verify: every instantaneous answer byte-identical to the oracle,
+    // and the whole engine state fingerprint-identical.
+    let mut check = Client::connect(server.local_addr()).expect("check client connects");
+    let mut verified = true;
+    for q in &texts {
+        let (_, answer) = check.instantaneous(q).expect("check read");
+        requests += 1;
+        let want = oracle
+            .instantaneous_readonly(&Query::parse(q).expect("query parses"))
+            .expect("oracle read");
+        let got_json = to_json_string(&answer).expect("answer encodes");
+        let want_json = to_json_string(&want).expect("answer encodes");
+        if got_json != want_json {
+            verified = false;
+        }
+    }
+    if recovered.pin().fingerprint() != oracle.fingerprint() {
+        verified = false;
+    }
+
+    // Epoch hygiene on the *recovered* engine at quiescence: recovery
+    // replay plus every post-crash mutation published exactly one epoch
+    // each, nothing stayed buffered, one snapshot alive.
+    drop(check);
+    drop(driver);
+    server.shutdown();
+    let st = recovered.epochs().stats();
+    let epoch_conserved =
+        st.created == st.retired + st.live && st.live == 1 && st.pending_batches == 0;
+
+    let outcome = CrashRecoveryOutcome {
+        requests,
+        records_replayed: recovery.records_replayed,
+        truncated_tail: recovery.truncated_tail,
+        verified,
+        epoch_conserved,
+        elapsed: pre_crash,
+    };
+    let _ = std::fs::remove_dir_all(dir);
+    outcome
+}
+
+/// The highest-numbered WAL segment in `dir` — where a torn tail lands.
+fn newest_segment(dir: &Path) -> std::path::PathBuf {
+    let mut segs: Vec<_> = std::fs::read_dir(dir)
+        .expect("read WAL directory")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+        })
+        .collect();
+    segs.sort();
+    segs.pop().expect("a durable run leaves at least one segment")
 }

@@ -83,6 +83,14 @@ pub enum Request {
     Snapshot,
     /// Server-side counters.
     Stats,
+    /// The committed write-ahead-log records with sequence number
+    /// `>= from_seq` — the replica catch-up feed.  Only served by a
+    /// durable server ([`crate::Server::bind_durable`]); others reply
+    /// [`ErrorCode::NotDurable`].
+    Feed {
+        /// First sequence number wanted.
+        from_seq: u64,
+    },
 }
 
 most_testkit::json_enum!(Request {
@@ -98,6 +106,7 @@ most_testkit::json_enum!(Request {
     Update { ops },
     Snapshot,
     Stats,
+    Feed { from_seq },
 });
 
 /// Machine-readable error categories carried by [`Response::Error`].
@@ -124,6 +133,11 @@ pub enum ErrorCode {
     /// An update batch was rejected (prior ops in the batch stay applied,
     /// matching [`most_core::Database::apply_updates`] semantics).
     Rejected,
+    /// The request needs a durable (WAL-backed) server — e.g.
+    /// [`Request::Feed`] on an in-memory one.
+    NotDurable,
+    /// The write-ahead log failed; the mutation was not applied.
+    Wal,
     /// The server's pending-connection queue is full; retry later.
     Busy,
     /// The server is shutting down.
@@ -142,6 +156,8 @@ most_testkit::json_enum!(ErrorCode {
     UnknownCq,
     ClockOverflow,
     Rejected,
+    NotDurable,
+    Wal,
     Busy,
     ShuttingDown,
     Internal,
@@ -164,6 +180,20 @@ pub struct CqDelta {
 }
 
 most_testkit::json_struct!(CqDelta { cq, tick, added, removed });
+
+/// One committed write-ahead-log record in a [`Response::Feed`] frame.
+/// The record travels as its canonical JSON text — the identical bytes
+/// the WAL frames on disk — so a replica applies exactly what the
+/// primary logged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedRecord {
+    /// Global WAL sequence number.
+    pub seq: u64,
+    /// The `most_core::wal::WalRecord`, JSON-encoded.
+    pub record: String,
+}
+
+most_testkit::json_struct!(FeedRecord { seq, record });
 
 /// A server frame: the reply to a request, or a pushed notification.
 #[derive(Debug, Clone, PartialEq)]
@@ -234,6 +264,14 @@ pub enum Response {
         /// Sessions currently open.
         sessions: u64,
     },
+    /// Reply to [`Request::Feed`]: the committed WAL suffix requested.
+    Feed {
+        /// The sequence number to ask from next (one past the last
+        /// record returned; equal to `from_seq` when nothing new).
+        next_seq: u64,
+        /// The committed records, in sequence order.
+        records: Vec<FeedRecord>,
+    },
     /// Pushed: an incremental display change for a subscription.
     Delta(CqDelta),
     /// Pushed: this session's outbox overflowed and `dropped` delta frames
@@ -263,6 +301,7 @@ most_testkit::json_enum!(Response {
     Applied { count },
     Db { json },
     Stats { requests, errors, deltas, dropped, busy, sessions },
+    Feed { next_seq, records },
     Delta(delta),
     Lagged { dropped },
     Error { code, message },

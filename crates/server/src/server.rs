@@ -36,10 +36,12 @@
 //! Nothing is ever silently lost.
 
 use crate::protocol::{
-    decode_request, encode_frame, CqDelta, ErrorCode, Request, Response, DEFAULT_MAX_FRAME,
+    decode_request, encode_frame, CqDelta, ErrorCode, FeedRecord, Request, Response,
+    DEFAULT_MAX_FRAME,
 };
 use most_core::continuous::display_delta;
-use most_core::SharedDatabase;
+use most_core::wal::DurableDb;
+use most_core::{CoreError, SharedDatabase};
 use most_dbms::value::Value;
 use most_ftl::Query;
 use std::collections::{BTreeMap, VecDeque};
@@ -176,6 +178,11 @@ impl Session {
 #[derive(Debug)]
 struct Shared {
     db: SharedDatabase,
+    /// When set, every mutation routes through the write-ahead log
+    /// before publishing its epoch, and [`Request::Feed`] serves the
+    /// committed record sequence.  `db` shares the same epoch engine,
+    /// so reads see exactly the logged-then-published states.
+    durable: Option<Arc<DurableDb>>,
     cfg: ServerConfig,
     /// Serialises mutation + delta-notification so subscription deltas
     /// form one global sequence.
@@ -221,10 +228,34 @@ impl Server {
         db: SharedDatabase,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
+        Server::bind_inner(addr, db, None, cfg)
+    }
+
+    /// Binds a **durable** server over a write-ahead-logged database:
+    /// every mutating request appends to `durable`'s log before its
+    /// epoch publishes, and [`Request::Feed`] serves the committed
+    /// record sequence to replicas.  Reads share `durable`'s epoch
+    /// engine, so they see exactly the logged states.
+    pub fn bind_durable(
+        addr: impl ToSocketAddrs,
+        durable: Arc<DurableDb>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let db = SharedDatabase::from_epochs(durable.epochs().clone());
+        Server::bind_inner(addr, db, Some(durable), cfg)
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        db: SharedDatabase,
+        durable: Option<Arc<DurableDb>>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             db,
+            durable,
             cfg: cfg.clone(),
             sync: Mutex::new(()),
             sessions: Mutex::new(BTreeMap::new()),
@@ -437,6 +468,13 @@ fn err(code: ErrorCode, message: impl std::fmt::Display) -> Response {
     Response::Error { code, message: message.to_string() }
 }
 
+/// A WAL failure means the mutation never reached the log and was not
+/// applied — surfaced with its own code so clients can distinguish
+/// storage trouble from a semantically rejected request.
+fn wal_err(e: CoreError) -> Response {
+    err(ErrorCode::Wal, e)
+}
+
 fn parse_query(shared: &Shared, text: &str) -> Result<Query, Response> {
     if let Some(q) = shared.parsed.lock().expect("parse cache lock").get(text) {
         most_obs::inc("server.parse.hits");
@@ -508,18 +546,28 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                     format!("advancing {ticks} from {now} overflows the tick domain"),
                 );
             }
-            shared.db.advance_clock(ticks);
+            if let Some(d) = &shared.durable {
+                if let Err(e) = d.advance_clock(ticks) {
+                    return wal_err(e);
+                }
+            } else {
+                shared.db.advance_clock(ticks);
+            }
             notify_subscribers(shared);
             Response::Tick { now: shared.db.now() }
         }
         Request::Update { ops } => {
             let _order = shared.sync.lock().expect("mutation order lock");
-            let result = shared.db.apply_updates(&ops);
+            let result = match &shared.durable {
+                Some(d) => d.apply_updates(&ops),
+                None => shared.db.apply_updates(&ops),
+            };
             // Even a rejected batch applies its prefix — refresh deltas
             // must still go out.
             notify_subscribers(shared);
             match result {
                 Ok(()) => Response::Applied { count: ops.len() as u64 },
+                Err(e @ CoreError::Wal(_)) => wal_err(e),
                 Err(e) => err(ErrorCode::Rejected, e),
             }
         }
@@ -527,15 +575,48 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
             Err(e) => e,
             Ok(q) => {
                 let _order = shared.sync.lock().expect("mutation order lock");
-                match shared.db.write(|d| d.register_continuous(q)) {
+                let result = match &shared.durable {
+                    // The durable path logs the *text* so replay
+                    // re-parses identically.
+                    Some(d) => d.register_continuous(&query),
+                    None => shared.db.write(|d| d.register_continuous(q)),
+                };
+                match result {
                     Ok(cq) => Response::Registered { cq },
+                    Err(e @ CoreError::Wal(_)) => wal_err(e),
                     Err(e) => err(ErrorCode::Eval, e),
                 }
             }
         },
+        Request::Feed { from_seq } => match &shared.durable {
+            None => err(
+                ErrorCode::NotDurable,
+                "replica feed requires a durable (WAL-backed) server",
+            ),
+            Some(d) => match d.read_from(from_seq) {
+                Err(e) => wal_err(e),
+                Ok(records) => {
+                    let next_seq =
+                        records.last().map_or(from_seq, |(seq, _)| seq + 1);
+                    let records = records
+                        .into_iter()
+                        .filter_map(|(seq, record)| {
+                            most_testkit::ser::to_json_string(&record)
+                                .ok()
+                                .map(|record| FeedRecord { seq, record })
+                        })
+                        .collect();
+                    Response::Feed { next_seq, records }
+                }
+            },
+        },
         Request::Cancel { cq } => {
             let _order = shared.sync.lock().expect("mutation order lock");
-            match shared.db.write(|d| d.cancel_continuous(cq)) {
+            let cancel_result = match &shared.durable {
+                Some(d) => d.cancel_continuous(cq),
+                None => shared.db.write(|d| d.cancel_continuous(cq)),
+            };
+            match cancel_result {
                 Ok(()) => {
                     // Scrub the dead id from every session's subscriptions;
                     // subscribers simply stop receiving deltas for it.
@@ -551,6 +632,7 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                     }
                     Response::Cancelled { cq }
                 }
+                Err(e @ CoreError::Wal(_)) => wal_err(e),
                 Err(e) => err(ErrorCode::UnknownCq, e),
             }
         }

@@ -264,3 +264,105 @@ fn load_harness_throughput_verifies_state() {
     assert!(outcome.verified, "concurrent reads must not corrupt state");
     assert!(outcome.requests >= 3 * 20);
 }
+
+// ---------------------------------------------------------------------
+// Durability: WAL-backed servers, crash/recover, the replica feed.
+// ---------------------------------------------------------------------
+
+use most_core::wal::{apply_record, DurableDb, WalConfig};
+use most_server::protocol::Request;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn wal_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn durable_server_survives_crash_and_recovers_state() {
+    let dir = wal_dir("e2e_durable_crash");
+
+    // Incarnation 1: mutate through the wire, then crash (shutdown with
+    // no checkpoint — the WAL is the only durable copy).
+    let durable =
+        Arc::new(DurableDb::create(&dir, demo_db(), WalConfig::default()).unwrap());
+    let server =
+        Server::bind_durable("127.0.0.1:0", Arc::clone(&durable), ServerConfig::default())
+            .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let cq = c.register("RETRIEVE o WHERE INSIDE(o, P)").unwrap();
+    assert_eq!(c.advance(95).unwrap(), 95);
+    c.update(&[UpdateOp::Static { id: 2, attr: "PRICE".into(), value: Value::from(99.0) }])
+        .unwrap();
+    let (_, answer_before) = c.instantaneous("RETRIEVE o WHERE o.PRICE <= 100").unwrap();
+    assert_eq!(answer_before.len(), 2, "both cars now cheap");
+    let fingerprint_before = durable.pin().db().fingerprint();
+    drop(c);
+    server.shutdown();
+    drop(durable);
+
+    // Incarnation 2: recover from WAL + checkpoint, serve again.
+    let (recovered, recovery) = DurableDb::open(&dir, WalConfig::default()).unwrap();
+    assert!(!recovery.truncated_tail);
+    assert_eq!(recovery.records_replayed, 3, "register + advance + update");
+    let recovered = Arc::new(recovered);
+    assert_eq!(recovered.pin().db().fingerprint(), fingerprint_before);
+    let server2 =
+        Server::bind_durable("127.0.0.1:0", Arc::clone(&recovered), ServerConfig::default())
+            .unwrap();
+    let mut c2 = Client::connect(server2.local_addr()).unwrap();
+    assert_eq!(c2.now().unwrap(), 95, "the clock survived the crash");
+    let (_, answer_after) = c2.instantaneous("RETRIEVE o WHERE o.PRICE <= 100").unwrap();
+    assert_eq!(answer_after, answer_before, "answers identical after recovery");
+    // The recovered CQ is still registered and serves subscriptions.
+    let (_, rows) = c2.subscribe(cq).unwrap();
+    assert_eq!(rows.len(), 1, "car 1 is at x=95, inside P, at tick 95");
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn feed_endpoint_streams_committed_records_to_a_replica() {
+    let dir = wal_dir("e2e_durable_feed");
+    let initial = demo_db();
+    let durable =
+        Arc::new(DurableDb::create(&dir, initial.clone(), WalConfig::default()).unwrap());
+    let server =
+        Server::bind_durable("127.0.0.1:0", Arc::clone(&durable), ServerConfig::default())
+            .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.advance(3).unwrap();
+    c.update(&[UpdateOp::Motion { id: 1, velocity: Velocity::new(2.0, 0.0) }]).unwrap();
+    c.register("RETRIEVE o WHERE o.PRICE <= 100").unwrap();
+
+    // A replica polls the feed and replays onto the shared base state.
+    let mut replica = initial;
+    let (next_seq, records) = c.feed(0).unwrap();
+    assert_eq!(next_seq, 3);
+    assert_eq!(records.len(), 3);
+    for fr in &records {
+        let rec = most_testkit::ser::from_json_str(&fr.record).unwrap();
+        apply_record(&mut replica, &rec).unwrap();
+    }
+    assert_eq!(replica.fingerprint(), durable.pin().db().fingerprint());
+
+    // Tailing from next_seq returns nothing new.
+    let (tail_seq, tail) = c.feed(next_seq).unwrap();
+    assert_eq!(tail_seq, next_seq);
+    assert!(tail.is_empty());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn feed_on_in_memory_server_is_rejected_as_not_durable() {
+    let server = serve(demo_db(), ServerConfig::default());
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    match c.request(&Request::Feed { from_seq: 0 }).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NotDurable),
+        other => panic!("expected NotDurable error, got {other:?}"),
+    }
+    server.shutdown();
+}

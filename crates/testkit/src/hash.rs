@@ -1,0 +1,94 @@
+//! Deterministic, dependency-free hashing: FNV-1a (64-bit).
+//!
+//! Two consumers in the workspace need a stable byte hash that never
+//! changes across platforms, versions, or process runs (unlike
+//! `std::collections::hash_map::DefaultHasher`, whose algorithm is
+//! unspecified):
+//!
+//! * the write-ahead log (`most-core::wal`) checksums every appended
+//!   record so recovery can detect torn or corrupted entries;
+//! * `Database::fingerprint` reduces a canonical-JSON snapshot to one
+//!   `u64` so crash-recovery and replica-convergence oracles can compare
+//!   whole states cheaply.
+//!
+//! FNV-1a is not cryptographic — it guards against *accidental*
+//! corruption (torn writes, bit rot, truncation), which is the WAL's
+//! threat model, with good avalanche behaviour on short inputs.
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs `bytes` into the state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_hash() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let h0 = fnv1a64(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(fnv1a64(&flipped), h0, "flip at byte {i} bit {bit} collided");
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! `most-testkit`: the zero-dependency substrate under the MOST
 //! workspace.
 //!
-//! Three modules replace what used to be six external crates, making
+//! Four modules replace what used to be six external crates, making
 //! the whole workspace build and test offline:
 //!
 //! * [`rng`] — deterministic seedable PRNG (SplitMix64 + xoshiro256++)
@@ -11,6 +11,8 @@
 //! * [`ser`] — a JSON value model with a serializer, parser, and the
 //!   [`ser::ToJson`]/[`ser::FromJson`] trait pair, replacing
 //!   `serde`/`serde_json`.
+//! * [`hash`] — stable FNV-1a 64-bit hashing for WAL record checksums
+//!   and database fingerprints (never platform- or run-dependent).
 //!
 //! Everything is deterministic from explicit seeds: a benchmark or
 //! workload run with the same seed produces byte-identical output.
@@ -18,8 +20,10 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod hash;
 pub mod rng;
 pub mod ser;
 
+pub use hash::{fnv1a64, Fnv64};
 pub use rng::{Rng, SplitMix64};
 pub use ser::{from_json_str, to_json_string, FromJson, Json, JsonError, ToJson};
