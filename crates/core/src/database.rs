@@ -1070,34 +1070,34 @@ impl Database {
     ///   replicated copy that rebuilds them on demand still
     ///   fingerprints equal;
     /// * wall-clock performance accounting (the per-CQ `refresh_nanos`
-    ///   timing), which is measured, not replayed — the one serialized
-    ///   field two deterministic replays of the same update sequence do
-    ///   *not* reproduce.
+    ///   timing, zeroed at its one known location
+    ///   `continuous.entries.<id>.refresh_nanos`), which is measured,
+    ///   not replayed — the one serialized field two deterministic
+    ///   replays of the same update sequence do *not* reproduce.  A
+    ///   user attribute that merely shares the name still counts.
     ///
     /// This is the convergence check used by the WAL crash-recovery and
     /// replica oracles.
     pub fn fingerprint(&self) -> u64 {
-        fn strip_timing(j: &mut most_testkit::ser::Json) {
+        use most_testkit::ser::Json;
+        fn field_mut<'a>(j: &'a mut Json, name: &str) -> Option<&'a mut Json> {
             match j {
-                most_testkit::ser::Json::Obj(fields) => {
-                    for (name, value) in fields.iter_mut() {
-                        if name == "refresh_nanos" {
-                            *value = most_testkit::ser::Json::Int(0);
-                        } else {
-                            strip_timing(value);
-                        }
-                    }
+                Json::Obj(fields) => {
+                    fields.iter_mut().find(|(n, _)| n == name).map(|(_, v)| v)
                 }
-                most_testkit::ser::Json::Arr(items) => {
-                    for item in items.iter_mut() {
-                        strip_timing(item);
-                    }
-                }
-                _ => {}
+                _ => None,
             }
         }
         let mut j = most_testkit::ser::ToJson::to_json(self);
-        strip_timing(&mut j);
+        if let Some(Json::Obj(entries)) =
+            field_mut(&mut j, "continuous").and_then(|reg| field_mut(reg, "entries"))
+        {
+            for (_, entry) in entries.iter_mut() {
+                if let Some(nanos) = field_mut(entry, "refresh_nanos") {
+                    *nanos = Json::Int(0);
+                }
+            }
+        }
         let text = j.render().expect("database state always renders");
         most_testkit::hash::fnv1a64(text.as_bytes())
     }

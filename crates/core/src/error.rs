@@ -40,6 +40,16 @@ pub enum CoreError {
     /// rendered `io::Error`, since `io::Error` is neither `Clone` nor
     /// `PartialEq`.
     Wal(String),
+    /// A replica feed asked for records below the checkpoint horizon;
+    /// they were pruned with the segments the checkpoint covered.  The
+    /// caller must bootstrap from a snapshot and resume the feed from
+    /// `checkpoint_seq`.
+    WalFeedPruned {
+        /// The sequence number the feed asked for.
+        from_seq: u64,
+        /// The checkpoint horizon: the first sequence still served.
+        checkpoint_seq: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -60,6 +70,11 @@ impl fmt::Display for CoreError {
                 write!(f, "attribute `{attr}`: {detail}")
             }
             CoreError::Wal(detail) => write!(f, "write-ahead log: {detail}"),
+            CoreError::WalFeedPruned { from_seq, checkpoint_seq } => write!(
+                f,
+                "feed from {from_seq} predates the checkpoint horizon {checkpoint_seq}: \
+                 earlier records were pruned; bootstrap from a snapshot"
+            ),
         }
     }
 }

@@ -26,10 +26,13 @@
 //! * **Recovery** ([`recover`]) restores the checkpoint and replays the
 //!   committed suffix.  A torn tail (a partial final write), a
 //!   truncated segment, or a corrupt checksum stops the replay at the
-//!   **last valid record** — recovery never panics and never applies a
-//!   partially written batch, because a record is only applied once its
-//!   full payload has been length-checked, checksum-verified, decoded,
-//!   and sequence-checked.
+//!   **last valid record of that segment** — recovery never panics and
+//!   never applies a partially written batch, because a record is only
+//!   applied once its full payload has been length-checked,
+//!   checksum-verified, decoded, and sequence-checked.  Stale segments
+//!   (left behind when a crash interrupts post-checkpoint pruning) are
+//!   skipped, and later segments carrying the committed continuation
+//!   still replay.
 //!
 //! [`DurableDb`] packages the discipline: an [`EpochDb`] whose mutating
 //! entry points append to the log first (under one lock, so log order
@@ -178,10 +181,15 @@ pub struct Recovery {
     /// Replayed records whose application returned a (deterministic,
     /// mirrored-from-the-primary) error.
     pub records_failed: u64,
-    /// Whether replay stopped before the end of the log bytes — a torn
-    /// tail, truncated segment, or corrupt checksum was detected and
-    /// everything from it on was discarded.
+    /// Whether a torn tail, truncated segment, or corrupt checksum was
+    /// detected; the invalid frame and the rest of its segment were
+    /// discarded.  Later segments still replay when they carry the
+    /// committed continuation of the sequence.
     pub truncated_tail: bool,
+    /// Valid records skipped because their sequence numbers were below
+    /// the replay point — segments left behind by a crash between a
+    /// checkpoint and its segment pruning.
+    pub stale_skipped: u64,
     /// Segment files visited.
     pub segments_scanned: u64,
     /// Index of the highest segment file present (0 when none), so a
@@ -218,20 +226,30 @@ fn segment_indices(dir: &Path) -> io::Result<Vec<u64>> {
 
 /// How one segment scan ended.
 enum ScanEnd {
-    /// Every byte consumed as valid records.
+    /// Every byte consumed as valid (or stale, checkpoint-covered)
+    /// records.
     Clean,
-    /// A torn / truncated / corrupt record was found; replay must stop
-    /// here for good.
+    /// A torn / truncated / corrupt frame was found; the rest of *this*
+    /// segment is discarded.  Later segments may still continue the
+    /// committed sequence — appends after a crash always go to a fresh
+    /// segment ([`Wal::reopen`]), so nothing valid ever follows a torn
+    /// frame within one file.
     Corrupt,
 }
 
-/// Scans one segment, invoking `on_record` for each valid record in
-/// order.  Stops (returning [`ScanEnd::Corrupt`]) at the first invalid
-/// byte: bad magic, short header, oversized or overrunning length,
-/// checksum mismatch, undecodable payload, or out-of-sequence record.
+/// Scans one segment, invoking `on_record` for each valid in-sequence
+/// record.  A valid record with `seq` *below* the expected one is
+/// **stale** — wholly covered by the checkpoint (a crash between the
+/// checkpoint rename and segment pruning leaves such segments behind)
+/// — and is skipped, never re-applied.  Stops (returning
+/// [`ScanEnd::Corrupt`]) at the first invalid byte: bad magic, short
+/// header, oversized or overrunning length, checksum mismatch,
+/// undecodable payload, or a sequence *gap* (`seq` above the expected
+/// one — the missing record is unrecoverable).
 fn scan_segment(
     path: &Path,
     expected_seq: &mut u64,
+    stale: &mut u64,
     mut on_record: impl FnMut(u64, WalRecord),
 ) -> io::Result<ScanEnd> {
     let mut bytes = Vec::new();
@@ -266,7 +284,15 @@ fn scan_segment(
         let Ok(logged) = from_json_str::<LoggedRecord>(text) else {
             return Ok(ScanEnd::Corrupt);
         };
-        if logged.seq != *expected_seq {
+        if logged.seq < *expected_seq {
+            // Covered by the checkpoint: a crash between the checkpoint
+            // rename and segment pruning leaves whole segments of such
+            // records behind.  Skip, never re-apply.
+            *stale += 1;
+            at = end;
+            continue;
+        }
+        if logged.seq > *expected_seq {
             return Ok(ScanEnd::Corrupt);
         }
         on_record(logged.seq, logged.record);
@@ -278,28 +304,30 @@ fn scan_segment(
 
 /// Scans the whole log (checkpoint + segments) without applying
 /// anything, invoking `on_record` per committed record from
-/// `from_seq` on.  Returns `(next_seq, truncated_tail, last_segment)`.
+/// `from_seq` on.  Corruption discards only the rest of its own
+/// segment; later segments resume replay exactly when they carry the
+/// contiguous continuation (the fresh segment a post-crash [`Wal::reopen`]
+/// appended committed records into), so a stale or torn file never
+/// swallows records committed after it.  Returns
+/// `(next_seq, truncated_tail, last_segment, stale_skipped)`.
 fn scan_log(
     dir: &Path,
     from_seq: u64,
     mut on_record: impl FnMut(u64, WalRecord),
-) -> io::Result<(u64, bool, u64)> {
+) -> io::Result<(u64, bool, u64, u64)> {
     let mut expected = from_seq;
     let mut truncated = false;
     let mut last_segment = 0u64;
+    let mut stale = 0u64;
     for idx in segment_indices(dir)? {
         last_segment = idx;
-        if truncated {
-            // Everything after the first corruption is discarded: a
-            // later segment cannot be trusted to continue the sequence.
-            continue;
-        }
-        match scan_segment(&dir.join(segment_name(idx)), &mut expected, &mut on_record)? {
+        match scan_segment(&dir.join(segment_name(idx)), &mut expected, &mut stale, &mut on_record)?
+        {
             ScanEnd::Clean => {}
             ScanEnd::Corrupt => truncated = true,
         }
     }
-    Ok((expected, truncated, last_segment))
+    Ok((expected, truncated, last_segment, stale))
 }
 
 /// Recovers the database state from `dir`: restores the checkpoint,
@@ -316,7 +344,7 @@ pub fn recover(dir: &Path) -> io::Result<Recovery> {
     let mut batches_replayed = 0u64;
     let mut records_failed = 0u64;
     let segments = segment_indices(dir)?.len() as u64;
-    let (next_seq, truncated_tail, last_segment) =
+    let (next_seq, truncated_tail, last_segment, stale_skipped) =
         scan_log(dir, checkpoint_seq, |_seq, record| {
             if matches!(record, WalRecord::Batch { .. }) {
                 batches_replayed += 1;
@@ -331,6 +359,7 @@ pub fn recover(dir: &Path) -> io::Result<Recovery> {
     most_obs::add("recovery.records_replayed", records_replayed);
     most_obs::add("recovery.batches_replayed", batches_replayed);
     most_obs::add("recovery.records_failed", records_failed);
+    most_obs::add("recovery.stale_skipped", stale_skipped);
     if truncated_tail {
         most_obs::inc("recovery.truncated_tail");
     }
@@ -342,6 +371,7 @@ pub fn recover(dir: &Path) -> io::Result<Recovery> {
         batches_replayed,
         records_failed,
         truncated_tail,
+        stale_skipped,
         segments_scanned: segments,
         last_segment,
     })
@@ -488,17 +518,37 @@ impl Wal {
         self.appends_since_checkpoint
     }
 
+    /// The checkpoint horizon: the sequence number the on-disk
+    /// checkpoint replays from.  Records below it have been (or may at
+    /// any moment be) pruned with their segments.
+    pub fn checkpoint_seq(&self) -> io::Result<u64> {
+        let text = fs::read_to_string(checkpoint_path(&self.dir))?;
+        from_json_str::<CheckpointDoc>(&text)
+            .map(|d| d.next_seq)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {e}")))
+    }
+
     /// Reads the committed records with `seq >= from_seq` — the replica
     /// catch-up feed.  Only fully committed (checksummed, in-sequence)
     /// records are returned; a torn tail is silently excluded, exactly
-    /// as recovery would exclude it.
+    /// as recovery would exclude it.  A `from_seq` below the checkpoint
+    /// horizon is an [`io::ErrorKind::NotFound`] error, never a silently
+    /// gapped stream: those records were pruned, and the caller must
+    /// bootstrap from a snapshot instead ([`DurableDb::read_from`]
+    /// surfaces this as [`CoreError::WalFeedPruned`]).
     pub fn read_from(&self, from_seq: u64) -> io::Result<Vec<(u64, WalRecord)>> {
-        let text = fs::read_to_string(checkpoint_path(&self.dir))?;
-        let doc_seq = from_json_str::<CheckpointDoc>(&text)
-            .map(|d| d.next_seq)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {e}")))?;
+        let doc_seq = self.checkpoint_seq()?;
+        if from_seq < doc_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "feed from {from_seq} predates the checkpoint horizon {doc_seq}: \
+                     earlier records were pruned; bootstrap from a snapshot"
+                ),
+            ));
+        }
         let mut out = Vec::new();
-        let (_next, _truncated, _last) = scan_log(&self.dir, doc_seq, |seq, record| {
+        let (_next, _truncated, _last, _stale) = scan_log(&self.dir, doc_seq, |seq, record| {
             if seq >= from_seq {
                 out.push((seq, record));
             }
@@ -612,7 +662,13 @@ impl DurableDb {
         let every = wal.cfg.checkpoint_every;
         if every > 0 && wal.appends_since_checkpoint() >= every {
             let pin = self.epochs.pin();
-            wal.checkpoint(pin.db()).map_err(|e| CoreError::Wal(e.to_string()))?;
+            // The mutation is already durably appended and applied; a
+            // failed auto-checkpoint must not be reported as a failed
+            // mutation.  `appends_since_checkpoint` stays at or above
+            // the threshold, so the next append retries the checkpoint.
+            if wal.checkpoint(pin.db()).is_err() {
+                most_obs::inc("wal.checkpoint_failures");
+            }
         }
         result
     }
@@ -652,9 +708,17 @@ impl DurableDb {
     }
 
     /// Committed records with `seq >= from_seq` (the replica catch-up
-    /// feed).
+    /// feed).  A `from_seq` below the checkpoint horizon returns
+    /// [`CoreError::WalFeedPruned`] carrying the horizon, so the caller
+    /// knows to bootstrap from a snapshot instead of tailing into a
+    /// permanent gap.
     pub fn read_from(&self, from_seq: u64) -> CoreResult<Vec<(u64, WalRecord)>> {
         let wal = self.wal.lock().expect("wal lock poisoned");
+        let checkpoint_seq =
+            wal.checkpoint_seq().map_err(|e| CoreError::Wal(e.to_string()))?;
+        if from_seq < checkpoint_seq {
+            return Err(CoreError::WalFeedPruned { from_seq, checkpoint_seq });
+        }
         wal.read_from(from_seq).map_err(|e| CoreError::Wal(e.to_string()))
     }
 }

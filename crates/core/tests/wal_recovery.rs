@@ -320,6 +320,165 @@ fn checkpoint_prunes_segments_and_recovery_resumes_from_it() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The fingerprint zeroes the per-CQ `refresh_nanos` timing at its one
+/// known path only — a *user attribute* that merely shares the name is
+/// real state and must count toward the fingerprint.
+#[test]
+fn fingerprint_counts_user_attributes_named_refresh_nanos() {
+    let (db, ids) = build_world(19);
+    let mut a = db.clone();
+    let mut b = db;
+    a.set_static(ids[0], "refresh_nanos", Value::from(1.0)).unwrap();
+    b.set_static(ids[0], "refresh_nanos", Value::from(2.0)).unwrap();
+    assert_ne!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "states diverging only in a user attribute named refresh_nanos must not \
+         fingerprint as equal"
+    );
+}
+
+/// A crash between the checkpoint rename and segment pruning leaves
+/// stale segments (records wholly below the checkpoint) on disk.
+/// Recovery must skip them and still replay every record committed
+/// after the checkpoint — across a reopen and a second recovery too.
+#[test]
+fn stale_segments_from_an_interrupted_prune_are_skipped() {
+    let dir = tmp_dir("wal_stale_prune");
+    let (initial, ids) = build_world(5);
+    let durable = DurableDb::create(
+        &dir,
+        initial.clone(),
+        WalConfig { segment_bytes: 2 * 1024, sync: false, checkpoint_every: 0 },
+    )
+    .unwrap();
+    let mut oracle = initial;
+    for rec in &gen_script(5, &ids) {
+        match rec {
+            WalRecord::Batch { ops } => {
+                let _ = durable.apply_updates(ops);
+            }
+            WalRecord::Advance { ticks } => durable.advance_clock(*ticks).unwrap(),
+            WalRecord::Register { query } => {
+                let _ = durable.register_continuous(query);
+            }
+            WalRecord::Cancel { cq } => {
+                let _ = durable.cancel_continuous(*cq);
+            }
+        }
+        let _ = apply_record(&mut oracle, rec);
+    }
+    // Capture the pre-checkpoint segment files; writing them back after
+    // the checkpoint reproduces exactly the on-disk state a crash
+    // between the checkpoint rename and segment pruning leaves behind.
+    let stale: Vec<(PathBuf, Vec<u8>)> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            p.extension()
+                .is_some_and(|x| x == "seg")
+                .then(|| (p.clone(), fs::read(&p).unwrap()))
+        })
+        .collect();
+    assert!(stale.len() > 1, "small segments force several rotations");
+    durable.checkpoint().unwrap();
+    // Two committed post-checkpoint records.
+    durable.advance_clock(2).unwrap();
+    durable.advance_clock(3).unwrap();
+    oracle.advance_clock(2);
+    oracle.advance_clock(3);
+    drop(durable); // crash
+    for (path, bytes) in &stale {
+        fs::write(path, bytes).unwrap(); // the prune never happened
+    }
+
+    let (recovered, recovery) = DurableDb::open(&dir, WalConfig::default()).unwrap();
+    assert_eq!(
+        recovery.records_replayed, 2,
+        "exactly the post-checkpoint suffix replays, stale segments notwithstanding"
+    );
+    assert!(recovery.stale_skipped > 0, "the stale records were seen and skipped");
+    assert_eq!(observe(recovered.pin().db()), observe(&oracle));
+
+    // Commit more records with the stale segments still on disk, crash
+    // again: the second recovery must not lose them either.
+    recovered.advance_clock(1).unwrap();
+    oracle.advance_clock(1);
+    drop(recovered);
+    let (again, second) = DurableDb::open(&dir, WalConfig::default()).unwrap();
+    assert_eq!(second.records_replayed, 3);
+    assert_eq!(observe(again.pin().db()), observe(&oracle));
+    drop(again);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A failed auto-checkpoint must not fail the mutation that triggered
+/// it: the record is already durably appended and applied, so reporting
+/// an error would tell the client "not applied" about a mutation that
+/// was — and lose a `Register`'s assigned id.  The checkpoint retries
+/// on a later append.
+#[test]
+fn failed_auto_checkpoint_does_not_fail_the_mutation() {
+    let dir = tmp_dir("wal_ckpt_fail");
+    let (initial, _) = build_world(17);
+    let mut oracle = initial.clone();
+    let durable = DurableDb::create(
+        &dir,
+        initial,
+        WalConfig { segment_bytes: 256 * 1024, sync: false, checkpoint_every: 1 },
+    )
+    .unwrap();
+    // Block the checkpoint temp path with a directory: every
+    // auto-checkpoint now fails while appends keep working.
+    fs::create_dir(dir.join("checkpoint.tmp")).unwrap();
+    durable
+        .advance_clock(1)
+        .expect("the mutation is durable and applied; a checkpoint failure must not fail it");
+    let cq = durable
+        .register_continuous("RETRIEVE o WHERE o.PRICE <= 100")
+        .expect("register must still return its assigned id");
+    oracle.advance_clock(1);
+    let oracle_cq =
+        oracle.register_continuous(Query::parse("RETRIEVE o WHERE o.PRICE <= 100").unwrap());
+    assert_eq!(Ok(cq), oracle_cq);
+    // Unblock: the next mutation's auto-checkpoint retries and lands.
+    fs::remove_dir(dir.join("checkpoint.tmp")).unwrap();
+    durable.advance_clock(2).unwrap();
+    oracle.advance_clock(2);
+    drop(durable);
+    let (recovered, recovery) = DurableDb::open(&dir, WalConfig::default()).unwrap();
+    assert_eq!(recovery.checkpoint_seq, 3, "the retried checkpoint covers all three records");
+    assert_eq!(recovery.records_replayed, 0);
+    assert_eq!(observe(recovered.pin().db()), observe(&oracle));
+    drop(recovered);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Asking the feed for records below the checkpoint horizon must be an
+/// explicit error carrying the horizon — never a silently gapped
+/// stream a replica would buffer behind forever.
+#[test]
+fn feed_below_the_checkpoint_horizon_is_an_explicit_error() {
+    let dir = tmp_dir("wal_feed_pruned");
+    let (initial, _) = build_world(13);
+    let durable = DurableDb::create(&dir, initial, WalConfig::default()).unwrap();
+    durable.advance_clock(1).unwrap();
+    durable.advance_clock(2).unwrap();
+    durable.advance_clock(3).unwrap();
+    durable.checkpoint().unwrap();
+    durable.advance_clock(4).unwrap();
+    match durable.read_from(0) {
+        Err(most_core::CoreError::WalFeedPruned { from_seq: 0, checkpoint_seq: 3 }) => {}
+        other => panic!("expected WalFeedPruned {{ 0, 3 }}, got {other:?}"),
+    }
+    // From the horizon on, the feed serves normally.
+    let suffix = durable.read_from(3).unwrap();
+    assert_eq!(suffix.len(), 1);
+    assert_eq!(suffix[0], (3, WalRecord::Advance { ticks: 4 }));
+    drop(durable);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn feed_serves_the_committed_suffix() {
     let dir = tmp_dir("wal_feed");

@@ -44,6 +44,6 @@ pub mod transmission;
 pub use message::{Message, Payload};
 pub use network::{FaultPlan, NetStats, Network};
 pub use reliable::{ReliableEndpoint, ReliableMesh, RetryPolicy, Transport};
-pub use replication::{ReplicaApplier, ReplicaPublisher};
+pub use replication::{ReplicaApplier, ReplicaPublisher, MAX_PENDING_AHEAD};
 pub use sim::{FleetSim, NodeInfo};
 pub use strategy::{ObjectPredicate, QueryClass, QueryOutcome, RelPredicate, Shipping};

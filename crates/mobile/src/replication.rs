@@ -73,6 +73,14 @@ impl ReplicaPublisher {
     }
 }
 
+/// Upper bound on how far ahead of the next expected sequence a record
+/// may be buffered by [`ReplicaApplier`].  The reliable mesh delivers
+/// in order per pair, so a legitimate gap stays tiny; a frame further
+/// ahead than this is treated as garbage from a corrupt or hostile feed
+/// and dropped (counted in [`ReplicaApplier::dropped_ahead`]) instead
+/// of growing the pending buffer without bound.
+pub const MAX_PENDING_AHEAD: u64 = 4096;
+
 /// The receiving half: a follower database that applies replica frames
 /// in strict sequence order.
 #[derive(Debug)]
@@ -80,11 +88,13 @@ pub struct ReplicaApplier {
     node: u64,
     db: Database,
     next_seq: u64,
-    /// Records received ahead of `next_seq`, held until the gap fills.
+    /// Records received ahead of `next_seq`, held until the gap fills;
+    /// bounded by [`MAX_PENDING_AHEAD`].
     pending: BTreeMap<u64, WalRecord>,
     applied: u64,
     duplicates: u64,
     undecodable: u64,
+    dropped_ahead: u64,
 }
 
 impl ReplicaApplier {
@@ -99,6 +109,7 @@ impl ReplicaApplier {
             applied: 0,
             duplicates: 0,
             undecodable: 0,
+            dropped_ahead: 0,
         }
     }
 
@@ -132,6 +143,12 @@ impl ReplicaApplier {
         self.undecodable
     }
 
+    /// Frames dropped because their sequence number was further than
+    /// [`MAX_PENDING_AHEAD`] ahead of the next expected one.
+    pub fn dropped_ahead(&self) -> u64 {
+        self.dropped_ahead
+    }
+
     /// Records held waiting for a sequence gap to fill.
     pub fn buffered(&self) -> usize {
         self.pending.len()
@@ -153,6 +170,14 @@ impl ReplicaApplier {
         if seq < self.next_seq {
             self.duplicates += 1;
             most_obs::inc("replica.duplicates");
+            return 0;
+        }
+        if seq - self.next_seq >= MAX_PENDING_AHEAD {
+            // A far-future sequence number cannot come from a healthy
+            // in-order feed; buffering it would let a corrupt or
+            // malicious stream grow `pending` without limit.
+            self.dropped_ahead += 1;
+            most_obs::inc("replica.dropped_ahead");
             return 0;
         }
         let Ok(record) = most_testkit::ser::from_json_str::<WalRecord>(record_text) else {
@@ -248,6 +273,21 @@ mod tests {
         assert_eq!(follower.offer(1, &encode(&r1)), 0);
         assert_eq!(follower.duplicates(), 1);
         assert_eq!(follower.fingerprint(), primary.fingerprint());
+    }
+
+    #[test]
+    fn far_ahead_frames_are_dropped_not_buffered() {
+        let (primary, _) = base();
+        let mut follower = ReplicaApplier::new(2, primary, 0);
+        let r = WalRecord::Advance { ticks: 1 };
+        // At the cap: dropped, not held.
+        assert_eq!(follower.offer(MAX_PENDING_AHEAD, &encode(&r)), 0);
+        assert_eq!(follower.buffered(), 0);
+        assert_eq!(follower.dropped_ahead(), 1);
+        // Just inside the window: buffered as usual.
+        assert_eq!(follower.offer(MAX_PENDING_AHEAD - 1, &encode(&r)), 0);
+        assert_eq!(follower.buffered(), 1);
+        assert_eq!(follower.dropped_ahead(), 1);
     }
 
     #[test]

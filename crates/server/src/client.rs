@@ -335,7 +335,10 @@ impl Client {
     /// Fetches the committed WAL records with `seq >= from_seq` from a
     /// durable server — the replica catch-up feed.  Returns
     /// `(next_seq, records)`; poll again from `next_seq` to tail the
-    /// log.
+    /// log.  A `from_seq` below the server's checkpoint horizon fails
+    /// with [`ErrorCode::FeedPruned`]: those records were pruned, so
+    /// bootstrap from [`Client::snapshot`] and resume from the horizon
+    /// instead of tailing into a permanent gap.
     pub fn feed(&mut self, from_seq: u64) -> ClientResult<(u64, Vec<FeedRecord>)> {
         match self.request(&Request::Feed { from_seq })? {
             Response::Feed { next_seq, records } => Ok((next_seq, records)),

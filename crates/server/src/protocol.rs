@@ -136,6 +136,11 @@ pub enum ErrorCode {
     /// The request needs a durable (WAL-backed) server — e.g.
     /// [`Request::Feed`] on an in-memory one.
     NotDurable,
+    /// The requested feed start predates the checkpoint horizon: those
+    /// records were pruned with the segments the checkpoint covered.
+    /// Bootstrap from [`Request::Snapshot`] and resume the feed from
+    /// the horizon sequence carried in the error message.
+    FeedPruned,
     /// The write-ahead log failed; the mutation was not applied.
     Wal,
     /// The server's pending-connection queue is full; retry later.
@@ -157,6 +162,7 @@ most_testkit::json_enum!(ErrorCode {
     ClockOverflow,
     Rejected,
     NotDurable,
+    FeedPruned,
     Wal,
     Busy,
     ShuttingDown,

@@ -594,6 +594,10 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                 "replica feed requires a durable (WAL-backed) server",
             ),
             Some(d) => match d.read_from(from_seq) {
+                // Pruned prefix: tell the replica to bootstrap from a
+                // snapshot instead of serving a silently gapped stream
+                // it would buffer behind forever.
+                Err(e @ CoreError::WalFeedPruned { .. }) => err(ErrorCode::FeedPruned, e),
                 Err(e) => wal_err(e),
                 Ok(records) => {
                     let next_seq =

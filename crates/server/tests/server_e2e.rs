@@ -357,6 +357,42 @@ fn feed_endpoint_streams_committed_records_to_a_replica() {
 }
 
 #[test]
+fn feed_below_checkpoint_horizon_is_rejected_as_pruned() {
+    let dir = wal_dir("e2e_feed_pruned");
+    let durable =
+        Arc::new(DurableDb::create(&dir, demo_db(), WalConfig::default()).unwrap());
+    let server =
+        Server::bind_durable("127.0.0.1:0", Arc::clone(&durable), ServerConfig::default())
+            .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.advance(1).unwrap();
+    c.advance(2).unwrap();
+    durable.checkpoint().unwrap();
+    let horizon = durable.next_seq();
+
+    // Below the horizon: an explicit FeedPruned error naming it — never
+    // a silently gapped stream.
+    match c.request(&Request::Feed { from_seq: 0 }).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::FeedPruned);
+            assert!(
+                message.contains(&format!("checkpoint horizon {horizon}")),
+                "message must carry the horizon to resume from: {message}"
+            );
+        }
+        other => panic!("expected FeedPruned error, got {other:?}"),
+    }
+
+    // From the horizon on, the feed serves normally again.
+    c.advance(3).unwrap();
+    let (next_seq, records) = c.feed(horizon).unwrap();
+    assert_eq!(next_seq, horizon + 1);
+    assert_eq!(records.len(), 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn feed_on_in_memory_server_is_rejected_as_not_durable() {
     let server = serve(demo_db(), ServerConfig::default());
     let mut c = Client::connect(server.local_addr()).unwrap();
