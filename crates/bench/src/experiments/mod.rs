@@ -16,6 +16,7 @@ pub mod e12_server;
 pub mod e13_epochs;
 pub mod e14_plans;
 pub mod e15_durability;
+pub mod e16_sharding;
 pub mod fig1_query_types;
 pub mod micro;
 
@@ -68,11 +69,12 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         with_filtered_metrics(|| e13_epochs::run(scale)),
         with_metrics(|| e14_plans::run(scale)),
         with_filtered_metrics(|| e15_durability::run(scale)),
+        with_filtered_metrics(|| e16_sharding::run(scale)),
         with_metrics(|| micro::run(scale)),
     ]
 }
 
-/// Runs one experiment by id (`fig1`, `e1` ... `e15`); `None` for an
+/// Runs one experiment by id (`fig1`, `e1` ... `e16`); `None` for an
 /// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
@@ -94,6 +96,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e13" => with_filtered_metrics(|| e13_epochs::run(scale)),
         "e14" => with_metrics(|| e14_plans::run(scale)),
         "e15" => with_filtered_metrics(|| e15_durability::run(scale)),
+        "e16" => with_filtered_metrics(|| e16_sharding::run(scale)),
         "micro" => with_metrics(|| micro::run(scale)),
         _ => return None,
     })

@@ -184,7 +184,10 @@ pub fn merge_incremental(
     changed: &Value,
     fresh: &Answer,
 ) -> Answer {
-    debug_assert_eq!(old.vars, fresh.vars);
+    assert_eq!(
+        old.vars, fresh.vars,
+        "merge_incremental: answers disagree on target variables"
+    );
     let mut rows: BTreeMap<Vec<Value>, IntervalSet> = BTreeMap::new();
     let past = (boundary > 0)
         .then(|| IntervalSet::singleton(Interval::new(0, boundary - 1)));
@@ -268,7 +271,14 @@ pub fn display_delta(
 /// ticks `< boundary` keep the old answer (already served), ticks
 /// `>= boundary` come from the new one.
 pub fn merge_answers(old: &Answer, new: &Answer, boundary: Tick) -> Answer {
-    debug_assert_eq!(old.vars, new.vars);
+    // A real invariant, not a debug assert: in release builds a silent
+    // mismatch would merge rows from differently-shaped answers into
+    // garbage, and the sharded scatter-gather combine leans on this
+    // function downstream of `combine_shard_answers`' own check.
+    assert_eq!(
+        old.vars, new.vars,
+        "merge_answers: answers disagree on target variables"
+    );
     let mut rows: BTreeMap<Vec<Value>, IntervalSet> = BTreeMap::new();
     if boundary > 0 {
         let past = IntervalSet::singleton(Interval::new(0, boundary - 1));
@@ -297,6 +307,39 @@ pub fn merge_answers(old: &Answer, new: &Answer, boundary: Tick) -> Answer {
             .map(|(values, intervals)| AnswerTuple { values, intervals })
             .collect(),
     )
+}
+
+/// Combines per-shard answers to one scatter-gather query into a single
+/// global answer.  Shards partition the object universe, so the same
+/// instantiation can appear on at most one shard for single-variable
+/// queries — but the combine is written for the general case: equal
+/// instantiations have their interval sets unioned.
+///
+/// The result is order-independent by construction
+/// ([`Answer::union_with`] is commutative and associative), so permuting
+/// the shard answer order yields a byte-identical answer — the property
+/// the cross-shard cut relies on for deterministic replies.
+///
+/// Errors with [`CoreError::AnswerVarsMismatch`] when two shard answers
+/// disagree on their target-variable lists (checked here, before the
+/// panicking algebraic primitive), and rejects an empty slice because
+/// there is no variable list to build an empty answer from (shard counts
+/// are ≥ 1 everywhere in the engine).
+pub fn combine_shard_answers(parts: &[Answer]) -> crate::error::CoreResult<Answer> {
+    let first = parts.first().ok_or_else(|| {
+        crate::error::CoreError::Unshardable("no shard answers to combine".into())
+    })?;
+    for part in parts {
+        if part.vars != first.vars {
+            return Err(crate::error::CoreError::AnswerVarsMismatch {
+                left: first.vars.clone(),
+                right: part.vars.clone(),
+            });
+        }
+    }
+    Ok(parts[1..]
+        .iter()
+        .fold(first.clone(), |acc, part| acc.union_with(part)))
 }
 
 most_testkit::json_struct!(CqEntry {
@@ -535,6 +578,89 @@ mod tests {
         rebuilt.extend(added);
         rebuilt.sort();
         assert_eq!(rebuilt, current);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on target variables")]
+    fn merge_answers_rejects_var_mismatch_in_release_too() {
+        let old = answer(&[(1, &[(0, 5)])]);
+        let new = Answer::new(vec!["x".into(), "y".into()], vec![]);
+        let _ = merge_answers(&old, &new, 3);
+    }
+
+    #[test]
+    fn combine_shard_answers_unions_rows() {
+        let a = answer(&[(1, &[(0, 5)]), (2, &[(3, 4)])]);
+        let b = answer(&[(2, &[(6, 9)]), (7, &[(1, 1)])]);
+        let combined = combine_shard_answers(&[a, b]).unwrap();
+        assert_eq!(combined.ids(), vec![1, 2, 7]);
+        assert_eq!(
+            combined.intervals_for(&[Value::Id(2)]).unwrap(),
+            &IntervalSet::from_intervals([Interval::new(3, 4), Interval::new(6, 9)])
+        );
+    }
+
+    #[test]
+    fn combine_shard_answers_rejects_var_mismatch_and_empty() {
+        let a = answer(&[(1, &[(0, 5)])]);
+        let b = Answer::new(vec!["z".into()], vec![]);
+        match combine_shard_answers(&[a, b]) {
+            Err(crate::error::CoreError::AnswerVarsMismatch { left, right }) => {
+                assert_eq!(left, vec!["o".to_string()]);
+                assert_eq!(right, vec!["z".to_string()]);
+            }
+            other => panic!("expected AnswerVarsMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            combine_shard_answers(&[]),
+            Err(crate::error::CoreError::Unshardable(_))
+        ));
+    }
+
+    #[test]
+    fn combine_shard_answers_is_order_independent() {
+        // Property test: permuting the shard answer order yields a
+        // byte-identical combined answer.  Random shard partitions with
+        // overlapping rows (overlap exercises the union path even though
+        // real shards partition the universe).
+        use most_testkit::ser::to_json_string;
+        let mut rng = most_testkit::rng::Rng::seed_from_u64(0xE16C);
+        for _ in 0..50 {
+            let shards: Vec<Answer> = (0..4)
+                .map(|_| {
+                    let rows: Vec<(u64, Vec<(Tick, Tick)>)> = (0..rng.below(6))
+                        .map(|_| {
+                            let id = rng.below(8);
+                            let a = rng.below(20) as Tick;
+                            let b = a + rng.below(10) as Tick;
+                            (id, vec![(a, b)])
+                        })
+                        .collect();
+                    let borrowed: Vec<(u64, &[(Tick, Tick)])> =
+                        rows.iter().map(|(id, ivs)| (*id, ivs.as_slice())).collect();
+                    answer(&borrowed)
+                })
+                .collect();
+            let reference =
+                to_json_string(&combine_shard_answers(&shards).unwrap()).unwrap();
+            // Exercise several permutations, including the reverse.
+            let mut perm = shards.clone();
+            perm.reverse();
+            assert_eq!(
+                to_json_string(&combine_shard_answers(&perm).unwrap()).unwrap(),
+                reference
+            );
+            for _ in 0..4 {
+                let i = rng.below(perm.len() as u64) as usize;
+                let j = rng.below(perm.len() as u64) as usize;
+                perm.swap(i, j);
+                assert_eq!(
+                    to_json_string(&combine_shard_answers(&perm).unwrap()).unwrap(),
+                    reference,
+                    "combine must be order-independent"
+                );
+            }
+        }
     }
 
     #[test]

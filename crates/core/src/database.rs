@@ -142,6 +142,10 @@ pub struct Database {
     plans: BTreeMap<u64, PlanState>,
     plan_generation: u64,
     attr_index: Option<AttrIndexState>,
+    // Fault injection for panic-safety tests (not persisted): when set,
+    // evaluating any query that reads this attribute panics at evaluation
+    // entry.  See `set_eval_fault`.
+    eval_fault: Option<String>,
 }
 
 most_testkit::json_enum!(RefreshMode { Full, Incremental });
@@ -194,6 +198,7 @@ impl most_testkit::ser::FromJson for Database {
             plans: BTreeMap::new(),
             plan_generation: 0,
             attr_index: None,
+            eval_fault: None,
         })
     }
 }
@@ -323,6 +328,7 @@ impl Database {
             plans: BTreeMap::new(),
             plan_generation: 0,
             attr_index: None,
+            eval_fault: None,
         }
     }
 
@@ -426,12 +432,35 @@ impl Database {
         position: Point,
         velocity: Velocity,
     ) -> u64 {
+        let id = self.next_id;
+        self.insert_moving_object_with_id(id, class, position, velocity)
+            .expect("next_id is never taken");
+        id
+    }
+
+    /// Inserts a spatial object under an explicit, caller-chosen id.  The
+    /// sharded engine routes objects to per-shard databases by a global id
+    /// — shards must not assign their own (colliding) local ids, and the
+    /// sharded world must be byte-identical to a single-shard reference
+    /// holding the same ids.
+    ///
+    /// Errors with [`CoreError::DuplicateObject`] if the id already exists;
+    /// `next_id` advances past `id` so implicit inserts never collide.
+    pub fn insert_moving_object_with_id(
+        &mut self,
+        id: u64,
+        class: impl Into<String>,
+        position: Point,
+        velocity: Velocity,
+    ) -> CoreResult<()> {
+        if self.objects.contains_key(&id) {
+            return Err(CoreError::DuplicateObject(id));
+        }
         let class = class.into();
         self.classes
             .entry(class.clone())
             .or_insert_with(|| ClassDef::spatial(class.clone()));
-        let id = self.next_id;
-        self.next_id += 1;
+        self.next_id = self.next_id.max(id + 1);
         let obj = MovingObject::spatial(id, class, self.clock, position, velocity);
         if let Some(ix) = &mut self.spatial_index {
             ix.index.insert(id, self.clock - ix.epoch, position, velocity);
@@ -451,7 +480,7 @@ impl Database {
                 .expect("continuous refresh after insert");
             self.stats.updates -= 1; // inserts are not counted as updates
         }
-        id
+        Ok(())
     }
 
     /// Inserts a non-spatial object of `class` (auto-created as open).
@@ -809,6 +838,10 @@ impl Database {
         // Step 2/3 for the incremental mode: per changed object, restricted
         // re-evaluation against the final batch state (each pinned
         // evaluation sees all mutations, so the per-object merges commute).
+        // A failing (or panicking) evaluation must fail only the offending
+        // query's refresh: every other query still refreshes, and the first
+        // error is reported to the caller after the pass completes.
+        let mut first_err: Option<CoreError> = None;
         let mut full: Vec<(u64, Query)> = Vec::new();
         for (id, query) in to_refresh {
             if self.refresh_mode == RefreshMode::Incremental
@@ -819,7 +852,22 @@ impl Database {
                 ids.dedup();
                 for oid in ids {
                     let start = std::time::Instant::now();
-                    let fresh = self.evaluate_pinned(&query, oid)?;
+                    let fresh = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || self.evaluate_pinned(&query, oid),
+                    ))
+                    .unwrap_or_else(|payload| {
+                        most_obs::inc("refresh.worker_panics");
+                        Err(CoreError::EvalPanic(crate::refresh::panic_message(
+                            &payload,
+                        )))
+                    });
+                    let fresh = match fresh {
+                        Ok(fresh) => fresh,
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                            break; // this query keeps its pre-batch answer
+                        }
+                    };
                     let nanos = start.elapsed().as_nanos() as u64;
                     most_obs::inc("refresh.incremental");
                     most_obs::observe("refresh.query_nanos", nanos);
@@ -852,10 +900,17 @@ impl Database {
             merged.push((id, result, nanos));
         }
         for (id, result, nanos) in merged {
-            let fresh = result?;
-            self.continuous.refresh(id, boundary, fresh, nanos);
+            match result {
+                Ok(fresh) => self.continuous.refresh(id, boundary, fresh, nanos),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Evaluates `q` restricted to instantiations that bind `id` in at
@@ -930,9 +985,25 @@ impl Database {
     /// count — the refresh engine passes 1 when it already shards across
     /// queries, to avoid nested thread pools.
     pub(crate) fn evaluate_global_with(&self, q: &Query, eval_workers: usize) -> CoreResult<Answer> {
+        if let Some(marker) = &self.eval_fault {
+            if DepSet::of_query(q).attrs.contains(marker) {
+                panic!("injected evaluation fault: attribute `{marker}`");
+            }
+        }
         let ctx = self.current_context().with_eval_workers(eval_workers);
         let local = evaluate_query(&ctx, q)?;
         Ok(shift_answer(local, self.clock))
+    }
+
+    /// Arms (or clears) evaluation fault injection: while set, evaluating
+    /// any query that reads the named attribute panics at evaluation entry.
+    /// This is the deterministic stand-in for "a query evaluation
+    /// panicked" used by the panic-safety regression tests — the panic
+    /// travels the exact production path (refresh workers, epoch writers,
+    /// server sessions) without depending on an evaluator bug to trigger
+    /// it.  Never set outside tests.
+    pub fn set_eval_fault(&mut self, attr: Option<String>) {
+        self.eval_fault = attr;
     }
 
     /// [`Database::evaluate_global_with`] through a compiled plan: cached
@@ -943,6 +1014,11 @@ impl Database {
         state: &mut PlanState,
         eval_workers: usize,
     ) -> CoreResult<Answer> {
+        if let Some(marker) = &self.eval_fault {
+            if state.atom_deps.iter().any(|(_, d)| d.attrs.contains(marker)) {
+                panic!("injected evaluation fault: attribute `{marker}`");
+            }
+        }
         let ctx = self.current_context().with_eval_workers(eval_workers);
         let local = most_ftl::evaluate_compiled(&ctx, &state.plan, &mut state.cache)?;
         Ok(shift_answer(local, self.clock))
@@ -1339,7 +1415,7 @@ impl Database {
 /// (only constructible programmatically; the FTL grammar has no id
 /// literals).  Such formulas make rows independent of their own bindings
 /// impossible to guarantee, so incremental refresh must not be used.
-fn formula_mentions_fixed_objects(f: &most_ftl::Formula) -> bool {
+pub(crate) fn formula_mentions_fixed_objects(f: &most_ftl::Formula) -> bool {
     use most_ftl::ast::{Formula, Term};
     fn term_has_id(t: &Term) -> bool {
         match t {

@@ -50,6 +50,29 @@ pub enum CoreError {
         /// The checkpoint horizon: the first sequence still served.
         checkpoint_seq: u64,
     },
+    /// A query evaluation panicked during a continuous-query refresh.
+    /// The panic was caught at the evaluation boundary: only the
+    /// offending query's refresh failed (its materialized answer stays at
+    /// the pre-batch state); every other query refreshed normally and the
+    /// batch's mutations remain applied.  Carries the rendered panic
+    /// payload.
+    EvalPanic(String),
+    /// An object id passed to an explicit-id insert already exists.
+    DuplicateObject(u64),
+    /// A query cannot be answered by shard-local evaluation +
+    /// scatter-gather (more or fewer than one free object variable, or a
+    /// fixed object id that may live on another shard).  Carries a
+    /// human-readable reason.
+    Unshardable(String),
+    /// Two shard answers for the same query disagreed on their target
+    /// variable lists — the cross-shard combine invariant.  Carries both
+    /// lists, rendered.
+    AnswerVarsMismatch {
+        /// Variable list of the first answer.
+        left: Vec<String>,
+        /// Variable list of the disagreeing answer.
+        right: Vec<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -74,6 +97,19 @@ impl fmt::Display for CoreError {
                 f,
                 "feed from {from_seq} predates the checkpoint horizon {checkpoint_seq}: \
                  earlier records were pruned; bootstrap from a snapshot"
+            ),
+            CoreError::EvalPanic(detail) => {
+                write!(f, "query evaluation panicked: {detail}")
+            }
+            CoreError::DuplicateObject(id) => {
+                write!(f, "object #{id} already exists")
+            }
+            CoreError::Unshardable(detail) => {
+                write!(f, "query is not shardable: {detail}")
+            }
+            CoreError::AnswerVarsMismatch { left, right } => write!(
+                f,
+                "shard answers disagree on target variables: {left:?} vs {right:?}"
             ),
         }
     }

@@ -34,6 +34,7 @@ pub mod object;
 pub mod persistent;
 mod refresh;
 pub mod rewrite;
+pub mod sharded;
 pub mod shared;
 pub mod snapshot;
 pub mod trigger;
@@ -50,6 +51,7 @@ pub use most_index::IndexKind;
 pub use object::MovingObject;
 pub use persistent::PersistentQuery;
 pub use rewrite::MostDbmsLayer;
+pub use sharded::{CutPin, ShardCut, ShardRouting, ShardedDb, ShardedDbBuilder};
 pub use shared::SharedDatabase;
 pub use trigger::{Trigger, TriggerEvent};
 pub use wal::{apply_record, recover, DurableDb, Recovery, Wal, WalConfig, WalRecord};

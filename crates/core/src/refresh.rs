@@ -13,9 +13,10 @@
 //! by whichever level is active.
 
 use crate::database::{Database, PlanState};
-use crate::error::CoreResult;
+use crate::error::{CoreError, CoreResult};
 use most_ftl::answer::Answer;
 use most_ftl::Query;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Re-evaluates every query in `queries` against the current database
 /// state, using up to `workers` threads.  `plans` travels in parallel to
@@ -71,10 +72,33 @@ pub(crate) fn evaluate_refresh_set(
                 (results, start.elapsed().as_nanos() as u64)
             }));
         }
-        for handle in handles {
-            let (results, nanos) = handle.join().expect("refresh worker panicked");
-            out.extend(results);
-            shard_nanos.push(nanos);
+        for (handle, shard) in handles.into_iter().zip(queries.chunks(chunk)) {
+            // `timed_eval` catches per-query panics, so a worker thread
+            // dying is out-of-band (allocation failure, catch_unwind
+            // escape).  Even then the refresh pass must survive: synthesize
+            // an `EvalPanic` failure for each query the dead worker owned
+            // instead of propagating the panic into the caller — which
+            // would poison the `SharedDatabase` lock and wedge the server.
+            match handle.join() {
+                Ok((results, nanos)) => {
+                    out.extend(results);
+                    shard_nanos.push(nanos);
+                }
+                Err(payload) => {
+                    most_obs::inc("refresh.worker_panics");
+                    let msg = panic_message(&payload);
+                    out.extend(shard.iter().map(|(id, _)| {
+                        (
+                            *id,
+                            Err(CoreError::EvalPanic(format!(
+                                "refresh worker died: {msg}"
+                            ))),
+                            0,
+                            None,
+                        )
+                    }));
+                }
+            }
         }
     });
     // Registry traffic stays out of the worker loops: one batch here.
@@ -95,11 +119,38 @@ fn timed_eval(
     eval_workers: usize,
 ) -> (CoreResult<Answer>, u64) {
     let start = std::time::Instant::now();
-    let result = match plan {
+    // Evaluation runs arbitrary FTL over arbitrary trajectories; a panic in
+    // one query must fail only that query's refresh, not abort the whole
+    // pass.  The `AssertUnwindSafe` is justified: on panic the plan state is
+    // discarded below (its per-atom cache may be half-written), and `db` is
+    // only read.
+    let result = match catch_unwind(AssertUnwindSafe(|| match plan {
         Some(state) => db.evaluate_global_with_plan(state, eval_workers),
         None => db.evaluate_global_with(q, eval_workers),
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            most_obs::inc("refresh.worker_panics");
+            // The compiled plan's cache may be inconsistent mid-panic;
+            // drop it so the next refresh recompiles from the AST.
+            *plan = None;
+            Err(CoreError::EvalPanic(panic_message(&payload)))
+        }
     };
     (result, start.elapsed().as_nanos() as u64)
+}
+
+/// Renders a `catch_unwind`/`join` payload: `&str` and `String` payloads
+/// (everything `panic!` produces in practice) verbatim, anything else
+/// generically.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]

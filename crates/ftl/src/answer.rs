@@ -113,6 +113,40 @@ impl Answer {
             .filter_map(|t| t.values.first().and_then(|v| v.as_id()))
             .collect()
     }
+
+    /// The row-wise union of two answers over the same target variables:
+    /// an instantiation present in both contributes the union of its
+    /// interval sets.  Commutative and associative (interval-set union
+    /// is), so folding any permutation of parts yields an identical
+    /// answer — the algebraic property a scatter-gather combine across
+    /// database partitions leans on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two answers disagree on their target-variable lists;
+    /// callers combining untrusted parts must check `vars` first.
+    pub fn union_with(&self, other: &Answer) -> Answer {
+        assert_eq!(
+            self.vars, other.vars,
+            "Answer::union_with: answers disagree on target variables"
+        );
+        // Duplicate instantiations *within* one side union too — answers
+        // are sorted but not deduplicated, so a plain collect would keep
+        // only the last duplicate's intervals.
+        let mut rows: std::collections::BTreeMap<Vec<Value>, IntervalSet> =
+            std::collections::BTreeMap::new();
+        for tup in self.tuples.iter().chain(&other.tuples) {
+            rows.entry(tup.values.clone())
+                .and_modify(|s| *s = s.union(&tup.intervals))
+                .or_insert_with(|| tup.intervals.clone());
+        }
+        Answer::new(
+            self.vars.clone(),
+            rows.into_iter()
+                .map(|(values, intervals)| AnswerTuple { values, intervals })
+                .collect(),
+        )
+    }
 }
 
 impl fmt::Display for Answer {

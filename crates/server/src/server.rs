@@ -40,18 +40,32 @@ use crate::protocol::{
     DEFAULT_MAX_FRAME,
 };
 use most_core::continuous::display_delta;
+use most_core::sharded::{CutPin, ShardedDb};
 use most_core::wal::DurableDb;
-use most_core::{CoreError, SharedDatabase};
+use most_core::{CoreError, CoreResult, EpochPin, SharedDatabase};
 use most_dbms::value::Value;
+use most_ftl::answer::Answer;
 use most_ftl::Query;
+use most_temporal::Tick;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Recovers a mutex from poisoning.  Every structure the server guards
+/// this way — outboxes, the session registry, subscription baselines, the
+/// parse cache, the mutation-order token — is a plain value that is
+/// consistent between operations, so a session thread that panicked while
+/// holding the lock must not cascade into killing unrelated sessions (a
+/// poisoned-lock `.expect` was exactly that cascade).
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -68,6 +82,14 @@ pub struct ServerConfig {
     /// Socket read timeout — the poll interval at which idle sessions
     /// notice a server shutdown.
     pub read_timeout: Duration,
+    /// Fault injection for the panic-safety regression tests: a
+    /// `Register` request whose query text contains this marker panics
+    /// inside the handler **while holding the mutation-order lock** — the
+    /// worst-placed panic a request can produce.  The server must survive
+    /// it: the panic is caught at the request boundary, the session gets
+    /// an `Internal` error frame, and every lock recovers from poisoning.
+    /// Never set outside tests.
+    pub panic_trigger: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +100,130 @@ impl Default for ServerConfig {
             outbox: 1024,
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_millis(20),
+            panic_trigger: None,
+        }
+    }
+}
+
+/// The storage engine behind the server: one epoch stream, or N of them
+/// behind a cross-shard cut.
+#[derive(Debug)]
+enum Engine {
+    /// A single [`SharedDatabase`], optionally write-ahead logged.
+    Single {
+        db: SharedDatabase,
+        /// When set, every mutation routes through the write-ahead log
+        /// before publishing its epoch, and [`Request::Feed`] serves the
+        /// committed record sequence.  `db` shares the same epoch engine,
+        /// so reads see exactly the logged-then-published states.
+        durable: Option<Arc<DurableDb>>,
+    },
+    /// A partitioned [`ShardedDb`]: mutations apply shard-locally in
+    /// parallel, reads pin a whole cross-shard cut.
+    Sharded(Arc<ShardedDb>),
+}
+
+/// A consistent read view: one pinned epoch or one pinned cut.  All
+/// queries in a request answer from the same view.
+enum View {
+    Single(EpochPin),
+    Sharded(CutPin),
+}
+
+impl View {
+    fn now(&self) -> Tick {
+        match self {
+            View::Single(pin) => pin.now(),
+            View::Sharded(cut) => cut.now(),
+        }
+    }
+
+    fn instantaneous(&self, q: &Query) -> CoreResult<Answer> {
+        match self {
+            View::Single(pin) => pin.instantaneous_readonly(q),
+            View::Sharded(cut) => cut.instantaneous(q),
+        }
+    }
+
+    fn persistent_answer(&self, q: &Query, origin: Tick) -> CoreResult<Answer> {
+        match self {
+            View::Single(pin) => pin.persistent_answer(q, origin),
+            View::Sharded(cut) => cut.persistent_answer(q, origin),
+        }
+    }
+
+    fn continuous_display(&self, cq: u64, at: Tick) -> CoreResult<Vec<Vec<Value>>> {
+        match self {
+            View::Single(pin) => pin.continuous_display(cq, at),
+            View::Sharded(cut) => cut.continuous_display(cq, at),
+        }
+    }
+}
+
+impl Engine {
+    fn pin(&self) -> View {
+        match self {
+            Engine::Single { db, .. } => View::Single(db.pin()),
+            Engine::Sharded(s) => View::Sharded(s.pin()),
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.pin().now()
+    }
+
+    fn advance_clock(&self, ticks: u64) -> CoreResult<()> {
+        match self {
+            Engine::Single { durable: Some(d), .. } => d.advance_clock(ticks),
+            Engine::Single { db, .. } => {
+                db.advance_clock(ticks);
+                Ok(())
+            }
+            Engine::Sharded(s) => {
+                s.advance_clock(ticks);
+                Ok(())
+            }
+        }
+    }
+
+    fn apply_updates(&self, ops: &[most_core::UpdateOp]) -> CoreResult<()> {
+        match self {
+            Engine::Single { durable: Some(d), .. } => d.apply_updates(ops),
+            Engine::Single { db, .. } => db.apply_updates(ops),
+            Engine::Sharded(s) => s.apply_updates(ops),
+        }
+    }
+
+    fn register_continuous(&self, text: &str, q: Query) -> CoreResult<u64> {
+        match self {
+            // The durable path logs the *text* so replay re-parses
+            // identically.
+            Engine::Single { durable: Some(d), .. } => d.register_continuous(text),
+            Engine::Single { db, .. } => db.write(|d| d.register_continuous(q)),
+            Engine::Sharded(s) => s.register_continuous(&q),
+        }
+    }
+
+    fn cancel_continuous(&self, cq: u64) -> CoreResult<()> {
+        match self {
+            Engine::Single { durable: Some(d), .. } => d.cancel_continuous(cq),
+            Engine::Single { db, .. } => db.write(|d| d.cancel_continuous(cq)),
+            Engine::Sharded(s) => s.cancel_continuous(cq),
+        }
+    }
+
+    /// JSON of the full database state: the single database's object, or
+    /// a JSON array with one element per shard (shard order).
+    fn snapshot_json(&self) -> Result<String, most_testkit::ser::JsonError> {
+        match self {
+            Engine::Single { db, .. } => db.read(most_testkit::ser::to_json_string),
+            Engine::Sharded(s) => {
+                let cut = s.pin();
+                let parts: Result<Vec<String>, _> = (0..cut.shard_count())
+                    .map(|i| most_testkit::ser::to_json_string(cut.shard(i)))
+                    .collect();
+                Ok(format!("[{}]", parts?.join(",")))
+            }
         }
     }
 }
@@ -144,7 +290,7 @@ impl Session {
     /// queue; pushed frames are discarded (with accounting) when the
     /// outbox is at capacity.
     fn push(&self, frame: String, droppable: bool, cap: usize) -> PushOutcome {
-        let mut ob = self.outbox.lock().expect("outbox lock");
+        let mut ob = lock_clean(&self.outbox);
         if ob.closed {
             return PushOutcome::Closed;
         }
@@ -167,7 +313,7 @@ impl Session {
     /// Marks the outbox closed; the writer drains what is queued, then
     /// exits.
     fn close(&self) {
-        let mut ob = self.outbox.lock().expect("outbox lock");
+        let mut ob = lock_clean(&self.outbox);
         ob.closed = true;
         drop(ob);
         self.cond.notify_all();
@@ -177,12 +323,7 @@ impl Session {
 /// State shared by the acceptor, workers, and the [`Server`] handle.
 #[derive(Debug)]
 struct Shared {
-    db: SharedDatabase,
-    /// When set, every mutation routes through the write-ahead log
-    /// before publishing its epoch, and [`Request::Feed`] serves the
-    /// committed record sequence.  `db` shares the same epoch engine,
-    /// so reads see exactly the logged-then-published states.
-    durable: Option<Arc<DurableDb>>,
+    engine: Engine,
     cfg: ServerConfig,
     /// Serialises mutation + delta-notification so subscription deltas
     /// form one global sequence.
@@ -228,7 +369,21 @@ impl Server {
         db: SharedDatabase,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
-        Server::bind_inner(addr, db, None, cfg)
+        Server::bind_inner(addr, Engine::Single { db, durable: None }, cfg)
+    }
+
+    /// Binds a server over a **sharded** engine: every mutating request
+    /// applies shard-locally in parallel and publishes one cross-shard
+    /// cut; reads and the delta fan-out pin whole cuts.  [`Request::Feed`]
+    /// is rejected with [`ErrorCode::NotDurable`] (the sharded engine has
+    /// no write-ahead log yet), and [`Request::Snapshot`] returns a JSON
+    /// array with one element per shard.
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        db: Arc<ShardedDb>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::bind_inner(addr, Engine::Sharded(db), cfg)
     }
 
     /// Binds a **durable** server over a write-ahead-logged database:
@@ -242,20 +397,18 @@ impl Server {
         cfg: ServerConfig,
     ) -> io::Result<Server> {
         let db = SharedDatabase::from_epochs(durable.epochs().clone());
-        Server::bind_inner(addr, db, Some(durable), cfg)
+        Server::bind_inner(addr, Engine::Single { db, durable: Some(durable) }, cfg)
     }
 
     fn bind_inner(
         addr: impl ToSocketAddrs,
-        db: SharedDatabase,
-        durable: Option<Arc<DurableDb>>,
+        engine: Engine,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            db,
-            durable,
+            engine,
             cfg: cfg.clone(),
             sync: Mutex::new(()),
             sessions: Mutex::new(BTreeMap::new()),
@@ -276,9 +429,18 @@ impl Server {
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || loop {
-                let conn = rx.lock().expect("worker queue lock").recv();
+                let conn = lock_clean(&rx).recv();
                 match conn {
-                    Ok(stream) => run_session(&shared, stream),
+                    Ok(stream) => {
+                        // Backstop: a panicking session must cost the
+                        // server that one session, never the worker thread
+                        // serving all later ones.
+                        if catch_unwind(AssertUnwindSafe(|| run_session(&shared, stream)))
+                            .is_err()
+                        {
+                            most_obs::inc("server.session_panics");
+                        }
+                    }
                     Err(_) => break, // acceptor gone, queue drained
                 }
             }));
@@ -322,7 +484,7 @@ impl Server {
             deltas: self.shared.deltas.load(Ordering::Relaxed),
             dropped: self.shared.dropped.load(Ordering::Relaxed),
             busy: self.shared.busy.load(Ordering::Relaxed),
-            sessions: self.shared.sessions.lock().expect("session registry lock").len() as u64,
+            sessions: lock_clean(&self.shared.sessions).len() as u64,
             opened: self.shared.opened.load(Ordering::Relaxed),
         }
     }
@@ -377,7 +539,7 @@ fn run_session(shared: &Arc<Shared>, stream: TcpStream) {
     let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
     let session = Arc::new(Session::new());
     {
-        let mut map = shared.sessions.lock().expect("session registry lock");
+        let mut map = lock_clean(&shared.sessions);
         map.insert(id, Arc::clone(&session));
         most_obs::gauge_set("server.sessions", map.len() as u64);
         most_obs::gauge_max("server.sessions.peak", map.len() as u64);
@@ -409,7 +571,24 @@ fn run_session(shared: &Arc<Shared>, stream: TcpStream) {
                     Err(fe) => fe.to_response(),
                     Ok(line) => match decode_request(&line) {
                         Err(fe) => fe.to_response(),
-                        Ok(req) => handle_request(shared, &session, req),
+                        // A panicking handler must cost only this request:
+                        // the session gets an `Internal` error frame and
+                        // keeps serving (every shared lock the panic may
+                        // have poisoned recovers via `lock_clean`).
+                        Ok(req) => {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                handle_request(shared, &session, req)
+                            })) {
+                                Ok(resp) => resp,
+                                Err(_) => {
+                                    most_obs::inc("server.handler_panics");
+                                    err(
+                                        ErrorCode::Internal,
+                                        "request handler panicked; request abandoned",
+                                    )
+                                }
+                            }
+                        }
                     },
                 };
                 most_obs::observe("server.request_nanos", start.elapsed().as_nanos() as u64);
@@ -422,7 +601,7 @@ fn run_session(shared: &Arc<Shared>, stream: TcpStream) {
         }
     }
     {
-        let mut map = shared.sessions.lock().expect("session registry lock");
+        let mut map = lock_clean(&shared.sessions);
         map.remove(&id);
         most_obs::gauge_set("server.sessions", map.len() as u64);
     }
@@ -437,7 +616,7 @@ fn run_session(shared: &Arc<Shared>, stream: TcpStream) {
 fn writer_loop(session: &Session, mut stream: TcpStream) {
     loop {
         let frame = {
-            let mut ob = session.outbox.lock().expect("outbox lock");
+            let mut ob = lock_clean(&session.outbox);
             loop {
                 if ob.lag_pending {
                     ob.lag_pending = false;
@@ -450,13 +629,16 @@ fn writer_loop(session: &Session, mut stream: TcpStream) {
                 if ob.closed {
                     break None;
                 }
-                ob = session.cond.wait(ob).expect("outbox lock");
+                ob = session
+                    .cond
+                    .wait(ob)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(frame) = frame else { return };
         if stream.write_all(frame.as_bytes()).is_err() {
             // Peer gone: drop what's left so producers stop queueing.
-            let mut ob = session.outbox.lock().expect("outbox lock");
+            let mut ob = lock_clean(&session.outbox);
             ob.closed = true;
             ob.queue.clear();
             return;
@@ -476,13 +658,13 @@ fn wal_err(e: CoreError) -> Response {
 }
 
 fn parse_query(shared: &Shared, text: &str) -> Result<Query, Response> {
-    if let Some(q) = shared.parsed.lock().expect("parse cache lock").get(text) {
+    if let Some(q) = lock_clean(&shared.parsed).get(text) {
         most_obs::inc("server.parse.hits");
         return Ok(q.clone());
     }
     most_obs::inc("server.parse.misses");
     let q = Query::parse(text).map_err(|e| err(ErrorCode::Parse, e))?;
-    let mut cache = shared.parsed.lock().expect("parse cache lock");
+    let mut cache = lock_clean(&shared.parsed);
     if cache.len() < PARSE_CACHE_CAP {
         cache.insert(text.to_owned(), q.clone());
     }
@@ -492,14 +674,14 @@ fn parse_query(shared: &Shared, text: &str) -> Result<Query, Response> {
 fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) -> Response {
     match req {
         Request::Ping => Response::Pong,
-        Request::Now => Response::Tick { now: shared.db.now() },
-        Request::Snapshot => match shared.db.read(most_testkit::ser::to_json_string) {
+        Request::Now => Response::Tick { now: shared.engine.now() },
+        Request::Snapshot => match shared.engine.snapshot_json() {
             Ok(json) => Response::Db { json },
             Err(e) => err(ErrorCode::Internal, format!("snapshot failed: {e}")),
         },
         Request::Stats => {
             let sessions =
-                shared.sessions.lock().expect("session registry lock").len() as u64;
+                lock_clean(&shared.sessions).len() as u64;
             Response::Stats {
                 requests: shared.requests.load(Ordering::Relaxed),
                 errors: shared.errors.load(Ordering::Relaxed),
@@ -512,10 +694,10 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
         Request::Instantaneous { query } => match parse_query(shared, &query) {
             Err(e) => e,
             Ok(q) => {
-                // Lock-free: evaluate on a pinned epoch snapshot.
-                let pin = shared.db.pin();
-                match pin.db().instantaneous_readonly(&q) {
-                    Ok(answer) => Response::Answer { now: pin.db().now(), answer },
+                // Lock-free: evaluate on a pinned view (epoch or cut).
+                let view = shared.engine.pin();
+                match view.instantaneous(&q) {
+                    Ok(answer) => Response::Answer { now: view.now(), answer },
                     Err(e) => err(ErrorCode::Eval, e),
                 }
             }
@@ -523,45 +705,38 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
         Request::Persistent { query, origin } => match parse_query(shared, &query) {
             Err(e) => e,
             Ok(q) => {
-                let pin = shared.db.pin();
-                let d = pin.db();
-                if origin > d.now() {
+                let view = shared.engine.pin();
+                let now = view.now();
+                if origin > now {
                     return err(
                         ErrorCode::BadRequest,
-                        format!("persistent origin {origin} is in the future (now {})", d.now()),
+                        format!("persistent origin {origin} is in the future (now {now})"),
                     );
                 }
-                match d.persistent_answer(&q, origin) {
-                    Ok(answer) => Response::Answer { now: d.now(), answer },
+                match view.persistent_answer(&q, origin) {
+                    Ok(answer) => Response::Answer { now, answer },
                     Err(e) => err(ErrorCode::Eval, e),
                 }
             }
         },
         Request::AdvanceClock { ticks } => {
-            let _order = shared.sync.lock().expect("mutation order lock");
-            let now = shared.db.now();
+            let _order = lock_clean(&shared.sync);
+            let now = shared.engine.now();
             if now.checked_add(ticks).is_none() {
                 return err(
                     ErrorCode::ClockOverflow,
                     format!("advancing {ticks} from {now} overflows the tick domain"),
                 );
             }
-            if let Some(d) = &shared.durable {
-                if let Err(e) = d.advance_clock(ticks) {
-                    return wal_err(e);
-                }
-            } else {
-                shared.db.advance_clock(ticks);
+            if let Err(e) = shared.engine.advance_clock(ticks) {
+                return wal_err(e);
             }
             notify_subscribers(shared);
-            Response::Tick { now: shared.db.now() }
+            Response::Tick { now: shared.engine.now() }
         }
         Request::Update { ops } => {
-            let _order = shared.sync.lock().expect("mutation order lock");
-            let result = match &shared.durable {
-                Some(d) => d.apply_updates(&ops),
-                None => shared.db.apply_updates(&ops),
-            };
+            let _order = lock_clean(&shared.sync);
+            let result = shared.engine.apply_updates(&ops);
             // Even a rejected batch applies its prefix — refresh deltas
             // must still go out.
             notify_subscribers(shared);
@@ -574,13 +749,16 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
         Request::Register { query } => match parse_query(shared, &query) {
             Err(e) => e,
             Ok(q) => {
-                let _order = shared.sync.lock().expect("mutation order lock");
-                let result = match &shared.durable {
-                    // The durable path logs the *text* so replay
-                    // re-parses identically.
-                    Some(d) => d.register_continuous(&query),
-                    None => shared.db.write(|d| d.register_continuous(q)),
-                };
+                let _order = lock_clean(&shared.sync);
+                if let Some(trigger) = &shared.cfg.panic_trigger {
+                    if query.contains(trigger.as_str()) {
+                        // Deliberately the worst-placed panic a request
+                        // handler can produce: while holding the
+                        // mutation-order lock.  See `ServerConfig`.
+                        panic!("injected handler fault: query text contains `{trigger}`");
+                    }
+                }
+                let result = shared.engine.register_continuous(&query, q);
                 match result {
                     Ok(cq) => Response::Registered { cq },
                     Err(e @ CoreError::Wal(_)) => wal_err(e),
@@ -588,20 +766,15 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                 }
             }
         },
-        Request::Feed { from_seq } => match &shared.durable {
-            None => err(
-                ErrorCode::NotDurable,
-                "replica feed requires a durable (WAL-backed) server",
-            ),
-            Some(d) => match d.read_from(from_seq) {
+        Request::Feed { from_seq } => match &shared.engine {
+            Engine::Single { durable: Some(d), .. } => match d.read_from(from_seq) {
                 // Pruned prefix: tell the replica to bootstrap from a
                 // snapshot instead of serving a silently gapped stream
                 // it would buffer behind forever.
                 Err(e @ CoreError::WalFeedPruned { .. }) => err(ErrorCode::FeedPruned, e),
                 Err(e) => wal_err(e),
                 Ok(records) => {
-                    let next_seq =
-                        records.last().map_or(from_seq, |(seq, _)| seq + 1);
+                    let next_seq = records.last().map_or(from_seq, |(seq, _)| seq + 1);
                     let records = records
                         .into_iter()
                         .filter_map(|(seq, record)| {
@@ -613,26 +786,21 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                     Response::Feed { next_seq, records }
                 }
             },
+            _ => err(
+                ErrorCode::NotDurable,
+                "replica feed requires a durable (WAL-backed) server",
+            ),
         },
         Request::Cancel { cq } => {
-            let _order = shared.sync.lock().expect("mutation order lock");
-            let cancel_result = match &shared.durable {
-                Some(d) => d.cancel_continuous(cq),
-                None => shared.db.write(|d| d.cancel_continuous(cq)),
-            };
-            match cancel_result {
+            let _order = lock_clean(&shared.sync);
+            match shared.engine.cancel_continuous(cq) {
                 Ok(()) => {
                     // Scrub the dead id from every session's subscriptions;
                     // subscribers simply stop receiving deltas for it.
-                    let sessions: Vec<Arc<Session>> = shared
-                        .sessions
-                        .lock()
-                        .expect("session registry lock")
-                        .values()
-                        .cloned()
-                        .collect();
+                    let sessions: Vec<Arc<Session>> =
+                        lock_clean(&shared.sessions).values().cloned().collect();
                     for s in sessions {
-                        s.subs.lock().expect("subs lock").remove(&cq);
+                        lock_clean(&s.subs).remove(&cq);
                     }
                     Response::Cancelled { cq }
                 }
@@ -641,18 +809,20 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
             }
         }
         Request::Subscribe { cq } => {
-            let _order = shared.sync.lock().expect("mutation order lock");
-            match shared.db.read(|d| d.continuous_display(cq, d.now()).map(|r| (d.now(), r))) {
+            let _order = lock_clean(&shared.sync);
+            let view = shared.engine.pin();
+            let tick = view.now();
+            match view.continuous_display(cq, tick).map(|r| (tick, r)) {
                 Ok((tick, rows)) => {
-                    session.subs.lock().expect("subs lock").insert(cq, rows.clone());
+                    lock_clean(&session.subs).insert(cq, rows.clone());
                     Response::Subscribed { cq, tick, rows }
                 }
                 Err(e) => err(ErrorCode::UnknownCq, e),
             }
         }
         Request::Unsubscribe { cq } => {
-            let _order = shared.sync.lock().expect("mutation order lock");
-            if session.subs.lock().expect("subs lock").remove(&cq).is_some() {
+            let _order = lock_clean(&shared.sync);
+            if lock_clean(&session.subs).remove(&cq).is_some() {
                 Response::Unsubscribed { cq }
             } else {
                 err(ErrorCode::UnknownCq, format!("not subscribed to continuous query #{cq}"))
@@ -668,7 +838,7 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
 /// oracle in `most_server::load`.
 fn notify_subscribers(shared: &Arc<Shared>) {
     let sessions: Vec<Arc<Session>> = {
-        let map = shared.sessions.lock().expect("session registry lock");
+        let map = lock_clean(&shared.sessions);
         map.values().cloned().collect()
     };
     if sessions.is_empty() {
@@ -676,16 +846,16 @@ fn notify_subscribers(shared: &Arc<Shared>) {
     }
     let cap = shared.cfg.outbox;
     // One pin for the whole fan-out: every delta in this round of the
-    // global sequence is computed from the same just-published epoch.
-    let pin = shared.db.pin();
+    // global sequence is computed from the same just-published view
+    // (one epoch, or one cross-shard cut).
+    let view = shared.engine.pin();
     {
-        let d = pin.db();
-        let now = d.now();
+        let now = view.now();
         for s in &sessions {
-            let mut subs = s.subs.lock().expect("subs lock");
+            let mut subs = lock_clean(&s.subs);
             let mut dead = Vec::new();
             for (cq, last) in subs.iter_mut() {
-                match d.continuous_display(*cq, now) {
+                match view.continuous_display(*cq, now) {
                     Ok(rows) => {
                         let (added, removed) = display_delta(last, &rows);
                         if added.is_empty() && removed.is_empty() {

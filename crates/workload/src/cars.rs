@@ -1,6 +1,7 @@
 //! Vehicles with random headings and Poisson-like motion-vector changes.
 
 use crate::update_process::{sample_velocity, update_schedule};
+use most_core::sharded::ShardedDbBuilder;
 use most_core::Database;
 use most_spatial::{Point, Trajectory, Velocity};
 use most_temporal::Tick;
@@ -60,6 +61,21 @@ impl CarScenario {
         }
     }
 
+    /// A scaled scenario: `count` cars at (roughly) the density of
+    /// [`CarScenario::small`] — the start area grows with √count, so a
+    /// 10⁶-car fleet doesn't pile onto one spot and spatial routing
+    /// spreads it evenly.  The shards × objects sweeps (E16) and any
+    /// load test aiming at the ROADMAP's millions-of-objects target
+    /// build worlds through this.
+    pub fn fleet(seed: u64, count: usize) -> Self {
+        let small = CarScenario::small(seed);
+        CarScenario {
+            count,
+            area: small.area * (count as f64 / small.count as f64).sqrt().max(1.0),
+            ..small
+        }
+    }
+
     /// Generates the car plans.
     pub fn generate(&self) -> Vec<CarPlan> {
         let mut rng = Rng::seed_from_u64(self.seed);
@@ -92,6 +108,27 @@ impl CarScenario {
             .map(|p| {
                 let id = db.insert_moving_object("cars", p.start, p.velocity);
                 db.set_static(id, "PRICE", p.price.into())
+                    .expect("open class admits PRICE");
+                id
+            })
+            .collect()
+    }
+
+    /// Populates a **sharded** database builder with the cars at tick 0,
+    /// mirroring [`CarScenario::populate`]: identical global ids in plan
+    /// order (the builder allocates them), routed to shards by the
+    /// builder's policy.  Returns the object ids in plan order.
+    pub fn populate_sharded(
+        &self,
+        builder: &mut ShardedDbBuilder,
+        plans: &[CarPlan],
+    ) -> Vec<u64> {
+        plans
+            .iter()
+            .map(|p| {
+                let id = builder.insert_moving_object("cars", p.start, p.velocity);
+                builder
+                    .set_static(id, "PRICE", p.price.into())
                     .expect("open class admits PRICE");
                 id
             })
@@ -176,6 +213,36 @@ mod tests {
             .map(|p| p.updates.iter().filter(|(t, _)| *t <= 200).count())
             .sum();
         assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn fleet_scales_area_with_count() {
+        let small = CarScenario::small(7);
+        let f = CarScenario::fleet(7, 2000);
+        assert_eq!(f.count, 2000);
+        // 2000 cars = 100x the small fleet, so the half-extent grows 10x.
+        assert!((f.area - small.area * 10.0).abs() < 1e-9);
+        // Never shrinks below the small scenario's area.
+        assert_eq!(CarScenario::fleet(7, 5).area, small.area);
+        // Reproducible like every other generator.
+        let again = CarScenario::fleet(7, 2000);
+        assert_eq!(f.generate()[42].start, again.generate()[42].start);
+    }
+
+    #[test]
+    fn populate_sharded_mirrors_single_db() {
+        let s = CarScenario::fleet(9, 64);
+        let plans = s.generate();
+        let mut db = Database::new(2000);
+        let single_ids = s.populate(&mut db, &plans);
+
+        let mut b = ShardedDbBuilder::new(4, 2000);
+        let sharded_ids = s.populate_sharded(&mut b, &plans);
+        assert_eq!(sharded_ids, single_ids, "global ids must match plan order");
+
+        let sharded = b.finish();
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(sharded.pin().len(), plans.len());
     }
 
     #[test]
