@@ -17,6 +17,7 @@ pub mod e13_epochs;
 pub mod e14_plans;
 pub mod e15_durability;
 pub mod e16_sharding;
+pub mod e17_history;
 pub mod fig1_query_types;
 pub mod micro;
 
@@ -70,11 +71,12 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         with_metrics(|| e14_plans::run(scale)),
         with_filtered_metrics(|| e15_durability::run(scale)),
         with_filtered_metrics(|| e16_sharding::run(scale)),
+        with_filtered_metrics(|| e17_history::run(scale)),
         with_metrics(|| micro::run(scale)),
     ]
 }
 
-/// Runs one experiment by id (`fig1`, `e1` ... `e16`); `None` for an
+/// Runs one experiment by id (`fig1`, `e1` ... `e17`); `None` for an
 /// unknown id.
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     Some(match id.to_ascii_lowercase().as_str() {
@@ -97,6 +99,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e14" => with_metrics(|| e14_plans::run(scale)),
         "e15" => with_filtered_metrics(|| e15_durability::run(scale)),
         "e16" => with_filtered_metrics(|| e16_sharding::run(scale)),
+        "e17" => with_filtered_metrics(|| e17_history::run(scale)),
         "micro" => with_metrics(|| micro::run(scale)),
         _ => return None,
     })

@@ -24,10 +24,11 @@ fn answers_only(id: &str) -> String {
 #[test]
 fn instrumentation_is_observationally_inert_and_counters_conserve() {
     // E4 exercises the FTL evaluation pipeline, E10 the continuous-query
-    // refresh engine, and E15 the WAL/recovery/replication path —
-    // together they cover every layer the observability hooks touch on
-    // the query and durability paths.
-    for id in ["e4", "e10", "e15"] {
+    // refresh engine, E15 the WAL/recovery/replication path, and E17 the
+    // trajectory history recorder — together they cover every layer the
+    // observability hooks touch on the query, durability and history
+    // paths.
+    for id in ["e4", "e10", "e15", "e17"] {
         most_obs::set_enabled(true);
         let instrumented = answers_only(id);
         most_obs::set_enabled(false);

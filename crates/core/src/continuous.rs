@@ -320,7 +320,8 @@ pub fn merge_answers(old: &Answer, new: &Answer, boundary: Tick) -> Answer {
 /// the shard answer order yields a byte-identical answer — the property
 /// the cross-shard cut relies on for deterministic replies.
 ///
-/// Errors with [`CoreError::AnswerVarsMismatch`] when two shard answers
+/// Errors with [`CoreError::AnswerVarsMismatch`](crate::error::CoreError::AnswerVarsMismatch)
+/// when two shard answers
 /// disagree on their target-variable lists (checked here, before the
 /// panicking algebraic primitive), and rejects an empty slice because
 /// there is no variable list to build an empty answer from (shard counts

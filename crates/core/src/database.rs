@@ -578,6 +578,11 @@ impl Database {
         self.regions.get(name)
     }
 
+    /// Iterates all named regions in name order.
+    pub fn regions_iter(&self) -> impl Iterator<Item = (&str, &Polygon)> {
+        self.regions.iter().map(|(name, poly)| (name.as_str(), poly))
+    }
+
     // ------------------------------------------------------------------
     // Updates (all stamped with the current clock tick; the paper assumes
     // valid-time == transaction-time)

@@ -43,6 +43,18 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+/// Callback invoked at the epoch-publish boundary, after index
+/// maintenance and immediately before the pointer swap.  It runs under
+/// the writer lock with exclusive access to the about-to-publish state,
+/// so an observer sees every epoch exactly once, in publish order, with
+/// no additional synchronization of its own against this engine.  The
+/// second argument is the epoch number being published.
+///
+/// Observers must be cheap relative to batch application: they extend
+/// the writer's critical section (readers are unaffected — they keep
+/// answering from the previous epoch — but subsequent writers queue).
+pub type PublishObserver = Arc<dyn Fn(&Database, u64) + Send + Sync>;
+
 /// Monotone epoch accounting shared by the handle and every snapshot.
 #[derive(Debug, Default)]
 struct EpochCounters {
@@ -140,10 +152,20 @@ impl Deref for EpochPin {
 
 /// Writer-side state: the copy-on-write next epoch, if any mutation has
 /// been buffered since the last publish.
-#[derive(Debug)]
 struct WriterState {
     next: Option<Database>,
     pending_batches: u64,
+    observer: Option<PublishObserver>,
+}
+
+impl std::fmt::Debug for WriterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterState")
+            .field("next", &self.next)
+            .field("pending_batches", &self.pending_batches)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 /// A cloneable handle to an epoch-versioned MOST database.  See the
@@ -177,7 +199,11 @@ impl EpochDb {
         EpochDb {
             inner: Arc::new(EpochInner {
                 published: RwLock::new(Arc::new(snapshot)),
-                writer: Mutex::new(WriterState { next: None, pending_batches: 0 }),
+                writer: Mutex::new(WriterState {
+                    next: None,
+                    pending_batches: 0,
+                    observer: None,
+                }),
                 counters,
             }),
         }
@@ -226,6 +252,9 @@ impl EpochDb {
         db.maintain_spatial_index();
         db.maintain_attr_index();
         let epoch = self.current_epoch() + 1;
+        if let Some(observer) = w.observer.as_ref() {
+            observer(&db, epoch);
+        }
         let counters = &self.inner.counters;
         counters.created.fetch_add(1, Ordering::AcqRel);
         counters.current.store(epoch, Ordering::Release);
@@ -287,6 +316,21 @@ impl EpochDb {
         }
         w.pending_batches += 1;
         w.next.as_mut().expect("next epoch materialized").apply_updates(ops)
+    }
+
+    /// Installs (or replaces, or clears) the publish observer.  The
+    /// callback fires inside every subsequent
+    /// [`advance_epoch`](EpochDb::advance_epoch) that actually
+    /// publishes, with the
+    /// about-to-publish [`Database`] and the new epoch number; see
+    /// [`PublishObserver`] for the exact guarantees.  Epochs published
+    /// before installation are not replayed — observers that need the
+    /// current state (e.g. a history recorder catching up on a
+    /// pre-populated database) should [`pin`](EpochDb::pin) and consume
+    /// it once before or after installing.
+    pub fn set_publish_observer(&self, observer: Option<PublishObserver>) {
+        let mut w = self.inner.writer.lock().expect("epoch writer lock poisoned");
+        w.observer = observer;
     }
 
     /// Epoch accounting snapshot; see [`EpochStats`].
@@ -394,6 +438,28 @@ mod tests {
         let pin = edb.pin();
         assert_eq!(pin.epoch(), 1);
         assert_eq!(pin.db().object(car).unwrap().velocity_at(0), Some(Velocity::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn publish_observer_sees_every_epoch_once_in_order() {
+        let (db, car) = small_db();
+        let edb = EpochDb::new(db);
+        let seen: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        edb.set_publish_observer(Some(Arc::new(move |db, epoch| {
+            sink.lock().unwrap().push((epoch, db.now()));
+        })));
+        edb.commit(|d| d.advance_clock(3));
+        // A publish with nothing buffered must not fire the observer.
+        edb.advance_epoch();
+        edb.apply_updates(&[UpdateOp::Motion { id: car, velocity: Velocity::new(2.0, 0.0) }])
+            .unwrap();
+        edb.commit(|d| d.advance_clock(4));
+        assert_eq!(*seen.lock().unwrap(), vec![(1, 3), (2, 3), (3, 7)]);
+        // Clearing the observer stops the stream.
+        edb.set_publish_observer(None);
+        edb.commit(|d| d.advance_clock(1));
+        assert_eq!(seen.lock().unwrap().len(), 3);
     }
 
     #[test]

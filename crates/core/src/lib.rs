@@ -45,7 +45,7 @@ pub use continuous::display_delta;
 pub use database::{Database, MotionUpdate, RefreshMode, UpdateOp};
 pub use deps::{DepSet, UpdateKind};
 pub use dynamic::{AttrFunction, DynamicAttribute};
-pub use epoch::{EpochDb, EpochPin, EpochSnapshot, EpochStats};
+pub use epoch::{EpochDb, EpochPin, EpochSnapshot, EpochStats, PublishObserver};
 pub use error::{CoreError, CoreResult};
 pub use most_index::IndexKind;
 pub use object::MovingObject;

@@ -409,6 +409,17 @@ impl ShardedDb {
         self.shards.iter().map(|s| s.stats()).collect()
     }
 
+    /// Installs the same publish observer on **every** shard's epoch
+    /// engine (see [`EpochDb::set_publish_observer`]).  Shards publish in
+    /// parallel, so the observer fires concurrently from different shard
+    /// threads and must synchronize any shared state itself; per shard
+    /// the per-epoch ordering guarantee still holds.
+    pub fn set_publish_observer(&self, observer: Option<crate::epoch::PublishObserver>) {
+        for shard in &self.shards {
+            shard.set_publish_observer(observer.clone());
+        }
+    }
+
     /// Applies one update batch: ops partition by owning shard (batch
     /// order preserved within each shard), sub-batches apply **in
     /// parallel** (one epoch per touched shard, including that shard's

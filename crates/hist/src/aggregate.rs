@@ -1,0 +1,189 @@
+//! Warehouse-style windowed aggregates over the recorded history.
+//!
+//! Time is cut into fixed-width windows (`[k·W, (k+1)·W)` for width
+//! `W`); for each window and each named region the aggregate maintains
+//! the set of **distinct objects** that produced at least one recorded
+//! sample inside the region during the window — the
+//! objects-per-region-per-interval measure, from which top-k busiest
+//! regions per window follow.
+//!
+//! Maintenance is **incremental**: every sample is folded in as it is
+//! recorded (one point-in-polygon test per region), never by
+//! recomputing a window from raw history.  That makes the aggregates a
+//! true warehouse summary — they survive raw-segment pruning, so they
+//! can answer about periods whose samples are long gone.  The
+//! full-recompute path ([`WindowedAggregates::recompute`]) exists as the
+//! testing oracle: on an unpruned store it must agree byte-for-byte.
+
+use most_core::Database;
+use most_spatial::Point;
+use most_temporal::{Duration, Tick};
+use std::collections::BTreeMap;
+
+/// Distinct-object counts per (window, region), maintained per sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedAggregates {
+    /// Window width in ticks (≥ 1); window `k` covers
+    /// `[k·window, (k+1)·window)`.
+    window: Duration,
+    /// Window start tick → region name → sorted distinct object ids.
+    windows: BTreeMap<Tick, BTreeMap<String, Vec<u64>>>,
+}
+
+most_testkit::json_struct!(WindowedAggregates { window, windows });
+
+/// One region's distinct-object count inside one window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionCount {
+    /// Region name.
+    pub region: String,
+    /// Distinct objects with at least one sample in the region.
+    pub count: u64,
+}
+
+most_testkit::json_struct!(RegionCount { region, count });
+
+impl WindowedAggregates {
+    /// An empty aggregate over windows of `window` ticks (clamped to at
+    /// least 1).
+    pub fn new(window: Duration) -> Self {
+        WindowedAggregates { window: window.max(1), windows: BTreeMap::new() }
+    }
+
+    /// The window width in ticks.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Start tick of the window containing `t`.
+    pub fn window_start(&self, t: Tick) -> Tick {
+        (t / self.window) * self.window
+    }
+
+    /// Folds one recorded sample into the aggregate: object `id` was at
+    /// `p` at tick `t`; membership is tested against every region named
+    /// in `db` *at record time*.
+    pub fn record_sample(&mut self, id: u64, t: Tick, p: Point, db: &Database) {
+        let start = self.window_start(t);
+        for (name, poly) in db.regions_iter() {
+            if poly.contains(p) {
+                let ids = self
+                    .windows
+                    .entry(start)
+                    .or_default()
+                    .entry(name.to_owned())
+                    .or_default();
+                if let Err(pos) = ids.binary_search(&id) {
+                    ids.insert(pos, id);
+                }
+            }
+        }
+    }
+
+    /// Start ticks of all windows with at least one occupied region.
+    pub fn window_starts(&self) -> Vec<Tick> {
+        self.windows.keys().copied().collect()
+    }
+
+    /// Distinct objects seen in `region` during the window starting at
+    /// `window_start` (0 for unknown windows or regions).
+    pub fn count(&self, window_start: Tick, region: &str) -> u64 {
+        self.windows
+            .get(&window_start)
+            .and_then(|regions| regions.get(region))
+            .map_or(0, |ids| ids.len() as u64)
+    }
+
+    /// The `k` busiest regions of the window starting at `window_start`,
+    /// by distinct-object count descending, ties broken by region name —
+    /// fully deterministic.
+    pub fn top_k(&self, window_start: Tick, k: usize) -> Vec<RegionCount> {
+        let Some(regions) = self.windows.get(&window_start) else {
+            return Vec::new();
+        };
+        let mut counts: Vec<RegionCount> = regions
+            .iter()
+            .map(|(region, ids)| RegionCount { region: region.clone(), count: ids.len() as u64 })
+            .collect();
+        counts.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.region.cmp(&b.region)));
+        counts.truncate(k);
+        counts
+    }
+
+    /// The testing oracle: rebuilds the aggregate from scratch over a
+    /// full sample log `(id, tick, position)` with the regions of `db`.
+    /// On a store that has never pruned, the incrementally-maintained
+    /// aggregate must equal this byte-for-byte.
+    pub fn recompute(
+        window: Duration,
+        samples: impl IntoIterator<Item = (u64, Tick, Point)>,
+        db: &Database,
+    ) -> Self {
+        let mut agg = WindowedAggregates::new(window);
+        for (id, t, p) in samples {
+            agg.record_sample(id, t, p, db);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use most_spatial::Polygon;
+
+    fn db_with_regions() -> Database {
+        let mut db = Database::new(1_000);
+        db.add_region("downtown", Polygon::rectangle(0.0, 0.0, 10.0, 10.0));
+        db.add_region("airport", Polygon::rectangle(100.0, 0.0, 120.0, 20.0));
+        db
+    }
+
+    #[test]
+    fn distinct_objects_counted_once_per_window() {
+        let db = db_with_regions();
+        let mut agg = WindowedAggregates::new(10);
+        agg.record_sample(1, 0, Point::new(5.0, 5.0), &db);
+        agg.record_sample(1, 7, Point::new(6.0, 5.0), &db); // same window: still 1
+        agg.record_sample(2, 9, Point::new(1.0, 1.0), &db);
+        agg.record_sample(1, 12, Point::new(5.0, 5.0), &db); // next window
+        assert_eq!(agg.count(0, "downtown"), 2);
+        assert_eq!(agg.count(10, "downtown"), 1);
+        assert_eq!(agg.count(0, "airport"), 0);
+    }
+
+    #[test]
+    fn top_k_orders_by_count_then_name() {
+        let db = db_with_regions();
+        let mut agg = WindowedAggregates::new(100);
+        for id in 0..3 {
+            agg.record_sample(id, 5, Point::new(110.0, 10.0), &db);
+        }
+        for id in 0..3 {
+            agg.record_sample(10 + id, 6, Point::new(5.0, 5.0), &db);
+        }
+        let top = agg.top_k(0, 2);
+        // Equal counts: alphabetical order breaks the tie.
+        assert_eq!(
+            top,
+            vec![
+                RegionCount { region: "airport".into(), count: 3 },
+                RegionCount { region: "downtown".into(), count: 3 },
+            ]
+        );
+        assert_eq!(agg.top_k(0, 1).len(), 1);
+        assert!(agg.top_k(900, 3).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let db = db_with_regions();
+        let mut agg = WindowedAggregates::new(10);
+        agg.record_sample(7, 3, Point::new(5.0, 5.0), &db);
+        agg.record_sample(9, 15, Point::new(110.0, 10.0), &db);
+        let text = most_testkit::ser::to_json_string(&agg).unwrap();
+        let back: WindowedAggregates = most_testkit::ser::from_json_str(&text).unwrap();
+        assert_eq!(back, agg);
+        assert_eq!(most_testkit::ser::to_json_string(&back).unwrap(), text);
+    }
+}

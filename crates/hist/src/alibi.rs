@@ -1,0 +1,357 @@
+//! The alibi query: could two objects have met?
+//!
+//! Between two consecutive position samples `(t0, p0)` and `(t1, p1)` of
+//! an object with speed bound `v`, the set of space-time points the
+//! object could have occupied is a **bead** (space-time prism): at tick
+//! `t ∈ [t0, t1]` the reachable positions are the intersection of two
+//! disks, `|x − p0| ≤ v·(t − t0)` (reachable from the first sample) and
+//! `|x − p1| ≤ v·(t1 − t)` (able to still make the second sample).  Two
+//! objects *could have met* at `t` iff their beads intersect at `t` —
+//! i.e. iff **four disks** share a common point.  The alibi query asks
+//! for all such ticks in a range; the answer is an [`IntervalSet`].
+//!
+//! Both the solver and the brute-force oracle decide each candidate tick
+//! with the *same* exact geometric primitive ([`bead_pair_meets`], a
+//! four-disk common-intersection test), so their answers agree
+//! byte-for-byte.  They differ in how many ticks they touch:
+//!
+//! * [`alibi_oracle`] time-steps **every** tick in the query range and
+//!   tries every pair of sample windows covering it — `O(range ·
+//!   windows)`, the testing reference.
+//! * [`alibi_intervals`] walks window *pairs* and eliminates almost all
+//!   of them analytically: a meet at `t` requires the four cross
+//!   triangle inequalities `|pᵢ − qⱼ| ≤ rᵢ(t) + sⱼ(t)` whose radii are
+//!   linear in `t`, so each pair reduces to a tiny (usually empty)
+//!   candidate window that is then resolved exactly per tick.  The
+//!   per-pair feasible set is the shadow of an intersection of convex
+//!   space-time bodies, hence a single interval.
+//!
+//! The four-disk test never needs quantifier elimination: a family of
+//! disks has a common point iff some disk's center lies in all of them
+//! or some intersection point of two boundary circles does (a corner of
+//! the intersection region).
+
+use most_spatial::Point;
+use most_temporal::{Interval, IntervalSet, Tick};
+
+/// One position sample: the object was observed at this point at this
+/// tick.  Sample lists are sorted by strictly increasing tick.
+pub type Sample = (Tick, Point);
+
+/// Tolerance for the exact disk-intersection test: a candidate point
+/// within `EPS` of every disk counts as a common point, so touching
+/// prisms meet.
+const EPS: f64 = 1e-9;
+
+/// Slack for the analytic pruning inequalities.  Pruning must never
+/// discard a tick the exact test would accept; the triangle inequality
+/// guarantees any `EPS`-accepted configuration satisfies the pairwise
+/// bounds within `2·EPS`, so a slack three orders of magnitude wider
+/// keeps pruning strictly conservative against float rounding.
+const PRUNE_SLACK: f64 = 1e-6;
+
+/// Whether a set of disks `(center, radius)` has a common point, within
+/// [`EPS`].  Exact geometry, no iteration: if the common intersection is
+/// nonempty then either some center lies in every disk, or a boundary
+/// intersection point of two of the circles (a corner of the region)
+/// does.
+fn disks_intersect(disks: &[(Point, f64)]) -> bool {
+    let inside_all = |p: Point| disks.iter().all(|&(c, r)| p.dist(c) <= r + EPS);
+    if disks.iter().any(|&(c, _)| inside_all(c)) {
+        return true;
+    }
+    for i in 0..disks.len() {
+        for j in (i + 1)..disks.len() {
+            let (ci, ri) = disks[i];
+            let (cj, rj) = disks[j];
+            let d = ci.dist(cj);
+            if d > ri + rj + EPS {
+                // This pair alone is disjoint: no common point exists.
+                return false;
+            }
+            if d <= EPS {
+                // Concentric circles produce no corners; the nested
+                // disk's center candidate already covered containment.
+                continue;
+            }
+            if d + rj < ri - EPS || d + ri < rj - EPS {
+                // One circle strictly inside the other: no corners.
+                continue;
+            }
+            // Circle-circle intersection (clamping grazing contact).
+            let a = (d * d + ri * ri - rj * rj) / (2.0 * d);
+            let h = (ri * ri - a * a).max(0.0).sqrt();
+            let ux = (cj.x - ci.x) / d;
+            let uy = (cj.y - ci.y) / d;
+            let mx = ci.x + a * ux;
+            let my = ci.y + a * uy;
+            for s in [h, -h] {
+                if inside_all(Point::new(mx - s * uy, my + s * ux)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Exact meet test for one tick and one window pair: could an object
+/// bounded by speed `va` between samples `a0`/`a1` and one bounded by
+/// `vb` between `b0`/`b1` have shared a position at tick `t`?  Requires
+/// `t` inside both windows.  This is the single primitive both the
+/// solver and the oracle decide ticks with.
+pub fn bead_pair_meets(
+    a0: Sample,
+    a1: Sample,
+    va: f64,
+    b0: Sample,
+    b1: Sample,
+    vb: f64,
+    t: Tick,
+) -> bool {
+    debug_assert!(a0.0 <= t && t <= a1.0, "tick outside window a");
+    debug_assert!(b0.0 <= t && t <= b1.0, "tick outside window b");
+    disks_intersect(&[
+        (a0.1, va * (t - a0.0) as f64),
+        (a1.1, va * (a1.0 - t) as f64),
+        (b0.1, vb * (t - b0.0) as f64),
+        (b1.1, vb * (b1.0 - t) as f64),
+    ])
+}
+
+/// Whether any window pair covering tick `t` admits a meet — the
+/// per-tick predicate the oracle steps with.
+fn meets_at_tick(a: &[Sample], va: f64, b: &[Sample], vb: f64, t: Tick) -> bool {
+    for wa in a.windows(2) {
+        if !(wa[0].0 <= t && t <= wa[1].0) {
+            continue;
+        }
+        for wb in b.windows(2) {
+            if wb[0].0 <= t && t <= wb[1].0 && bead_pair_meets(wa[0], wa[1], va, wb[0], wb[1], vb, t)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Brute-force time-stepped reference: tests **every** tick in `range`
+/// against every covering window pair.  `O(range · windows)`; the
+/// ground truth [`alibi_intervals`] must match byte-for-byte.
+pub fn alibi_oracle(
+    a: &[Sample],
+    va: f64,
+    b: &[Sample],
+    vb: f64,
+    range: Interval,
+) -> IntervalSet {
+    let mut intervals = Vec::new();
+    let mut open: Option<Tick> = None;
+    for t in range.begin()..=range.end() {
+        match (meets_at_tick(a, va, b, vb, t), open) {
+            (true, None) => open = Some(t),
+            (false, Some(begin)) => {
+                intervals.push(Interval::new(begin, t - 1));
+                open = None;
+            }
+            _ => {}
+        }
+        if t == range.end() {
+            break; // guard the inclusive loop against Tick::MAX overflow
+        }
+    }
+    if let Some(begin) = open {
+        intervals.push(Interval::new(begin, range.end()));
+    }
+    IntervalSet::from_intervals(intervals)
+}
+
+/// The meet-possible ticks contributed by one window pair, or `None`.
+///
+/// The window overlap is first narrowed by the analytic necessary
+/// conditions — bead non-emptiness (`|p0 − p1| ≤ v·Δt`, `t`-independent)
+/// and the four cross triangle inequalities, each linear in `t` — then
+/// the surviving candidate ticks are resolved with the exact
+/// [`bead_pair_meets`] test.  Convexity of the bead intersection makes
+/// the feasible set contiguous, so the scan stops at the first
+/// infeasible tick after a feasible run.
+fn pair_meet_interval(
+    a0: Sample,
+    a1: Sample,
+    va: f64,
+    b0: Sample,
+    b1: Sample,
+    vb: f64,
+    range: Interval,
+) -> Option<Interval> {
+    let lo = a0.0.max(b0.0).max(range.begin());
+    let hi = a1.0.min(b1.0).min(range.end());
+    if lo > hi {
+        return None;
+    }
+    // Bead non-emptiness: the object must be fast enough to make the
+    // second sample at all.
+    if a0.1.dist(a1.1) > va * (a1.0 - a0.0) as f64 + PRUNE_SLACK {
+        return None;
+    }
+    if b0.1.dist(b1.1) > vb * (b1.0 - b0.0) as f64 + PRUNE_SLACK {
+        return None;
+    }
+    // Cross constraints: a common point at t needs
+    // dist(pᵢ, qⱼ) ≤ rᵢ(t) + sⱼ(t) = α + β·t for each of the four
+    // (sample of a, sample of b) pairs.
+    let (ta0, ta1, tb0, tb1) = (a0.0 as f64, a1.0 as f64, b0.0 as f64, b1.0 as f64);
+    let mut flo = lo as f64;
+    let mut fhi = hi as f64;
+    let mut constrain = |d: f64, alpha: f64, beta: f64| -> bool {
+        // Feasible t satisfies β·t ≥ d − α − slack.
+        if beta > 1e-12 {
+            flo = flo.max((d - alpha - PRUNE_SLACK) / beta);
+        } else if beta < -1e-12 {
+            fhi = fhi.min((d - alpha - PRUNE_SLACK) / beta);
+        } else if d > alpha + PRUNE_SLACK {
+            return false;
+        }
+        true
+    };
+    let feasible = constrain(a0.1.dist(b0.1), -(va * ta0 + vb * tb0), va + vb)
+        && constrain(a0.1.dist(b1.1), vb * tb1 - va * ta0, va - vb)
+        && constrain(a1.1.dist(b0.1), va * ta1 - vb * tb0, vb - va)
+        && constrain(a1.1.dist(b1.1), va * ta1 + vb * tb1, -(va + vb));
+    if !feasible || fhi < flo {
+        return None;
+    }
+    let tlo = flo.ceil().max(lo as f64) as Tick;
+    let thi = fhi.floor().min(hi as f64) as Tick;
+    if thi < tlo {
+        return None;
+    }
+    // Resolve the (typically tiny) pruned window exactly.
+    let mut first = None;
+    let mut last = tlo;
+    for t in tlo..=thi {
+        if bead_pair_meets(a0, a1, va, b0, b1, vb, t) {
+            if first.is_none() {
+                first = Some(t);
+            }
+            last = t;
+        } else if first.is_some() {
+            break; // convex feasible set: the run is over
+        }
+        if t == thi {
+            break;
+        }
+    }
+    first.map(|begin| Interval::new(begin, last))
+}
+
+/// The alibi solver: all ticks in `range` at which an object with speed
+/// bound `va` sampled at `a` and one with bound `vb` sampled at `b`
+/// could have occupied the same point.  Sample lists must be sorted by
+/// strictly increasing tick; an object with fewer than two samples
+/// constrains nothing (its whereabouts are unknown), yielding the empty
+/// set.  Agrees byte-for-byte with [`alibi_oracle`] while touching only
+/// analytically-surviving ticks.
+pub fn alibi_intervals(
+    a: &[Sample],
+    va: f64,
+    b: &[Sample],
+    vb: f64,
+    range: Interval,
+) -> IntervalSet {
+    let mut out = Vec::new();
+    for wa in a.windows(2) {
+        for wb in b.windows(2) {
+            if let Some(iv) = pair_meet_interval(wa[0], wa[1], va, wb[0], wb[1], vb, range) {
+                out.push(iv);
+            }
+        }
+    }
+    IntervalSet::from_intervals(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn head_on_drivers_can_meet_in_the_middle() {
+        // a walks 0→10, b walks 10→0 over ten ticks; bounds are tight,
+        // so they can only meet at the crossing tick.
+        let a = [(0, p(0.0, 0.0)), (10, p(10.0, 0.0))];
+        let b = [(0, p(10.0, 0.0)), (10, p(0.0, 0.0))];
+        let got = alibi_intervals(&a, 1.0, &b, 1.0, Interval::new(0, 10));
+        assert_eq!(got.intervals(), &[Interval::new(5, 5)]);
+        assert_eq!(got, alibi_oracle(&a, 1.0, &b, 1.0, Interval::new(0, 10)));
+    }
+
+    #[test]
+    fn distant_objects_have_an_alibi() {
+        let a = [(0, p(0.0, 0.0)), (100, p(0.0, 0.0))];
+        let b = [(0, p(1000.0, 0.0)), (100, p(1000.0, 0.0))];
+        let got = alibi_intervals(&a, 1.0, &b, 1.0, Interval::new(0, 100));
+        assert!(got.is_empty());
+        assert_eq!(got, alibi_oracle(&a, 1.0, &b, 1.0, Interval::new(0, 100)));
+    }
+
+    #[test]
+    fn loose_speed_bounds_widen_the_meet_window() {
+        let a = [(0, p(0.0, 0.0)), (10, p(10.0, 0.0))];
+        let b = [(0, p(10.0, 0.0)), (10, p(0.0, 0.0))];
+        let got = alibi_intervals(&a, 2.0, &b, 2.0, Interval::new(0, 10));
+        assert_eq!(got, alibi_oracle(&a, 2.0, &b, 2.0, Interval::new(0, 10)));
+        assert!(got.tick_count() > 1, "slack should allow early/late meets: {got:?}");
+    }
+
+    #[test]
+    fn zero_speed_bound_meets_only_when_parked_together() {
+        let a = [(0, p(3.0, 4.0)), (10, p(3.0, 4.0))];
+        let b = [(0, p(3.0, 4.0)), (10, p(3.0, 4.0))];
+        let both = alibi_intervals(&a, 0.0, &b, 0.0, Interval::new(0, 10));
+        assert_eq!(both.intervals(), &[Interval::new(0, 10)]);
+        let c = [(0, p(3.0, 5.0)), (10, p(3.0, 5.0))];
+        let apart = alibi_intervals(&a, 0.0, &c, 0.0, Interval::new(0, 10));
+        assert!(apart.is_empty());
+        assert_eq!(apart, alibi_oracle(&a, 0.0, &c, 0.0, Interval::new(0, 10)));
+    }
+
+    #[test]
+    fn touching_prisms_count_as_meeting() {
+        // Fastest approach brings them exactly to distance zero at t=5.
+        let a = [(0, p(0.0, 0.0)), (10, p(0.0, 0.0))];
+        let b = [(0, p(10.0, 0.0)), (10, p(10.0, 0.0))];
+        let got = alibi_intervals(&a, 1.0, &b, 1.0, Interval::new(0, 10));
+        assert_eq!(got.intervals(), &[Interval::new(5, 5)]);
+        assert_eq!(got, alibi_oracle(&a, 1.0, &b, 1.0, Interval::new(0, 10)));
+    }
+
+    #[test]
+    fn multi_leg_histories_union_their_meet_windows() {
+        let a = [
+            (0, p(0.0, 0.0)),
+            (10, p(10.0, 0.0)),
+            (20, p(0.0, 0.0)),
+        ];
+        let b = [
+            (0, p(10.0, 0.0)),
+            (10, p(0.0, 0.0)),
+            (20, p(10.0, 0.0)),
+        ];
+        let got = alibi_intervals(&a, 1.0, &b, 1.0, Interval::new(0, 20));
+        assert_eq!(got.intervals(), &[Interval::new(5, 5), Interval::new(15, 15)]);
+        assert_eq!(got, alibi_oracle(&a, 1.0, &b, 1.0, Interval::new(0, 20)));
+    }
+
+    #[test]
+    fn single_sample_constrains_nothing() {
+        let a = [(5, p(0.0, 0.0))];
+        let b = [(0, p(0.0, 0.0)), (10, p(0.0, 0.0))];
+        assert!(alibi_intervals(&a, 1.0, &b, 1.0, Interval::new(0, 10)).is_empty());
+        assert!(alibi_oracle(&a, 1.0, &b, 1.0, Interval::new(0, 10)).is_empty());
+    }
+}

@@ -345,6 +345,42 @@ impl Client {
             other => Self::unexpected(other),
         }
     }
+
+    /// The alibi query: all ticks in `[begin, end]` at which objects `a`
+    /// and `b` — each assumed no faster than `vmax` between their
+    /// recorded samples — could have occupied the same point.  Returns
+    /// `(now, meet-possible intervals)`; an empty vector is a proven
+    /// alibi over the range.  Fails with [`ErrorCode::NoHistory`] when
+    /// either object lacks two usable samples in the range.
+    pub fn alibi(
+        &mut self,
+        a: u64,
+        b: u64,
+        vmax: f64,
+        begin: Tick,
+        end: Tick,
+    ) -> ClientResult<(Tick, Vec<most_temporal::Interval>)> {
+        match self.request(&Request::Alibi { a, b, vmax, begin, end })? {
+            Response::Alibi { now, meets } => Ok((now, meets)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Warehouse aggregates: the top-`k` busiest regions of every
+    /// history window overlapping `[begin, end]`.  Returns
+    /// `(now, window width, per-window counts)` in ascending window
+    /// order.
+    pub fn aggregate(
+        &mut self,
+        begin: Tick,
+        end: Tick,
+        k: u64,
+    ) -> ClientResult<(Tick, u64, Vec<crate::protocol::WindowCounts>)> {
+        match self.request(&Request::Aggregate { begin, end, k })? {
+            Response::Aggregate { now, window, tops } => Ok((now, window, tops)),
+            other => Self::unexpected(other),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@
 use most_core::UpdateOp;
 use most_dbms::value::Value;
 use most_ftl::answer::Answer;
-use most_temporal::Tick;
+use most_hist::RegionCount;
+use most_temporal::{Interval, Tick};
 use most_testkit::ser::{to_json_string, Json, ToJson};
 use std::io::{self, Read};
 
@@ -91,6 +92,36 @@ pub enum Request {
         /// First sequence number wanted.
         from_seq: u64,
     },
+    /// The alibi query against the recorded history: all ticks in
+    /// `[begin, end]` at which objects `a` and `b` — each assumed no
+    /// faster than `vmax` between recorded samples — could have occupied
+    /// the same point.  Replied with [`Response::Alibi`]; objects
+    /// without at least two usable history samples in the range draw
+    /// [`ErrorCode::NoHistory`].
+    Alibi {
+        /// First object id.
+        a: u64,
+        /// Second object id.
+        b: u64,
+        /// Speed bound (distance per tick) for both objects.
+        vmax: f64,
+        /// First tick of the query range (inclusive).
+        begin: Tick,
+        /// Last tick of the query range (inclusive).
+        end: Tick,
+    },
+    /// Warehouse aggregates over the recorded history: for every
+    /// aggregate window overlapping `[begin, end]`, the `k` busiest
+    /// regions by distinct-object count.  Replied with
+    /// [`Response::Aggregate`].
+    Aggregate {
+        /// First tick of the range (inclusive).
+        begin: Tick,
+        /// Last tick of the range (inclusive).
+        end: Tick,
+        /// How many regions per window to return.
+        k: u64,
+    },
 }
 
 most_testkit::json_enum!(Request {
@@ -107,6 +138,8 @@ most_testkit::json_enum!(Request {
     Snapshot,
     Stats,
     Feed { from_seq },
+    Alibi { a, b, vmax, begin, end },
+    Aggregate { begin, end, k },
 });
 
 /// Machine-readable error categories carried by [`Response::Error`].
@@ -143,6 +176,9 @@ pub enum ErrorCode {
     FeedPruned,
     /// The write-ahead log failed; the mutation was not applied.
     Wal,
+    /// An alibi query named an object with fewer than two usable history
+    /// samples in the range — nothing is recorded to testify about.
+    NoHistory,
     /// The server's pending-connection queue is full; retry later.
     Busy,
     /// The server is shutting down.
@@ -164,6 +200,7 @@ most_testkit::json_enum!(ErrorCode {
     NotDurable,
     FeedPruned,
     Wal,
+    NoHistory,
     Busy,
     ShuttingDown,
     Internal,
@@ -200,6 +237,18 @@ pub struct FeedRecord {
 }
 
 most_testkit::json_struct!(FeedRecord { seq, record });
+
+/// One aggregate window's busiest regions in a [`Response::Aggregate`]
+/// frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowCounts {
+    /// Start tick of the window (covers `window` ticks from here).
+    pub start: Tick,
+    /// The busiest regions, count-descending, ties by name.
+    pub counts: Vec<RegionCount>,
+}
+
+most_testkit::json_struct!(WindowCounts { start, counts });
 
 /// A server frame: the reply to a request, or a pushed notification.
 #[derive(Debug, Clone, PartialEq)]
@@ -278,6 +327,24 @@ pub enum Response {
         /// The committed records, in sequence order.
         records: Vec<FeedRecord>,
     },
+    /// Reply to [`Request::Alibi`]: the meet-possible tick intervals.
+    Alibi {
+        /// Clock tick at evaluation time.
+        now: Tick,
+        /// Ticks at which the two objects could have met, as disjoint
+        /// sorted intervals.
+        meets: Vec<Interval>,
+    },
+    /// Reply to [`Request::Aggregate`]: per-window busiest regions.
+    Aggregate {
+        /// Clock tick at evaluation time.
+        now: Tick,
+        /// The aggregate window width in ticks.
+        window: u64,
+        /// One entry per overlapping window with recorded activity, in
+        /// start-tick order.
+        tops: Vec<WindowCounts>,
+    },
     /// Pushed: an incremental display change for a subscription.
     Delta(CqDelta),
     /// Pushed: this session's outbox overflowed and `dropped` delta frames
@@ -308,6 +375,8 @@ most_testkit::json_enum!(Response {
     Db { json },
     Stats { requests, errors, deltas, dropped, busy, sessions },
     Feed { next_seq, records },
+    Alibi { now, meets },
+    Aggregate { now, window, tops },
     Delta(delta),
     Lagged { dropped },
     Error { code, message },
@@ -472,20 +541,35 @@ mod tests {
                 }],
             },
             Request::Snapshot,
+            Request::Alibi { a: 1, b: 2, vmax: 1.5, begin: 0, end: 99 },
+            Request::Aggregate { begin: 10, end: 50, k: 3 },
         ];
         for f in frames {
             let line = encode_frame(&f);
             assert!(line.ends_with('\n'));
             assert_eq!(decode_request(line.trim_end()).unwrap(), f, "{line}");
         }
-        let resp = Response::Delta(CqDelta {
-            cq: 2,
-            tick: 10,
-            added: vec![vec![Value::Id(1)]],
-            removed: vec![],
-        });
-        let line = encode_frame(&resp);
-        assert_eq!(decode_response(line.trim_end()).unwrap(), resp);
+        let responses = [
+            Response::Delta(CqDelta {
+                cq: 2,
+                tick: 10,
+                added: vec![vec![Value::Id(1)]],
+                removed: vec![],
+            }),
+            Response::Alibi { now: 40, meets: vec![Interval::new(3, 9), Interval::new(20, 20)] },
+            Response::Aggregate {
+                now: 40,
+                window: 16,
+                tops: vec![WindowCounts {
+                    start: 16,
+                    counts: vec![RegionCount { region: "downtown".into(), count: 4 }],
+                }],
+            },
+        ];
+        for resp in responses {
+            let line = encode_frame(&resp);
+            assert_eq!(decode_response(line.trim_end()).unwrap(), resp);
+        }
     }
 
     #[test]

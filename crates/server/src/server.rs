@@ -36,7 +36,7 @@
 //! Nothing is ever silently lost.
 
 use crate::protocol::{
-    decode_request, encode_frame, CqDelta, ErrorCode, FeedRecord, Request, Response,
+    decode_request, encode_frame, CqDelta, ErrorCode, FeedRecord, Request, Response, WindowCounts,
     DEFAULT_MAX_FRAME,
 };
 use most_core::continuous::display_delta;
@@ -46,7 +46,8 @@ use most_core::{CoreError, CoreResult, EpochPin, SharedDatabase};
 use most_dbms::value::Value;
 use most_ftl::answer::Answer;
 use most_ftl::Query;
-use most_temporal::Tick;
+use most_hist::{HistoryConfig, HistoryRecorder};
+use most_temporal::{Interval, Tick};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -90,6 +91,10 @@ pub struct ServerConfig {
     /// an `Internal` error frame, and every lock recovers from poisoning.
     /// Never set outside tests.
     pub panic_trigger: Option<String>,
+    /// Sizing knobs for the trajectory history warehouse that records at
+    /// the engine's epoch-publish boundary and answers
+    /// [`Request::Alibi`] / [`Request::Aggregate`].
+    pub history: HistoryConfig,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +106,7 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_millis(20),
             panic_trigger: None,
+            history: HistoryConfig::default(),
         }
     }
 }
@@ -212,20 +218,88 @@ impl Engine {
         }
     }
 
-    /// JSON of the full database state: the single database's object, or
-    /// a JSON array with one element per shard (shard order).
+    /// JSON of the full database state as **one** canonical `Database`
+    /// object.  The sharded engine merges its cut ([`merged_cut_json`]),
+    /// so clients decode the same shape regardless of the engine behind
+    /// the server.
     fn snapshot_json(&self) -> Result<String, most_testkit::ser::JsonError> {
         match self {
             Engine::Single { db, .. } => db.read(most_testkit::ser::to_json_string),
-            Engine::Sharded(s) => {
-                let cut = s.pin();
-                let parts: Result<Vec<String>, _> = (0..cut.shard_count())
-                    .map(|i| most_testkit::ser::to_json_string(cut.shard(i)))
-                    .collect();
-                Ok(format!("[{}]", parts?.join(",")))
-            }
+            Engine::Sharded(s) => merged_cut_json(&s.pin())?.render(),
         }
     }
+}
+
+/// Merges a pinned cross-shard cut into one canonical `Database` JSON
+/// object: shard 0 provides the replicated fields (clock, expiration,
+/// regions, refresh mode, triggers), object and class entries from every
+/// shard are merged in ascending key order, `next_id` is the cross-shard
+/// maximum, and the cost counters are summed (each update applies on
+/// exactly one shard).  Without registered continuous queries the result
+/// is byte-identical to a single-engine snapshot of the same logical
+/// state; with CQs, shard 0's registry stands in for the cut (per-shard
+/// registries hold shard-local materialized answers — see E16).
+fn merged_cut_json(
+    cut: &CutPin,
+) -> Result<most_testkit::ser::Json, most_testkit::ser::JsonError> {
+    use most_core::database::DbStats;
+    use most_testkit::ser::{FromJson, Json, JsonError, ToJson};
+    let mut template: Vec<(String, Json)> = Vec::new();
+    let mut objects: Vec<(String, Json)> = Vec::new();
+    let mut classes: Vec<(String, Json)> = Vec::new();
+    let mut next_id = 0u64;
+    let mut stats = DbStats::default();
+    for i in 0..cut.shard_count() {
+        let Json::Obj(fields) = cut.shard(i).to_json() else {
+            return Err(JsonError::Decode("shard snapshot is not an object".to_owned()));
+        };
+        for (key, value) in &fields {
+            match key.as_str() {
+                "objects" => {
+                    let Json::Obj(entries) = value else {
+                        return Err(JsonError::Decode("shard objects are not a map".to_owned()));
+                    };
+                    objects.extend(entries.iter().cloned());
+                }
+                "classes" => {
+                    // Classes are auto-created on the shard an object
+                    // lands on; the canonical snapshot holds their union
+                    // (definitions are pure schema, identical wherever
+                    // the class appears).
+                    let Json::Obj(entries) = value else {
+                        return Err(JsonError::Decode("shard classes are not a map".to_owned()));
+                    };
+                    for entry in entries {
+                        if !classes.iter().any(|(name, _)| name == &entry.0) {
+                            classes.push(entry.clone());
+                        }
+                    }
+                }
+                "next_id" => next_id = next_id.max(u64::from_json(value)?),
+                "stats" => {
+                    let s = DbStats::from_json(value)?;
+                    stats.updates += s.updates;
+                    stats.instantaneous_queries += s.instantaneous_queries;
+                }
+                _ => {}
+            }
+        }
+        if i == 0 {
+            template = fields;
+        }
+    }
+    objects.sort_by_key(|(key, _)| key.parse::<u64>().unwrap_or(u64::MAX));
+    classes.sort_by(|(a, _), (b, _)| a.cmp(b));
+    for (key, value) in template.iter_mut() {
+        match key.as_str() {
+            "objects" => *value = Json::Obj(std::mem::take(&mut objects)),
+            "classes" => *value = Json::Obj(std::mem::take(&mut classes)),
+            "next_id" => *value = next_id.to_json(),
+            "stats" => *value = stats.to_json(),
+            _ => {}
+        }
+    }
+    Ok(Json::Obj(template))
 }
 
 /// A snapshot of the server's counters.
@@ -325,6 +399,11 @@ impl Session {
 struct Shared {
     engine: Engine,
     cfg: ServerConfig,
+    /// Trajectory history warehouse, attached to the engine's
+    /// epoch-publish boundary at bind time; answers
+    /// [`Request::Alibi`] / [`Request::Aggregate`] without taking the
+    /// mutation-order lock.
+    hist: Arc<HistoryRecorder>,
     /// Serialises mutation + delta-notification so subscription deltas
     /// form one global sequence.
     sync: Mutex<()>,
@@ -376,8 +455,9 @@ impl Server {
     /// applies shard-locally in parallel and publishes one cross-shard
     /// cut; reads and the delta fan-out pin whole cuts.  [`Request::Feed`]
     /// is rejected with [`ErrorCode::NotDurable`] (the sharded engine has
-    /// no write-ahead log yet), and [`Request::Snapshot`] returns a JSON
-    /// array with one element per shard.
+    /// no write-ahead log yet), and [`Request::Snapshot`] merges the cut
+    /// into **one** canonical `Database` JSON object, the same shape a
+    /// single-engine server emits.
     pub fn bind_sharded(
         addr: impl ToSocketAddrs,
         db: Arc<ShardedDb>,
@@ -407,9 +487,19 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Attach the history recorder before serving starts: every epoch
+        // published from here on is recorded, and the pre-bind state is
+        // caught up from a pin.
+        let hist = HistoryRecorder::new(cfg.history);
+        match &engine {
+            Engine::Single { durable: Some(d), .. } => hist.attach_durable(d),
+            Engine::Single { db, .. } => hist.attach(db.epochs()),
+            Engine::Sharded(s) => hist.attach_sharded(s),
+        }
         let shared = Arc::new(Shared {
             engine,
             cfg: cfg.clone(),
+            hist,
             sync: Mutex::new(()),
             sessions: Mutex::new(BTreeMap::new()),
             next_session: AtomicU64::new(0),
@@ -474,6 +564,13 @@ impl Server {
     /// The bound address (with the ephemeral port resolved).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The trajectory history warehouse recording behind this server —
+    /// the store answering [`Request::Alibi`] and [`Request::Aggregate`].
+    /// Exposed for snapshot save/restore and the experiment harness.
+    pub fn history(&self) -> Arc<HistoryRecorder> {
+        Arc::clone(&self.shared.hist)
     }
 
     /// Counter snapshot.
@@ -791,6 +888,61 @@ fn handle_request(shared: &Arc<Shared>, session: &Arc<Session>, req: Request) ->
                 "replica feed requires a durable (WAL-backed) server",
             ),
         },
+        Request::Alibi { a, b, vmax, begin, end } => {
+            if end < begin {
+                return err(
+                    ErrorCode::BadRequest,
+                    format!("alibi range [{begin}, {end}] is empty"),
+                );
+            }
+            if !vmax.is_finite() || vmax < 0.0 {
+                return err(
+                    ErrorCode::BadRequest,
+                    format!("alibi speed bound {vmax} must be finite and non-negative"),
+                );
+            }
+            // Lock-free like the other reads: the recorder serializes its
+            // own store; the engine is never touched beyond a pin for
+            // `now`.
+            let now = shared.engine.now();
+            let range = Interval::new(begin, end);
+            shared.hist.with(|store| {
+                for id in [a, b] {
+                    if store.alibi_samples(id, range).len() < 2 {
+                        return err(
+                            ErrorCode::NoHistory,
+                            format!(
+                                "object #{id} has no usable recorded history in [{begin}, {end}]"
+                            ),
+                        );
+                    }
+                }
+                let meets = store.alibi(a, b, vmax, range).into_intervals();
+                Response::Alibi { now, meets }
+            })
+        }
+        Request::Aggregate { begin, end, k } => {
+            if end < begin {
+                return err(
+                    ErrorCode::BadRequest,
+                    format!("aggregate range [{begin}, {end}] is empty"),
+                );
+            }
+            let now = shared.engine.now();
+            shared.hist.with(|store| {
+                let agg = store.aggregates();
+                let window = agg.window();
+                let tops = agg
+                    .window_starts()
+                    .into_iter()
+                    .filter(|&start| {
+                        start <= end && start.saturating_add(window - 1) >= begin
+                    })
+                    .map(|start| WindowCounts { start, counts: agg.top_k(start, k as usize) })
+                    .collect();
+                Response::Aggregate { now, window, tops }
+            })
+        }
         Request::Cancel { cq } => {
             let _order = lock_clean(&shared.sync);
             match shared.engine.cancel_continuous(cq) {

@@ -138,14 +138,11 @@ fn sharded_server_round_trip() {
         other => panic!("expected NotDurable, got {other:?}"),
     }
 
-    // Snapshot returns a JSON array with one element per shard.
-    match driver.request(&Request::Snapshot) {
-        Ok(Response::Db { json }) => {
-            assert!(json.starts_with('['), "sharded snapshot must be a JSON array");
-            assert!(json.ends_with(']'));
-        }
-        other => panic!("expected Db snapshot, got {other:?}"),
-    }
+    // Snapshot merges the cut into ONE canonical Database object: the
+    // typed client decode sees every object regardless of its shard.
+    let merged = driver.snapshot().unwrap();
+    assert_eq!(merged.object_ids().len(), ids.len(), "merged snapshot holds all shards' objects");
+    assert_eq!(merged.now(), 100);
 
     // Unshardable queries are rejected with an Eval error, and the
     // server keeps serving afterwards.

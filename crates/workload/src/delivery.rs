@@ -1,0 +1,268 @@
+//! Delivery vans shuttling between a shared set of depots, revisiting
+//! them.
+//!
+//! A van's route is a depot sequence: drive straight to the next depot,
+//! dwell there (zero motion vector) while loading, pull out toward the
+//! following one.  Every route periodically returns to the van's home
+//! depot, so depots are *revisited* — the history warehouse's
+//! objects-per-region aggregates must count a revisiting van **once**
+//! per window, and the alibi solver sees vans whose prisms repeatedly
+//! collapse onto the same points.  Legs are integer-tick aligned: the
+//! travel velocity is chosen so the van arrives *exactly* on a depot at
+//! an integer tick, which keeps the generated trajectories reproducible
+//! across engines.
+
+use most_core::sharded::ShardedDbBuilder;
+use most_core::{Database, UpdateOp};
+use most_spatial::{Point, Trajectory, Velocity};
+use most_temporal::Tick;
+use most_testkit::rng::Rng;
+
+/// One generated van.
+#[derive(Debug, Clone)]
+pub struct DeliveryPlan {
+    /// Position at tick 0 — the van's home depot.
+    pub start: Point,
+    /// Initial motion vector (already en route to the first stop).
+    pub velocity: Velocity,
+    /// Scheduled motion-vector changes, ascending; dwell phases appear
+    /// as zero-velocity entries at depot-arrival ticks.
+    pub updates: Vec<(Tick, Velocity)>,
+    /// The depot indices visited, in order, starting with the home
+    /// depot.  Contains revisits by construction.
+    pub route: Vec<usize>,
+}
+
+impl DeliveryPlan {
+    /// The full trajectory implied by the plan.
+    pub fn trajectory(&self) -> Trajectory {
+        let mut t = Trajectory::starting_at(self.start, self.velocity);
+        for &(at, v) in &self.updates {
+            t.update_velocity(at, v);
+        }
+        t
+    }
+}
+
+/// Scenario parameters for a delivery fleet.
+#[derive(Debug, Clone)]
+pub struct DeliveryScenario {
+    /// Number of vans.
+    pub vans: usize,
+    /// Number of shared depots.
+    pub depots: usize,
+    /// Half-extent of the square area the depots are scattered over.
+    pub area: f64,
+    /// Nominal travel speed (the integer-tick alignment may slow a leg
+    /// slightly, never speed it up).
+    pub speed: f64,
+    /// Ticks a van dwells at each depot.
+    pub dwell: Tick,
+    /// Stops per route (legs driven); every `home_every`-th stop is the
+    /// home depot.
+    pub stops: usize,
+    /// Every this-many stops the van returns to its home depot (≥ 2).
+    pub home_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DeliveryScenario {
+    /// A small default scenario.
+    pub fn small(seed: u64) -> Self {
+        DeliveryScenario {
+            vans: 12,
+            depots: 5,
+            area: 300.0,
+            speed: 2.0,
+            dwell: 10,
+            stops: 8,
+            home_every: 3,
+            seed,
+        }
+    }
+
+    /// The shared depot sites (a pure function of the seed).
+    pub fn depot_sites(&self) -> Vec<Point> {
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        (0..self.depots.max(2))
+            .map(|_| {
+                Point::new(
+                    rng.random_range(-self.area..self.area),
+                    rng.random_range(-self.area..self.area),
+                )
+            })
+            .collect()
+    }
+
+    /// Generates the van plans over the depots of
+    /// [`DeliveryScenario::depot_sites`].
+    pub fn generate(&self) -> Vec<DeliveryPlan> {
+        let sites = self.depot_sites();
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let home_every = self.home_every.max(2);
+        (0..self.vans)
+            .map(|_| {
+                let home = rng.random_range(0..sites.len() as u64) as usize;
+                let mut route = vec![home];
+                let mut updates = Vec::new();
+                let mut at = sites[home];
+                let mut clock: Tick = 0;
+                let mut velocity = None;
+                for stop in 1..=self.stops.max(1) {
+                    let mut next = if stop % home_every == 0 {
+                        home // scheduled return: the depot gets revisited
+                    } else {
+                        rng.random_range(0..sites.len() as u64) as usize
+                    };
+                    // No self-loop legs: a displaced scheduled return
+                    // still counts — the van was just there.
+                    if next == *route.last().expect("route starts at home") {
+                        next = (next + 1) % sites.len();
+                    }
+                    let target = sites[next];
+                    let dist = at.dist(target);
+                    // Integer-tick alignment: stretch the leg to a whole
+                    // number of ticks so the van lands exactly on the
+                    // depot.
+                    let ticks = ((dist / self.speed).ceil() as Tick).max(1);
+                    let v = Velocity::new(
+                        (target.x - at.x) / ticks as f64,
+                        (target.y - at.y) / ticks as f64,
+                    );
+                    match velocity {
+                        None => velocity = Some(v), // first leg: initial vector
+                        Some(_) => updates.push((clock, v)),
+                    }
+                    clock += ticks;
+                    updates.push((clock, Velocity::zero())); // arrive, dwell
+                    clock += self.dwell.max(1);
+                    at = target;
+                    route.push(next);
+                }
+                DeliveryPlan {
+                    start: sites[home],
+                    velocity: velocity.expect("at least one stop"),
+                    updates,
+                    route,
+                }
+            })
+            .collect()
+    }
+
+    /// Populates a MOST database with the vans at tick 0 (updates are
+    /// *not* applied — drive them in with [`due_motion_ops`]).  Returns
+    /// the object ids in plan order.
+    pub fn populate(&self, db: &mut Database, plans: &[DeliveryPlan]) -> Vec<u64> {
+        plans
+            .iter()
+            .map(|p| db.insert_moving_object("vans", p.start, p.velocity))
+            .collect()
+    }
+
+    /// Populates a **sharded** database builder, mirroring
+    /// [`DeliveryScenario::populate`] with identical global ids in plan
+    /// order.  Returns the object ids in plan order.
+    pub fn populate_sharded(
+        &self,
+        builder: &mut ShardedDbBuilder,
+        plans: &[DeliveryPlan],
+    ) -> Vec<u64> {
+        plans
+            .iter()
+            .map(|p| builder.insert_moving_object("vans", p.start, p.velocity))
+            .collect()
+    }
+}
+
+/// The motion ops every plan schedules in `(last, now]`, in plan order
+/// then tick order — the batch shape `Request::Update` and the engines'
+/// `apply_updates` take.
+pub fn due_motion_ops(
+    ids: &[u64],
+    plans: &[DeliveryPlan],
+    last: Tick,
+    now: Tick,
+) -> Vec<UpdateOp> {
+    let mut ops = Vec::new();
+    for (id, plan) in ids.iter().zip(plans) {
+        for &(at, v) in &plan.updates {
+            if at > last && at <= now {
+                ops.push(UpdateOp::Motion { id: *id, velocity: v });
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let s = DeliveryScenario::small(21);
+        let a = s.generate();
+        let b = s.generate();
+        assert_eq!(a.len(), 12);
+        assert_eq!(a[4].route, b[4].route);
+        assert_eq!(a[4].updates, b[4].updates);
+        assert_eq!(s.depot_sites(), s.depot_sites());
+    }
+
+    #[test]
+    fn routes_revisit_depots() {
+        let s = DeliveryScenario::small(2);
+        for p in s.generate() {
+            let home = p.route[0];
+            let returns = p.route[1..].iter().filter(|&&d| d == home).count();
+            assert!(returns >= 2, "8 stops with home_every=3 revisit home at least twice");
+            assert!(p.route.windows(2).all(|w| w[0] != w[1]), "no self-loop legs");
+        }
+    }
+
+    #[test]
+    fn vans_land_exactly_on_depots_and_dwell() {
+        let s = DeliveryScenario::small(17);
+        let sites = s.depot_sites();
+        for p in s.generate() {
+            let traj = p.trajectory();
+            // Walk the schedule: every zero-velocity update is an arrival
+            // at the next depot on the route, held for the dwell.
+            let mut stop = 1;
+            for &(at, v) in &p.updates {
+                if v == Velocity::zero() {
+                    let depot = sites[p.route[stop]];
+                    let pos = traj.position_at_tick(at);
+                    assert!(pos.dist(depot) < 1e-6, "arrival lands on the depot");
+                    assert_eq!(traj.position_at_tick(at + s.dwell - 1), pos, "dwell is stationary");
+                    stop += 1;
+                }
+            }
+            assert_eq!(stop, p.route.len(), "one arrival per routed stop");
+        }
+    }
+
+    #[test]
+    fn travel_speed_never_exceeds_nominal() {
+        let s = DeliveryScenario::small(33);
+        for p in s.generate() {
+            assert!(p.velocity.speed() <= s.speed + 1e-9);
+            for &(_, v) in &p.updates {
+                assert!(v.speed() <= s.speed + 1e-9, "alignment only stretches legs");
+            }
+        }
+    }
+
+    #[test]
+    fn populate_sharded_mirrors_single_db() {
+        let s = DeliveryScenario::small(8);
+        let plans = s.generate();
+        let mut db = Database::new(5000);
+        let single = s.populate(&mut db, &plans);
+        let mut b = ShardedDbBuilder::new(3, 5000);
+        let sharded = s.populate_sharded(&mut b, &plans);
+        assert_eq!(single, sharded);
+        assert_eq!(b.finish().pin().len(), plans.len());
+    }
+}

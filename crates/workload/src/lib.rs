@@ -15,6 +15,11 @@
 //!   Section 1 air-traffic-control query);
 //! * [`convoy`] — groups of vehicles travelling together (relationship
 //!   queries);
+//! * [`taxi`] — taxi fleets working in shifts: drive, park at a stand,
+//!   swap drivers, resume (zero-velocity legs for the history
+//!   warehouse);
+//! * [`delivery`] — vans shuttling between shared depots with scheduled
+//!   revisits (region re-entry for the windowed aggregates);
 //! * [`gps`] — position-tracking policies for experiment E1: per-tick
 //!   position updates vs dead-reckoning with a motion vector.
 
@@ -24,9 +29,13 @@
 pub mod aircraft;
 pub mod cars;
 pub mod convoy;
+pub mod delivery;
 pub mod gps;
 pub mod motels;
+pub mod taxi;
 pub mod update_process;
 
 pub use cars::{CarPlan, CarScenario};
+pub use delivery::{DeliveryPlan, DeliveryScenario};
 pub use gps::{simulate_tracking, TrackingPolicy, TrackingReport};
+pub use taxi::{TaxiPlan, TaxiScenario};

@@ -1,0 +1,256 @@
+//! Taxi fleets working in shifts: drive, park at a stand, swap drivers,
+//! resume.
+//!
+//! Unlike [`crate::cars`] — whose vehicles never stop — a taxi's motion
+//! history alternates *driving* phases (Poisson-like heading changes)
+//! with *parked* phases (a zero motion vector at a stand).  The parked
+//! phase models the end of a driver's shift: the cab sits still for the
+//! hand-over, then the next driver pulls out with a fresh heading.  The
+//! resulting trajectories exercise exactly the degenerate geometry the
+//! history warehouse must get right — zero-velocity legs, coincident
+//! consecutive samples, objects that re-enter regions they already
+//! visited — so the E17 experiment seeds its fleets from here.
+
+use crate::update_process::{sample_velocity, update_schedule};
+use most_core::sharded::ShardedDbBuilder;
+use most_core::{Database, UpdateOp};
+use most_spatial::{Point, Trajectory, Velocity};
+use most_temporal::Tick;
+use most_testkit::rng::Rng;
+
+/// One generated taxi.
+#[derive(Debug, Clone)]
+pub struct TaxiPlan {
+    /// Position at tick 0 (the cab's home stand).
+    pub start: Point,
+    /// Initial motion vector (the first shift is already underway).
+    pub velocity: Velocity,
+    /// Scheduled motion-vector changes, ascending; parked phases appear
+    /// as zero-velocity entries.
+    pub updates: Vec<(Tick, Velocity)>,
+    /// `(park, resume)` tick pairs — each is one driver swap: the cab
+    /// goes stationary at `park` and pulls out again at `resume`.
+    pub swaps: Vec<(Tick, Tick)>,
+}
+
+impl TaxiPlan {
+    /// The full trajectory implied by the plan.
+    pub fn trajectory(&self) -> Trajectory {
+        let mut t = Trajectory::starting_at(self.start, self.velocity);
+        for &(at, v) in &self.updates {
+            t.update_velocity(at, v);
+        }
+        t
+    }
+
+    /// Whether the cab is parked (mid driver swap) at `tick`.
+    pub fn parked_at(&self, tick: Tick) -> bool {
+        self.swaps.iter().any(|&(park, resume)| tick >= park && tick < resume)
+    }
+}
+
+/// Scenario parameters for a taxi fleet.
+#[derive(Debug, Clone)]
+pub struct TaxiScenario {
+    /// Number of taxis.
+    pub count: usize,
+    /// Half-extent of the square service area centred on the origin.
+    pub area: f64,
+    /// Speed band while driving.
+    pub speed: (f64, f64),
+    /// Mean ticks between heading changes while driving.
+    pub mean_update_gap: f64,
+    /// Ticks a driver works before handing the cab over.
+    pub shift: Tick,
+    /// Ticks the cab sits parked during the hand-over.
+    pub swap_break: Tick,
+    /// Schedule horizon (updates generated in `[1, horizon]`).
+    pub horizon: Tick,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TaxiScenario {
+    /// A small default scenario: three full shift cycles fit the horizon.
+    pub fn small(seed: u64) -> Self {
+        TaxiScenario {
+            count: 16,
+            area: 400.0,
+            speed: (0.5, 2.0),
+            mean_update_gap: 40.0,
+            shift: 250,
+            swap_break: 50,
+            horizon: 1000,
+            seed,
+        }
+    }
+
+    /// A scaled scenario at (roughly) the density of
+    /// [`TaxiScenario::small`]; the area grows with √count like
+    /// [`crate::cars::CarScenario::fleet`].
+    pub fn fleet(seed: u64, count: usize) -> Self {
+        let small = TaxiScenario::small(seed);
+        TaxiScenario {
+            count,
+            area: small.area * (count as f64 / small.count as f64).sqrt().max(1.0),
+            ..small
+        }
+    }
+
+    /// Generates the taxi plans.  Each cab's first shift starts at a
+    /// seeded offset in `[0, shift)` so the fleet's swaps don't all land
+    /// on the same ticks.
+    pub fn generate(&self) -> Vec<TaxiPlan> {
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let cycle = self.shift + self.swap_break.max(1);
+        (0..self.count)
+            .map(|_| {
+                let start = Point::new(
+                    rng.random_range(-self.area..self.area),
+                    rng.random_range(-self.area..self.area),
+                );
+                let velocity = sample_velocity(&mut rng, self.speed.0, self.speed.1);
+                let offset = rng.random_range(0..self.shift.max(1));
+                let mut updates = Vec::new();
+                let mut swaps = Vec::new();
+                let mut park = offset.max(1);
+                while park <= self.horizon {
+                    let resume = park + self.swap_break.max(1);
+                    // Driver swap: stop dead at the stand...
+                    updates.push((park, Velocity::zero()));
+                    swaps.push((park, resume.min(self.horizon + 1)));
+                    if resume > self.horizon {
+                        break;
+                    }
+                    // ...then the relief driver pulls out on a new heading
+                    // and works a shift of ordinary heading changes.
+                    updates.push((resume, sample_velocity(&mut rng, self.speed.0, self.speed.1)));
+                    let shift_end = (resume + self.shift).min(self.horizon);
+                    for (t, v) in update_schedule(
+                        &mut rng,
+                        shift_end.saturating_sub(resume).saturating_sub(1),
+                        self.mean_update_gap,
+                        self.speed.0,
+                        self.speed.1,
+                    ) {
+                        updates.push((resume + t, v));
+                    }
+                    park += cycle;
+                }
+                TaxiPlan { start, velocity, updates, swaps }
+            })
+            .collect()
+    }
+
+    /// Populates a MOST database with the taxis at tick 0 (updates are
+    /// *not* applied — drive them in with [`due_motion_ops`] as the
+    /// clock advances).  Returns the object ids in plan order.
+    pub fn populate(&self, db: &mut Database, plans: &[TaxiPlan]) -> Vec<u64> {
+        plans
+            .iter()
+            .map(|p| db.insert_moving_object("taxis", p.start, p.velocity))
+            .collect()
+    }
+
+    /// Populates a **sharded** database builder, mirroring
+    /// [`TaxiScenario::populate`] with identical global ids in plan
+    /// order.  Returns the object ids in plan order.
+    pub fn populate_sharded(
+        &self,
+        builder: &mut ShardedDbBuilder,
+        plans: &[TaxiPlan],
+    ) -> Vec<u64> {
+        plans
+            .iter()
+            .map(|p| builder.insert_moving_object("taxis", p.start, p.velocity))
+            .collect()
+    }
+}
+
+/// The motion ops every plan schedules in `(last, now]`, in plan order
+/// then tick order — the batch shape `Request::Update` and the engines'
+/// `apply_updates` take.
+pub fn due_motion_ops(
+    ids: &[u64],
+    plans: &[TaxiPlan],
+    last: Tick,
+    now: Tick,
+) -> Vec<UpdateOp> {
+    let mut ops = Vec::new();
+    for (id, plan) in ids.iter().zip(plans) {
+        for &(at, v) in &plan.updates {
+            if at > last && at <= now {
+                ops.push(UpdateOp::Motion { id: *id, velocity: v });
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let s = TaxiScenario::small(11);
+        let a = s.generate();
+        let b = s.generate();
+        assert_eq!(a.len(), 16);
+        assert_eq!(a[5].start, b[5].start);
+        assert_eq!(a[5].updates, b[5].updates);
+        assert_eq!(a[5].swaps, b[5].swaps);
+    }
+
+    #[test]
+    fn every_taxi_parks_and_resumes() {
+        let s = TaxiScenario::small(3);
+        for p in s.generate() {
+            assert!(!p.swaps.is_empty(), "horizon fits at least one swap");
+            // Each swap contributes a zero-velocity update at the park
+            // tick, and motion resumes afterwards (unless the horizon
+            // truncated the break).
+            for &(park, resume) in &p.swaps {
+                assert!(p.updates.iter().any(|&(t, v)| t == park && v == Velocity::zero()));
+                assert!(p.parked_at(park));
+                if resume <= s.horizon {
+                    assert!(!p.parked_at(resume));
+                    let resumed = p
+                        .updates
+                        .iter()
+                        .find(|&&(t, _)| t == resume)
+                        .expect("resume update scheduled");
+                    assert!(resumed.1.speed() >= s.speed.0);
+                }
+            }
+            // The trajectory is genuinely stationary mid-swap.
+            let &(park, resume) = &p.swaps[0];
+            if resume <= s.horizon {
+                let traj = p.trajectory();
+                assert_eq!(traj.position_at_tick(park), traj.position_at_tick(resume - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn updates_sorted_and_bounded() {
+        let s = TaxiScenario::small(9);
+        for p in s.generate() {
+            assert!(p.updates.windows(2).all(|w| w[0].0 < w[1].0), "ascending ticks");
+            assert!(p.updates.iter().all(|&(t, _)| t >= 1 && t <= s.horizon));
+        }
+    }
+
+    #[test]
+    fn due_ops_cover_exactly_the_window() {
+        let s = TaxiScenario::small(5);
+        let plans = s.generate();
+        let mut db = Database::new(2000);
+        let ids = s.populate(&mut db, &plans);
+        let total: usize = plans.iter().map(|p| p.updates.len()).sum();
+        let a = due_motion_ops(&ids, &plans, 0, 500).len();
+        let b = due_motion_ops(&ids, &plans, 500, s.horizon).len();
+        assert_eq!(a + b, total, "the two windows partition the schedule");
+        assert!(due_motion_ops(&ids, &plans, s.horizon, s.horizon + 100).is_empty());
+    }
+}
